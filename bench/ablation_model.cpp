@@ -1,0 +1,150 @@
+// Ablation study: which modelling ingredients carry which paper result?
+// Each ablation disables one mechanism and shows the corresponding figure's
+// signature effect vanish:
+//
+//   1. I/O-forwarding caps off  -> Fig 7(b)'s "lower than expected"
+//      interference becomes the full 2x.
+//   2. Locality penalty off     -> Fig 4's aggregate-throughput loss under
+//      interference disappears (sharing becomes conservative).
+//   3. Write-back cache off     -> Fig 3's throughput cliff disappears
+//      (every iteration runs at sustained disk speed).
+//   4. Queue-backlog penalty off-> Fig 2's first-comer advantage vanishes
+//      (pure fluid sharing is symmetric in elapsed time).
+
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/scenario.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "io/pattern.hpp"
+#include "platform/presets.hpp"
+
+namespace {
+
+using namespace calciom;
+
+double interferenceSlowdownAtDtZero(const platform::MachineSpec& machine,
+                                    int procs, std::uint64_t bytesPerProc) {
+  workload::IorConfig app{.name = "X",
+                          .processes = procs,
+                          .pattern = io::contiguousPattern(bytesPerProc)};
+  const double alone =
+      analysis::runAlone(machine, app).totalIoSeconds();
+  analysis::ScenarioConfig cfg;
+  cfg.machine = machine;
+  cfg.policy = core::PolicyKind::Interfere;
+  cfg.appA = app;
+  cfg.appB = app;
+  cfg.appB.name = "Y";
+  const analysis::PairResult r = analysis::runPair(cfg);
+  return r.a.totalIoSeconds() / alone;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("Ablations",
+                    "Which model ingredient carries which paper effect",
+                    "each row disables one mechanism and re-runs the "
+                    "affected experiment");
+  benchutil::ShapeCheck check;
+  analysis::TextTable table({"ablation", "with mechanism", "without"});
+
+  // ---- 1. ION caps and Fig 7(b) -----------------------------------------
+  {
+    platform::MachineSpec with = platform::surveyor();
+    platform::MachineSpec without = platform::surveyor();
+    without.coresPerIon = 0;  // no forwarding layer: clients are unbounded
+    const double slowWith =
+        interferenceSlowdownAtDtZero(with, 1024, 32 << 20);
+    const double slowWithout =
+        interferenceSlowdownAtDtZero(without, 1024, 32 << 20);
+    table.addRow({"ION caps (Fig 7b slowdown @dt=0)",
+                  analysis::fmt(slowWith, 2) + "x",
+                  analysis::fmt(slowWithout, 2) + "x"});
+    check.expect("with ION caps, 1024-core interference is mild (<1.75x)",
+                 slowWith < 1.75);
+    check.expect("without them, interference returns to ~2x",
+                 slowWithout > 1.9);
+  }
+
+  // ---- 2. Locality penalty and Fig 4 -------------------------------------
+  {
+    platform::MachineSpec with = platform::grid5000Nancy();
+    platform::MachineSpec without = platform::grid5000Nancy();
+    without.fs.server.localityAlpha = 0.0;
+    auto aggregate = [&](const platform::MachineSpec& m) {
+      analysis::ScenarioConfig cfg;
+      cfg.machine = m;
+      cfg.policy = core::PolicyKind::Interfere;
+      cfg.appA = workload::IorConfig{
+          .name = "A", .processes = 336,
+          .pattern = io::contiguousPattern(16 << 20)};
+      cfg.appB = cfg.appA;
+      cfg.appB.name = "B";
+      const analysis::PairResult r = analysis::runPair(cfg);
+      return r.bytesDelivered / r.spanSeconds;
+    };
+    const double aggWith = aggregate(with);
+    const double aggWithout = aggregate(without);
+    table.addRow({"locality loss (Fig 4 aggregate)",
+                  analysis::fmtRate(aggWith), analysis::fmtRate(aggWithout)});
+    check.expect("interleaving penalty costs aggregate throughput",
+                 aggWith < 0.95 * aggWithout);
+  }
+
+  // ---- 3. Write-back cache and Fig 3 -------------------------------------
+  {
+    platform::MachineSpec with = platform::grid5000Nancy(/*withCache=*/true);
+    with.fs.server.cacheBytes = 64e6;
+    const platform::MachineSpec without = platform::grid5000Nancy(false);
+    auto burstThroughput = [&](const platform::MachineSpec& m) {
+      const workload::IorConfig app{
+          .name = "A", .processes = 336,
+          .pattern = io::contiguousPattern(8 << 20), .iterations = 3,
+          .computeSeconds = 10.0};
+      const auto stats = analysis::runAlone(m, app);
+      return analysis::mean(stats.iterationThroughputs());
+    };
+    const double tWith = burstThroughput(with);
+    const double tWithout = burstThroughput(without);
+    table.addRow({"write-back cache (Fig 3 burst rate)",
+                  analysis::fmtRate(tWith), analysis::fmtRate(tWithout)});
+    check.expect("the cache absorbs periodic bursts far above disk speed",
+                 tWith > 2.5 * tWithout);
+  }
+
+  // ---- 4. Queue-backlog penalty and Fig 2 --------------------------------
+  {
+    platform::MachineSpec with = platform::grid5000Nancy();
+    platform::MachineSpec without = platform::grid5000Nancy();
+    without.fs.queuePenaltySeconds = 0.0;
+    auto asymmetry = [&](const platform::MachineSpec& m) {
+      analysis::ScenarioConfig cfg;
+      cfg.machine = m;
+      cfg.policy = core::PolicyKind::Interfere;
+      cfg.appA = workload::IorConfig{
+          .name = "A", .processes = 336,
+          .pattern = io::contiguousPattern(16 << 20)};
+      cfg.appB = cfg.appA;
+      cfg.appB.name = "B";
+      cfg.dt = 3.0;
+      const analysis::PairResult r = analysis::runPair(cfg);
+      return r.b.totalIoSeconds() - r.a.totalIoSeconds();
+    };
+    const double asymWith = asymmetry(with);
+    const double asymWithout = asymmetry(without);
+    table.addRow({"queue backlog (Fig 2 B-A gap @dt=3)",
+                  analysis::fmt(asymWith, 2) + "s",
+                  analysis::fmt(asymWithout, 2) + "s"});
+    check.expect("the backlog penalty produces the first-comer advantage",
+                 asymWith > asymWithout + 0.3);
+    check.expect("without it, fluid sharing is symmetric (gap ~ 0)",
+                 std::abs(asymWithout) < 0.3);
+  }
+
+  std::cout << table.str() << '\n';
+  return check.finish();
+}

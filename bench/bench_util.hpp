@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared scaffolding for the figure-reproduction binaries: headers,
+/// footers, and shape checks. Every bench prints the series the paper
+/// plots, then verifies the *qualitative* claims (who wins, monotonicity,
+/// crossovers, rough factors) and exits non-zero on a violation, so the
+/// bench suite doubles as a regression harness for the reproduction.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace benchutil {
+
+inline void header(const std::string& figure, const std::string& title,
+                   const std::string& setup) {
+  std::cout << "==============================================================="
+               "=================\n"
+            << figure << " -- " << title << '\n'
+            << "setup: " << setup << '\n'
+            << "==============================================================="
+               "=================\n";
+}
+
+/// Collects named pass/fail assertions on the reproduced shape.
+class ShapeCheck {
+ public:
+  void expect(const std::string& what, bool ok) {
+    std::cout << (ok ? "  [shape OK]   " : "  [shape FAIL] ") << what << '\n';
+    if (!ok) {
+      ++failures_;
+    }
+  }
+  void expectNear(const std::string& what, double value, double target,
+                  double tolerance) {
+    const bool ok = value >= target - tolerance && value <= target + tolerance;
+    std::cout << (ok ? "  [shape OK]   " : "  [shape FAIL] ") << what
+              << " (value " << value << ", target " << target << " +/- "
+              << tolerance << ")\n";
+    if (!ok) {
+      ++failures_;
+    }
+  }
+
+  /// Prints the verdict and returns the process exit code.
+  [[nodiscard]] int finish() const {
+    std::cout << (failures_ == 0
+                      ? "shape-check: all assertions passed\n"
+                      : "shape-check: FAILURES — the reproduction drifted\n");
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  int failures_ = 0;
+};
+
+}  // namespace benchutil

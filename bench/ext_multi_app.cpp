@@ -1,0 +1,111 @@
+// Extension bench: scaling beyond two applications (paper §III-A notes the
+// strategies "naturally extend"; §VI leaves the study to future work
+// because delta-graphs of >2 apps are hard to display). We sweep the
+// number of concurrently arriving applications and report machine-wide
+// metrics per policy: the adaptive queue keeps the worst interference
+// factor bounded while uncoordinated interference degrades with crowd
+// size.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "io/pattern.hpp"
+#include "platform/presets.hpp"
+
+namespace {
+
+using namespace calciom;
+
+std::vector<workload::IorConfig> makeApps(int n) {
+  // Mixed sizes, staggered arrivals 1.5s apart; everything fits the
+  // 960-core Rennes machine.
+  std::vector<workload::IorConfig> apps;
+  const int sizes[] = {360, 192, 96, 48, 24, 120, 72, 48};
+  for (int i = 0; i < n; ++i) {
+    apps.push_back(workload::IorConfig{
+        .name = "app" + std::to_string(i + 1),
+        .processes = sizes[i % 8],
+        .pattern = io::contiguousPattern(8 << 20),
+        .startOffset = 1.5 * i});
+  }
+  return apps;
+}
+
+struct Row {
+  double sumFactors = 0.0;
+  double maxFactor = 0.0;
+  double span = 0.0;
+};
+
+Row runPolicy(int n, core::PolicyKind policy,
+              const std::vector<double>& alone) {
+  analysis::ManyConfig cfg;
+  cfg.machine = platform::grid5000Rennes();
+  cfg.policy = policy;
+  cfg.metric = std::make_shared<core::SumInterferenceFactors>();
+  cfg.apps = makeApps(n);
+  const analysis::ManyResult r = analysis::runMany(cfg);
+  Row row;
+  for (std::size_t i = 0; i < r.apps.size(); ++i) {
+    const double factor = r.apps[i].totalIoSeconds() / alone[i];
+    row.sumFactors += factor;
+    row.maxFactor = std::max(row.maxFactor, factor);
+  }
+  row.span = r.spanSeconds;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header(
+      "Extension: N-application scaling",
+      "Machine-wide interference vs number of concurrent applications",
+      "g5k-rennes: N apps of mixed sizes arriving 1.5s apart, 8 MB/proc; "
+      "metric = sum of interference factors");
+
+  analysis::TextTable table({"N apps", "interfering sum(I)/max(I)",
+                             "fcfs sum(I)/max(I)",
+                             "calciom sum(I)/max(I)"});
+  benchutil::ShapeCheck check;
+  double interfere4Max = 0.0;
+  double dynamic4Max = 0.0;
+  for (int n : {2, 3, 4, 6, 8}) {
+    std::vector<double> alone;
+    for (const auto& app : makeApps(n)) {
+      alone.push_back(analysis::runAlone(platform::grid5000Rennes(), app)
+                          .totalIoSeconds());
+    }
+    const Row ri = runPolicy(n, core::PolicyKind::Interfere, alone);
+    const Row rf = runPolicy(n, core::PolicyKind::Fcfs, alone);
+    const Row rd = runPolicy(n, core::PolicyKind::Dynamic, alone);
+    table.addRow({std::to_string(n),
+                  analysis::fmt(ri.sumFactors, 1) + " / " +
+                      analysis::fmt(ri.maxFactor, 1),
+                  analysis::fmt(rf.sumFactors, 1) + " / " +
+                      analysis::fmt(rf.maxFactor, 1),
+                  analysis::fmt(rd.sumFactors, 1) + " / " +
+                      analysis::fmt(rd.maxFactor, 1)});
+    if (n == 4) {
+      interfere4Max = ri.maxFactor;
+      dynamic4Max = rd.maxFactor;
+    }
+    if (n >= 3) {
+      check.expect("N=" + std::to_string(n) +
+                       ": coordination beats interference on sum(I)",
+                   rd.sumFactors < ri.sumFactors);
+    }
+  }
+  std::cout << table.str() << '\n';
+
+  check.expect("uncoordinated worst-case factor is large at N=4",
+               interfere4Max > 4.0);
+  check.expect("CALCioM bounds the worst factor at N=4",
+               dynamic4Max < interfere4Max * 0.7);
+  return check.finish();
+}

@@ -1,0 +1,96 @@
+// Figure 1 + Section II-B: job-size distribution (histogram + CDF),
+// concurrent-job distribution on an Intrepid-like synthetic trace, and the
+// probability that another application is doing I/O.
+//
+// Paper reference points: half the jobs run on <= 2048 cores (1.25% of the
+// machine), 4-60 jobs run concurrently, and with E(mu) = 5% the probability
+// of a concurrent I/O-active application is ~64%.
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace calciom;
+
+  benchutil::header("Figure 1(a,b) + Section II-B",
+                    "Job sizes, concurrency and I/O activity probability",
+                    "synthetic ANL-Intrepid-like SWF trace, 30 days, FCFS "
+                    "scheduler on 163840 cores");
+
+  workload::IntrepidModel model;
+  model.seed = 2009;  // the trace year, for flavor
+  const auto jobs = model.generate();
+  std::cout << "jobs generated: " << jobs.size() << "\n\n";
+
+  // ---- Fig 1(a): histogram + CDF of job sizes (by count and core-time) --
+  analysis::Histogram byCount = analysis::Histogram::powerOfTwo(8, 18);
+  analysis::Histogram byCoreTime = analysis::Histogram::powerOfTwo(8, 18);
+  for (const auto& j : jobs) {
+    byCount.add(static_cast<double>(j.processors));
+    byCoreTime.add(static_cast<double>(j.processors),
+                   j.runSeconds * j.processors);
+  }
+  analysis::TextTable sizes(
+      {"cores", "% of jobs", "CDF %", "% of core-time", "core-time CDF %"});
+  const auto f = byCount.fractions();
+  const auto c = byCount.cdf();
+  const auto fw = byCoreTime.fractions();
+  const auto cw = byCoreTime.cdf();
+  for (std::size_t i = 0; i < byCount.binCount(); ++i) {
+    sizes.addRow({std::to_string(static_cast<long>(byCount.binLow(i))),
+                  analysis::fmt(100 * f[i], 1), analysis::fmt(100 * c[i], 1),
+                  analysis::fmt(100 * fw[i], 1),
+                  analysis::fmt(100 * cw[i], 1)});
+  }
+  std::cout << "Fig 1(a) -- distribution of job sizes\n" << sizes.str() << '\n';
+
+  // ---- Fig 1(b): number of concurrent jobs ------------------------------
+  const auto conc = workload::concurrencyDistribution(jobs);
+  analysis::TextTable concurrent({"concurrent jobs", "proportion of time"});
+  double meanConc = 0.0;
+  for (std::size_t n = 0; n < conc.size(); ++n) {
+    meanConc += static_cast<double>(n) * conc[n];
+    if (n % 4 == 0 && conc[n] > 0.0005) {
+      concurrent.addRow({std::to_string(n), analysis::fmt(conc[n], 4)});
+    }
+  }
+  std::cout << "Fig 1(b) -- concurrent jobs per time unit (every 4th level)\n"
+            << concurrent.str() << "mean concurrency: "
+            << analysis::fmt(meanConc, 1) << "\n\n";
+
+  // ---- Section II-B: P(another application is doing I/O) ----------------
+  analysis::TextTable prob({"E(mu)", "P(another app doing I/O)"});
+  for (double mu : {0.01, 0.02, 0.05, 0.10}) {
+    prob.addRow({analysis::fmt(100 * mu, 0) + "%",
+                 analysis::fmt(
+                     100 * workload::ioActivityProbability(conc, mu), 1) +
+                     "%"});
+  }
+  std::cout << "Section II-B -- probability of concurrent I/O activity\n"
+            << prob.str() << '\n';
+
+  // ---- Shape checks ------------------------------------------------------
+  benchutil::ShapeCheck check;
+  // Half the jobs at or below 2048 cores: CDF at the 2048 bucket.
+  double cdfAt2048 = 0.0;
+  for (std::size_t i = 0; i < byCount.binCount(); ++i) {
+    if (byCount.binLow(i) <= 2048.0) {
+      cdfAt2048 = c[i];
+    }
+  }
+  check.expectNear("~half the jobs run on <= 2048 cores", cdfAt2048, 0.52,
+                   0.08);
+  check.expect("concurrency spans the paper's 4-60 band",
+               conc.size() >= 20 && conc.size() <= 120);
+  const double p5 = workload::ioActivityProbability(conc, 0.05);
+  check.expect("P(I/O active | mu=5%) is in the paper's ~64% regime",
+               p5 > 0.5 && p5 < 0.9);
+  check.expect("probability grows with mu",
+               workload::ioActivityProbability(conc, 0.10) > p5);
+  return check.finish();
+}

@@ -1,0 +1,75 @@
+// Figure 4: aggregate throughput when a small application B (8..336 cores)
+// interferes with a big one A (336 cores), both starting at the same time.
+// The paper reports a 6x throughput drop for B=8 relative to running alone
+// and an aggregate below the no-interference level.
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "io/pattern.hpp"
+#include "platform/presets.hpp"
+
+int main() {
+  using namespace calciom;
+
+  benchutil::header(
+      "Figure 4", "Aggregate throughput vs size of the interfering app",
+      "g5k-nancy: A = 336 procs, B in {8..336}, 16 MB/proc each, dt = 0");
+
+  const platform::MachineSpec machine = platform::grid5000Nancy();
+  const auto pattern = io::contiguousPattern(16 << 20);
+  const workload::IorConfig appA{
+      .name = "A", .processes = 336, .pattern = pattern};
+
+  const workload::AppStats aloneA = analysis::runAlone(machine, appA);
+  const double aloneAThroughput =
+      static_cast<double>(aloneA.totalBytes()) / aloneA.totalIoSeconds();
+
+  analysis::TextTable table({"B cores", "aggregate (MB/s)",
+                             "A alone (MB/s)", "B alone (MB/s)",
+                             "B with A (MB/s)", "B slowdown"});
+  double slowdownAt8 = 0.0;
+  double worstAggregate = 1e18;
+  for (int cores : {8, 16, 32, 64, 128, 256, 336}) {
+    const workload::IorConfig appB{
+        .name = "B", .processes = cores, .pattern = pattern};
+    const workload::AppStats aloneB = analysis::runAlone(machine, appB);
+    const double aloneBThroughput =
+        static_cast<double>(aloneB.totalBytes()) / aloneB.totalIoSeconds();
+
+    analysis::ScenarioConfig cfg;
+    cfg.machine = machine;
+    cfg.policy = core::PolicyKind::Interfere;
+    cfg.appA = appA;
+    cfg.appB = appB;
+    cfg.dt = 0.0;
+    const analysis::PairResult pair = analysis::runPair(cfg);
+    const double aggregate = pair.bytesDelivered / pair.spanSeconds;
+    const double bThroughput =
+        static_cast<double>(pair.b.totalBytes()) / pair.b.totalIoSeconds();
+    const double slowdown = aloneBThroughput / bThroughput;
+    if (cores == 8) {
+      slowdownAt8 = slowdown;
+    }
+    worstAggregate = std::min(worstAggregate, aggregate);
+    table.addRow({std::to_string(cores), analysis::fmt(aggregate / 1e6, 0),
+                  analysis::fmt(aloneAThroughput / 1e6, 0),
+                  analysis::fmt(aloneBThroughput / 1e6, 0),
+                  analysis::fmt(bThroughput / 1e6, 0),
+                  analysis::fmt(slowdown, 1) + "x"});
+  }
+  std::cout << table.str() << '\n';
+
+  benchutil::ShapeCheck check;
+  check.expect("B=8 sees a severe throughput drop (paper: ~6x)",
+               slowdownAt8 > 3.5 && slowdownAt8 < 15.0);
+  check.expect(
+      "interference costs aggregate throughput (below the alone level)",
+      worstAggregate < aloneAThroughput);
+  check.expect("aggregate stays within physical limits",
+               worstAggregate > 0.5 * aloneAThroughput);
+  return check.finish();
+}

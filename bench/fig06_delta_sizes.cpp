@@ -1,0 +1,103 @@
+// Figure 6: delta-graphs of the interference factor when 768 cores are
+// split N (app B) vs 768-N (app A), N in {24,48,96,192,384}; every process
+// writes 16 MB as 8 strides of 2 MB. The paper's headline: the 24-core app
+// suffers an interference factor up to 14 while the 744-core app barely
+// notices; for dt<0 the small app escapes by finishing before A starts.
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "analysis/delta.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "io/pattern.hpp"
+#include "platform/presets.hpp"
+
+int main() {
+  using namespace calciom;
+
+  benchutil::header(
+      "Figure 6(a,b)", "Interference factor vs dt for asymmetric app sizes",
+      "g5k-rennes: 768 cores split N vs 768-N, 16 MB/proc (8 x 2 MB "
+      "strides), interfering policy");
+
+  const std::vector<int> splits = {24, 48, 96, 192, 384};
+  const auto dts = analysis::linspace(-25.0, 25.0, 11);
+
+  std::map<int, analysis::DeltaGraph> graphs;
+  for (int n : splits) {
+    analysis::ScenarioConfig cfg;
+    cfg.machine = platform::grid5000Rennes();
+    cfg.policy = core::PolicyKind::Interfere;
+    cfg.appA = workload::IorConfig{.name = "A",
+                                   .processes = 768 - n,
+                                   .pattern = io::stridedPattern(2 << 20, 8)};
+    cfg.appB = workload::IorConfig{.name = "B",
+                                   .processes = n,
+                                   .pattern = io::stridedPattern(2 << 20, 8)};
+    graphs.emplace(n, analysis::sweepDelta(cfg, dts));
+  }
+
+  for (const char* which : {"A (big)", "B (small)"}) {
+    analysis::TextTable table([&] {
+      std::vector<std::string> headers = {"dt (s)"};
+      for (int n : splits) {
+        headers.push_back(which[0] == 'A' ? std::to_string(768 - n) + " cores"
+                                          : std::to_string(n) + " cores");
+      }
+      return headers;
+    }());
+    for (std::size_t i = 0; i < dts.size(); ++i) {
+      std::vector<std::string> row = {analysis::fmt(dts[i], 0)};
+      for (int n : splits) {
+        const auto& p = graphs.at(n).points[i];
+        row.push_back(
+            analysis::fmt(which[0] == 'A' ? p.factorA : p.factorB, 2));
+      }
+      table.addRow(row);
+    }
+    std::cout << "Fig 6 -- interference factor of app " << which << "\n"
+              << table.str() << '\n';
+  }
+
+  benchutil::ShapeCheck check;
+  // Peak factor of the 24-core app (dt > 0 region) is in the paper's ~14x
+  // regime; the matching big app stays near 1.
+  double peakSmall = 0.0;
+  double peakBigPartner = 0.0;
+  for (const auto& p : graphs.at(24).points) {
+    if (p.dt >= 0) {
+      peakSmall = std::max(peakSmall, p.factorB);
+      peakBigPartner = std::max(peakBigPartner, p.factorA);
+    }
+  }
+  check.expect("24-core app peak factor is >= 8 (paper: ~14)",
+               peakSmall >= 8.0 && peakSmall <= 30.0);
+  check.expect("its 744-core partner stays below 1.35",
+               peakBigPartner < 1.35);
+  // dt < 0: the small app finished before the big one started.
+  check.expect("for dt=-25 the 24-core app escapes (factor ~1)",
+               graphs.at(24).points.front().factorB < 1.2);
+  // Larger B suffers less: peak factor decreases with N.
+  double prevPeak = 1e18;
+  bool monotone = true;
+  for (int n : splits) {
+    double peak = 0.0;
+    for (const auto& p : graphs.at(n).points) {
+      peak = std::max(peak, p.factorB);
+    }
+    if (peak > prevPeak * 1.05) {
+      monotone = false;
+    }
+    prevPeak = peak;
+  }
+  check.expect("peak interference factor shrinks as B grows", monotone);
+  // Equal split behaves like Fig 2: both factors ~2 at dt=0.
+  const auto& equal = graphs.at(384);
+  const auto& mid = equal.points[equal.points.size() / 2];
+  check.expectNear("384/384 at dt=0: factor ~2 for both",
+                   (mid.factorA + mid.factorB) / 2.0, 2.2, 0.7);
+  return check.finish();
+}

@@ -1,0 +1,107 @@
+// Figure 9: the three static policies (interfering, FCFS serialization,
+// interruption) compared on asymmetric (744/24) and symmetric (384/384)
+// splits. The paper's conclusion: FCFS is terrible for a small app arriving
+// second; interruption rescues it at negligible cost to the big app -- but
+// interruption is counterproductive between equal apps.
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "analysis/delta.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "io/pattern.hpp"
+#include "platform/presets.hpp"
+
+namespace {
+
+using namespace calciom;
+
+analysis::ScenarioConfig makeConfig(int coresA, int coresB,
+                                    core::PolicyKind policy) {
+  analysis::ScenarioConfig cfg;
+  cfg.machine = platform::grid5000Rennes();
+  cfg.policy = policy;
+  cfg.appA = workload::IorConfig{.name = "A",
+                                 .processes = coresA,
+                                 .pattern = io::stridedPattern(1 << 20, 8)};
+  cfg.appB = workload::IorConfig{.name = "B",
+                                 .processes = coresB,
+                                 .pattern = io::stridedPattern(1 << 20, 8)};
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header(
+      "Figure 9(a-d)", "Interfering vs FCFS vs interruption",
+      "g5k-rennes: 8 MB/proc strided; splits 744/24 and 384/384; "
+      "round-granularity interruption in the ADIO layer");
+
+  const auto dts = analysis::linspace(-10.0, 25.0, 8);
+  const core::PolicyKind kinds[] = {core::PolicyKind::Interfere,
+                                    core::PolicyKind::Fcfs,
+                                    core::PolicyKind::Interrupt};
+  benchutil::ShapeCheck check;
+
+  for (const auto& [coresA, coresB] :
+       std::vector<std::pair<int, int>>{{744, 24}, {384, 384}}) {
+    std::map<core::PolicyKind, analysis::DeltaGraph> graphs;
+    for (core::PolicyKind k : kinds) {
+      graphs.emplace(k,
+                     analysis::sweepDelta(makeConfig(coresA, coresB, k), dts));
+    }
+    for (const char* which : {"A", "B"}) {
+      analysis::TextTable table({"dt (s)", "interfering", "fcfs",
+                                 "interruption"});
+      for (std::size_t i = 0; i < dts.size(); ++i) {
+        std::vector<std::string> row = {analysis::fmt(dts[i], 0)};
+        for (core::PolicyKind k : kinds) {
+          const auto& p = graphs.at(k).points[i];
+          row.push_back(
+              analysis::fmt(which[0] == 'A' ? p.factorA : p.factorB, 2));
+        }
+        table.addRow(row);
+      }
+      std::cout << "Fig 9 -- interference factor of app " << which << " ("
+                << (which[0] == 'A' ? coresA : coresB) << " cores, split "
+                << coresA << "/" << coresB << ")\n"
+                << table.str() << '\n';
+    }
+
+    auto maxFactor = [&](core::PolicyKind k, bool ofB, double dtMin) {
+      double peak = 0.0;
+      for (const auto& p : graphs.at(k).points) {
+        if (p.dt >= dtMin) {
+          peak = std::max(peak, ofB ? p.factorB : p.factorA);
+        }
+      }
+      return peak;
+    };
+
+    if (coresB == 24) {
+      // Asymmetric: FCFS is very bad for small B arriving second (Fig 9b);
+      // interruption rescues it (curve hugging 1) at tiny cost for A.
+      check.expect("744/24: FCFS leaves small B with a huge factor",
+                   maxFactor(core::PolicyKind::Fcfs, true, 0.0) > 5.0);
+      check.expect("744/24: interruption rescues small B (factor < 2.5)",
+                   maxFactor(core::PolicyKind::Interrupt, true, 0.0) < 2.5);
+      check.expect("744/24: interruption costs big A almost nothing",
+                   maxFactor(core::PolicyKind::Interrupt, false, 0.0) < 1.25);
+      check.expect("744/24: interfering also crushes B",
+                   maxFactor(core::PolicyKind::Interfere, true, 0.0) > 5.0);
+    } else {
+      // Symmetric: interruption hurts A as much as interference would have
+      // hurt B (Fig 9c), FCFS protects A completely.
+      check.expect("384/384: interruption is counterproductive for A",
+                   maxFactor(core::PolicyKind::Interrupt, false, 0.5) > 1.5);
+      check.expect("384/384: FCFS keeps A unimpacted",
+                   maxFactor(core::PolicyKind::Fcfs, false, 0.5) < 1.1);
+      check.expect("384/384: interfering slows both to ~2x",
+                   maxFactor(core::PolicyKind::Interfere, false, 0.0) > 1.6);
+    }
+  }
+  return check.finish();
+}

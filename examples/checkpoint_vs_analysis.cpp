@@ -1,0 +1,80 @@
+// The paper's Section II-E motivation, made concrete: a CM1-like
+// atmospheric simulation writes large snapshots every few (simulated)
+// minutes, while a NAMD-like job writes small trajectory files frequently.
+// Their I/O behaviours could not be more different -- and the storage
+// system alone cannot know that. This example runs several iterations of
+// both and compares per-iteration interference with and without CALCioM.
+
+#include <iostream>
+#include <memory>
+
+#include "analysis/scenario.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "io/pattern.hpp"
+#include "platform/presets.hpp"
+
+int main() {
+  using namespace calciom;
+
+  platform::MachineSpec machine = platform::grid5000Rennes();
+
+  // CM1 on Blue Waters: ~23 MB/core synchronous snapshots every 3 minutes.
+  // Scaled to this machine: 672 cores, 8 MB/core, every 60 simulated
+  // seconds (keeps the example fast while preserving the rhythm).
+  const workload::IorConfig cm1{.name = "cm1",
+                                .processes = 672,
+                                .pattern = io::contiguousPattern(8 << 20),
+                                .iterations = 4,
+                                .computeSeconds = 60.0};
+
+  // NAMD-like: a small designated writer group flushing trajectory frames
+  // every few seconds.
+  const workload::IorConfig namd{.name = "namd",
+                                 .processes = 48,
+                                 .pattern = io::contiguousPattern(1 << 20),
+                                 .iterations = 40,
+                                 .computeSeconds = 5.0,
+                                 .startOffset = 1.0};
+
+  const double aloneCm1 =
+      analysis::runAlone(machine, cm1).meanIoSeconds();
+  const double aloneNamd =
+      analysis::runAlone(machine, namd).meanIoSeconds();
+  std::cout << "alone, per iteration: cm1 " << analysis::fmt(aloneCm1, 2)
+            << "s, namd " << analysis::fmt(aloneNamd, 3) << "s\n\n";
+
+  analysis::TextTable table({"policy", "cm1 mean it. (s)", "worst it. (s)",
+                             "namd mean it. (s)", "worst it. (s)",
+                             "namd worst factor"});
+  for (core::PolicyKind policy :
+       {core::PolicyKind::Interfere, core::PolicyKind::Dynamic}) {
+    analysis::ScenarioConfig cfg;
+    cfg.machine = machine;
+    cfg.policy = policy;
+    cfg.metric = std::make_shared<core::SumInterferenceFactors>();
+    cfg.appA = cm1;
+    cfg.appB = namd;
+    const analysis::PairResult r = analysis::runPair(cfg);
+
+    auto worst = [](const workload::AppStats& s) {
+      double w = 0.0;
+      for (const auto& it : s.iterations) {
+        w = std::max(w, it.elapsed());
+      }
+      return w;
+    };
+    table.addRow({toString(policy),
+                  analysis::fmt(r.a.meanIoSeconds(), 2),
+                  analysis::fmt(worst(r.a), 2),
+                  analysis::fmt(r.b.meanIoSeconds(), 3),
+                  analysis::fmt(worst(r.b), 3),
+                  analysis::fmt(worst(r.b) / aloneNamd, 1) + "x"});
+  }
+  std::cout << table.str()
+            << "\nWithout coordination, every NAMD flush that lands during "
+               "a CM1 snapshot is\ncrushed by the snapshot's 672 streams. "
+               "With CALCioM the coordinator sees the\nsmall writer's "
+               "descriptor and briefly pauses the snapshot instead.\n";
+  return 0;
+}

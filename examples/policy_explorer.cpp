@@ -1,0 +1,83 @@
+// Interactive delta-graph explorer. Configure a two-application scenario
+// from the command line and print the delta-graph for every policy.
+//
+// Usage:
+//   policy_explorer [coresA coresB mbPerProc dtMin dtMax points]
+// Defaults: 744 24 16 -10 20 7  (the paper's Fig 9 asymmetric split)
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/delta.hpp"
+#include "analysis/table.hpp"
+#include "io/pattern.hpp"
+#include "platform/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace calciom;
+
+  int coresA = 744;
+  int coresB = 24;
+  int mbPerProc = 16;
+  double dtMin = -10.0;
+  double dtMax = 20.0;
+  int points = 7;
+  if (argc >= 3) {
+    coresA = std::atoi(argv[1]);
+    coresB = std::atoi(argv[2]);
+  }
+  if (argc >= 4) {
+    mbPerProc = std::atoi(argv[3]);
+  }
+  if (argc >= 6) {
+    dtMin = std::atof(argv[4]);
+    dtMax = std::atof(argv[5]);
+  }
+  if (argc >= 7) {
+    points = std::atoi(argv[6]);
+  }
+  if (coresA < 1 || coresB < 1 || mbPerProc < 1 || points < 2) {
+    std::cerr << "usage: policy_explorer [coresA coresB mbPerProc dtMin "
+                 "dtMax points]\n";
+    return 2;
+  }
+
+  std::cout << "scenario: A=" << coresA << " cores, B=" << coresB
+            << " cores, " << mbPerProc
+            << " MB/proc strided, g5k-rennes machine\n\n";
+
+  analysis::ScenarioConfig base;
+  base.machine = platform::grid5000Rennes();
+  base.appA = workload::IorConfig{
+      .name = "A", .processes = coresA,
+      .pattern = io::stridedPattern(
+          static_cast<std::uint64_t>(mbPerProc) << 20 >> 3, 8)};
+  base.appB = workload::IorConfig{
+      .name = "B", .processes = coresB,
+      .pattern = io::stridedPattern(
+          static_cast<std::uint64_t>(mbPerProc) << 20 >> 3, 8)};
+  const auto dts = analysis::linspace(dtMin, dtMax, points);
+
+  for (core::PolicyKind policy :
+       {core::PolicyKind::Interfere, core::PolicyKind::Fcfs,
+        core::PolicyKind::Interrupt, core::PolicyKind::Dynamic}) {
+    analysis::ScenarioConfig cfg = base;
+    cfg.policy = policy;
+    const analysis::DeltaGraph g = analysis::sweepDelta(cfg, dts);
+    analysis::TextTable table(
+        {"dt (s)", "A time (s)", "B time (s)", "I_A", "I_B", "decision"});
+    for (const auto& p : g.points) {
+      table.addRow({analysis::fmt(p.dt, 1), analysis::fmt(p.ioTimeA, 2),
+                    analysis::fmt(p.ioTimeB, 2), analysis::fmt(p.factorA, 2),
+                    analysis::fmt(p.factorB, 2),
+                    p.hasDecision ? core::toString(p.decision) : "-"});
+    }
+    std::cout << "policy: " << toString(policy) << " (alone A "
+              << analysis::fmt(g.aloneA, 2) << "s, B "
+              << analysis::fmt(g.aloneB, 2) << "s)\n"
+              << table.str() << '\n';
+  }
+  return 0;
+}

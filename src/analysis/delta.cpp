@@ -1,0 +1,60 @@
+#include "analysis/delta.hpp"
+
+#include "sim/contracts.hpp"
+
+namespace calciom::analysis {
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  CALCIOM_EXPECTS(n >= 2);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                           static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+DeltaGraph sweepDelta(const ScenarioConfig& base,
+                      const std::vector<double>& dts) {
+  DeltaGraph graph;
+  graph.aloneA = runAlone(base.machine, base.appA).totalIoSeconds();
+  graph.aloneB = runAlone(base.machine, base.appB).totalIoSeconds();
+
+  std::shared_ptr<const core::EfficiencyMetric> metric = base.metric;
+  if (!metric) {
+    metric = std::make_shared<core::CpuSecondsWasted>();
+  }
+
+  for (double dt : dts) {
+    ScenarioConfig cfg = base;
+    cfg.dt = dt;
+    const PairResult result = runPair(cfg);
+
+    DeltaPoint p;
+    p.dt = dt;
+    p.ioTimeA = result.a.totalIoSeconds();
+    p.ioTimeB = result.b.totalIoSeconds();
+    p.factorA = graph.aloneA > 0.0 ? p.ioTimeA / graph.aloneA : 1.0;
+    p.factorB = graph.aloneB > 0.0 ? p.ioTimeB / graph.aloneB : 1.0;
+    const ExpectedDeltaTimes exp = expectedDeltaTimes(
+        graph.aloneA, graph.aloneB, dt,
+        static_cast<double>(base.appA.processes),
+        static_cast<double>(base.appB.processes));
+    p.expectedA = exp.timeA;
+    p.expectedB = exp.timeB;
+    if (!result.decisions.empty()) {
+      p.hasDecision = true;
+      p.decision = result.decisions.front().action;
+    }
+    p.metricCost = metric->cost(
+        {core::AppCost{result.a.processes, p.ioTimeA,
+                       std::max(graph.aloneA, 1e-12)},
+         core::AppCost{result.b.processes, p.ioTimeB,
+                       std::max(graph.aloneB, 1e-12)}});
+    graph.points.push_back(p);
+  }
+  return graph;
+}
+
+}  // namespace calciom::analysis

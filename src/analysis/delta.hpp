@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file delta.hpp
+/// Delta-graph harness (paper §II-C): sweep the start offset dt between two
+/// applications, run an isolated simulation per point, and report observed
+/// I/O times, interference factors (I = T / T_alone) and the analytic
+/// expectation.
+
+#include <vector>
+
+#include "analysis/expected.hpp"
+#include "analysis/scenario.hpp"
+
+namespace calciom::analysis {
+
+struct DeltaPoint {
+  double dt = 0.0;
+  double ioTimeA = 0.0;  // observed I/O time of one phase, incl. waits
+  double ioTimeB = 0.0;
+  double factorA = 1.0;  // interference factor I = T / T_alone
+  double factorB = 1.0;
+  double expectedA = 0.0;  // proportional-sharing expectation
+  double expectedB = 0.0;
+  /// First policy decision taken at this point (if any).
+  bool hasDecision = false;
+  core::Action decision = core::Action::Interfere;
+  /// Machine-wide cost under the given metric for this run.
+  double metricCost = 0.0;
+};
+
+struct DeltaGraph {
+  double aloneA = 0.0;
+  double aloneB = 0.0;
+  std::vector<DeltaPoint> points;
+};
+
+/// Sweeps `dts` (seconds, signed: negative = B starts first). `metric` is
+/// used to report the per-point machine-wide cost; weights for the
+/// expectation default to the apps' process counts.
+[[nodiscard]] DeltaGraph sweepDelta(const ScenarioConfig& base,
+                                    const std::vector<double>& dts);
+
+/// Convenience: n evenly spaced values in [lo, hi].
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, int n);
+
+}  // namespace calciom::analysis

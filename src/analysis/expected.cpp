@@ -1,0 +1,49 @@
+#include "analysis/expected.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace calciom::analysis {
+
+ExpectedTimes expectedPairTimes(double aloneFirst, double aloneSecond,
+                                double dt, double weightFirst,
+                                double weightSecond, double efficiency) {
+  CALCIOM_EXPECTS(aloneFirst >= 0.0 && aloneSecond >= 0.0);
+  CALCIOM_EXPECTS(dt >= 0.0);
+  ExpectedTimes out;
+  if (dt >= aloneFirst) {
+    // No overlap: the first app finished before the second started.
+    out.first = aloneFirst;
+    out.second = aloneSecond;
+    return out;
+  }
+  // Head start: the first app runs alone for dt, completing dt "alone
+  // seconds" of its work; the rest overlaps under proportional sharing.
+  const double remainingFirst = aloneFirst - dt;
+  const core::PairTimes shared = core::fluidPairTimes(
+      remainingFirst, aloneSecond, weightFirst, weightSecond, efficiency);
+  out.first = dt + shared.tA;
+  out.second = shared.tB;
+  return out;
+}
+
+ExpectedDeltaTimes expectedDeltaTimes(double aloneA, double aloneB, double dt,
+                                      double weightA, double weightB,
+                                      double efficiency) {
+  ExpectedDeltaTimes out;
+  if (dt >= 0.0) {
+    const ExpectedTimes t = expectedPairTimes(aloneA, aloneB, dt, weightA,
+                                              weightB, efficiency);
+    out.timeA = t.first;
+    out.timeB = t.second;
+  } else {
+    const ExpectedTimes t = expectedPairTimes(aloneB, aloneA, -dt, weightB,
+                                              weightA, efficiency);
+    out.timeA = t.second;
+    out.timeB = t.first;
+  }
+  return out;
+}
+
+}  // namespace calciom::analysis

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file expected.hpp
+/// The paper's analytic "Expected" interference model (§II-C): two
+/// applications sharing the storage system proportionally, the second
+/// starting dt seconds after the first. Produces the piecewise-linear
+/// delta-shaped curves plotted alongside measurements in Figs 2, 6 and 8.
+
+#include "calciom/policy.hpp"
+
+namespace calciom::analysis {
+
+struct ExpectedTimes {
+  /// Elapsed I/O time of the application that starts first.
+  double first = 0.0;
+  /// Elapsed I/O time of the application that starts second.
+  double second = 0.0;
+};
+
+/// Expected I/O times under proportional sharing.
+///  * `aloneFirst` / `aloneSecond`: contention-free phase durations.
+///  * `dt >= 0`: how long after the first app the second one starts.
+///  * weights: relative bandwidth shares while overlapping (stream counts).
+///  * efficiency: aggregate service efficiency while both are active
+///    (1 = no loss; < 1 models interleaving locality loss).
+[[nodiscard]] ExpectedTimes expectedPairTimes(double aloneFirst,
+                                              double aloneSecond, double dt,
+                                              double weightFirst = 1.0,
+                                              double weightSecond = 1.0,
+                                              double efficiency = 1.0);
+
+/// Delta-graph convenience: signed dt (negative means B starts first);
+/// returns times for A and B respectively.
+struct ExpectedDeltaTimes {
+  double timeA = 0.0;
+  double timeB = 0.0;
+};
+[[nodiscard]] ExpectedDeltaTimes expectedDeltaTimes(double aloneA,
+                                                    double aloneB, double dt,
+                                                    double weightA = 1.0,
+                                                    double weightB = 1.0,
+                                                    double efficiency = 1.0);
+
+}  // namespace calciom::analysis

@@ -1,0 +1,133 @@
+#include "analysis/scenario.hpp"
+
+#include <algorithm>
+
+#include <memory>
+
+#include "io/hooks.hpp"
+#include "sim/contracts.hpp"
+#include "sim/engine.hpp"
+
+namespace calciom::analysis {
+
+PairResult runPair(const ScenarioConfig& cfg) {
+  sim::Engine eng;
+  platform::Machine machine(eng, cfg.machine);
+
+  std::shared_ptr<const core::EfficiencyMetric> metric = cfg.metric;
+  if (!metric) {
+    metric = std::make_shared<core::CpuSecondsWasted>();
+  }
+  core::Arbiter arbiter(
+      eng, machine.ports(),
+      core::makePolicy(cfg.policy, metric, cfg.dynamicOptions));
+
+  workload::IorConfig cfgA = cfg.appA;
+  workload::IorConfig cfgB = cfg.appB;
+  cfgA.startOffset += std::max(0.0, -cfg.dt);
+  cfgB.startOffset += std::max(0.0, cfg.dt);
+
+  workload::IorApp appA(machine, 1, cfgA);
+  workload::IorApp appB(machine, 2, cfgB);
+
+  core::Session sessionA(eng, machine.ports(),
+                         core::SessionConfig{.appId = 1,
+                                             .appName = cfgA.name,
+                                             .cores = cfgA.processes,
+                                             .granularity = cfg.granularityA});
+  core::Session sessionB(eng, machine.ports(),
+                         core::SessionConfig{.appId = 2,
+                                             .appName = cfgB.name,
+                                             .cores = cfgB.processes,
+                                             .granularity = cfg.granularityB});
+  io::NoopHooks noop;
+  io::IoCoordinationHooks& hooksA =
+      cfg.coordinated ? static_cast<io::IoCoordinationHooks&>(sessionA) : noop;
+  io::IoCoordinationHooks& hooksB =
+      cfg.coordinated ? static_cast<io::IoCoordinationHooks&>(sessionB) : noop;
+
+  PairResult out;
+  eng.spawn(appA.run(hooksA, &out.a));
+  eng.spawn(appB.run(hooksB, &out.b));
+  eng.run();
+
+  out.a.sessionWaitSeconds = sessionA.waitSeconds();
+  out.a.sessionPausedSeconds = sessionA.pausedSeconds();
+  out.a.pausesHonored = sessionA.pausesHonored();
+  out.b.sessionWaitSeconds = sessionB.waitSeconds();
+  out.b.sessionPausedSeconds = sessionB.pausedSeconds();
+  out.b.pausesHonored = sessionB.pausesHonored();
+  out.decisions = arbiter.decisions();
+  out.spanSeconds = std::max(out.a.lastEnd, out.b.lastEnd) -
+                    std::min(out.a.firstStart, out.b.firstStart);
+  out.bytesDelivered = machine.fs().totalDelivered();
+  return out;
+}
+
+ManyResult runMany(const ManyConfig& cfg) {
+  CALCIOM_EXPECTS(!cfg.apps.empty());
+  sim::Engine eng;
+  platform::Machine machine(eng, cfg.machine);
+  std::shared_ptr<const core::EfficiencyMetric> metric = cfg.metric;
+  if (!metric) {
+    metric = std::make_shared<core::CpuSecondsWasted>();
+  }
+  core::Arbiter arbiter(
+      eng, machine.ports(),
+      core::makePolicy(cfg.policy, metric, cfg.dynamicOptions));
+
+  std::vector<std::unique_ptr<workload::IorApp>> apps;
+  std::vector<std::unique_ptr<core::Session>> sessions;
+  ManyResult out;
+  out.apps.resize(cfg.apps.size());
+  for (std::size_t i = 0; i < cfg.apps.size(); ++i) {
+    const auto appId = static_cast<std::uint32_t>(i + 1);
+    apps.push_back(
+        std::make_unique<workload::IorApp>(machine, appId, cfg.apps[i]));
+    sessions.push_back(std::make_unique<core::Session>(
+        eng, machine.ports(),
+        core::SessionConfig{.appId = appId,
+                            .appName = cfg.apps[i].name,
+                            .cores = cfg.apps[i].processes,
+                            .granularity = cfg.granularity}));
+  }
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    eng.spawn(apps[i]->run(*sessions[i], &out.apps[i]));
+  }
+  eng.run();
+
+  double firstStart = out.apps.front().firstStart;
+  double lastEnd = out.apps.front().lastEnd;
+  for (std::size_t i = 0; i < out.apps.size(); ++i) {
+    out.apps[i].sessionWaitSeconds = sessions[i]->waitSeconds();
+    out.apps[i].sessionPausedSeconds = sessions[i]->pausedSeconds();
+    out.apps[i].pausesHonored = sessions[i]->pausesHonored();
+    firstStart = std::min(firstStart, out.apps[i].firstStart);
+    lastEnd = std::max(lastEnd, out.apps[i].lastEnd);
+  }
+  out.decisions = arbiter.decisions();
+  out.spanSeconds = lastEnd - firstStart;
+  out.bytesDelivered = machine.fs().totalDelivered();
+  out.pausesIssued = arbiter.pausesIssued();
+  return out;
+}
+
+workload::AppStats runAlone(const platform::MachineSpec& spec,
+                            const workload::IorConfig& app) {
+  sim::Engine eng;
+  platform::Machine machine(eng, spec);
+  core::Arbiter arbiter(eng, machine.ports(),
+                        core::makePolicy(core::PolicyKind::Interfere));
+  workload::IorApp ior(machine, 1, app);
+  core::Session session(eng, machine.ports(),
+                        core::SessionConfig{.appId = 1,
+                                            .appName = app.name,
+                                            .cores = app.processes});
+  workload::AppStats out;
+  eng.spawn(ior.run(session, &out));
+  eng.run();
+  out.sessionWaitSeconds = session.waitSeconds();
+  return out;
+}
+
+}  // namespace calciom::analysis

@@ -1,0 +1,97 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace calciom::analysis {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  CALCIOM_EXPECTS(edges_.size() >= 2);
+  CALCIOM_EXPECTS(std::is_sorted(edges_.begin(), edges_.end()));
+  counts_.assign(edges_.size() - 1, 0.0);
+}
+
+void Histogram::add(double value, double weight) {
+  CALCIOM_EXPECTS(weight >= 0.0);
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  std::size_t bin = 0;
+  if (it == edges_.begin()) {
+    bin = 0;
+  } else if (it == edges_.end()) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+    bin = std::min(bin, counts_.size() - 1);
+  }
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
+double Histogram::binLow(std::size_t i) const {
+  CALCIOM_EXPECTS(i < counts_.size());
+  return edges_[i];
+}
+
+double Histogram::binHigh(std::size_t i) const {
+  CALCIOM_EXPECTS(i < counts_.size());
+  return edges_[i + 1];
+}
+
+double Histogram::count(std::size_t i) const {
+  CALCIOM_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+std::vector<double> Histogram::fractions() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ <= 0.0) {
+    return out;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i] / total_;
+  }
+  return out;
+}
+
+std::vector<double> Histogram::cdf() const {
+  std::vector<double> out = fractions();
+  double running = 0.0;
+  for (double& v : out) {
+    running += v;
+    v = running;
+  }
+  return out;
+}
+
+Histogram Histogram::powerOfTwo(int lowExponent, int highExponent) {
+  CALCIOM_EXPECTS(lowExponent < highExponent);
+  std::vector<double> edges;
+  for (int e = lowExponent; e <= highExponent; ++e) {
+    edges.push_back(std::ldexp(1.0, e));
+  }
+  return Histogram(std::move(edges));
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double percentile(std::vector<double> values, double p) {
+  CALCIOM_EXPECTS(p >= 0.0 && p <= 100.0);
+  CALCIOM_EXPECTS(!values.empty());
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace calciom::analysis

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small statistics toolbox for the experiment harness: histograms with
+/// explicit bin edges (power-of-two buckets for job sizes), CDFs, and basic
+/// aggregates. Deterministic and allocation-light.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/contracts.hpp"
+
+namespace calciom::analysis {
+
+/// Histogram over explicit right-open bins [edge[i], edge[i+1]). Values
+/// outside the edges are clamped into the first/last bin. Supports
+/// weighted samples (e.g. weighting jobs by core-hours).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double value, double weight = 1.0);
+
+  [[nodiscard]] std::size_t binCount() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] double binLow(std::size_t i) const;
+  [[nodiscard]] double binHigh(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const;
+  [[nodiscard]] double totalWeight() const noexcept { return total_; }
+
+  /// Per-bin fraction of the total weight (empty histogram => zeros).
+  [[nodiscard]] std::vector<double> fractions() const;
+  /// Cumulative fractions, ending at 1 for a non-empty histogram.
+  [[nodiscard]] std::vector<double> cdf() const;
+
+  /// Convenience: power-of-two edges [2^lo, 2^hi].
+  [[nodiscard]] static Histogram powerOfTwo(int lowExponent,
+                                            int highExponent);
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+[[nodiscard]] double mean(const std::vector<double>& values);
+/// Percentile in [0,100] by linear interpolation; input need not be sorted.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+}  // namespace calciom::analysis

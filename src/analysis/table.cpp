@@ -1,0 +1,112 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/contracts.hpp"
+
+namespace calciom::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CALCIOM_EXPECTS(!headers_.empty());
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  CALCIOM_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c]
+          << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  emitRow(headers_);
+  std::size_t totalWidth = 0;
+  for (std::size_t w : widths) {
+    totalWidth += w + 2;
+  }
+  out << std::string(totalWidth, '-') << '\n';
+  for (const auto& row : rows_) {
+    emitRow(row);
+  }
+  return out.str();
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out << ',';
+      }
+      if (row[c].find(',') != std::string::npos) {
+        out << '"' << row[c] << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string fmtRate(double bytesPerSecond) {
+  const char* unit = "B/s";
+  double v = bytesPerSecond;
+  if (v >= 1e9) {
+    v /= 1e9;
+    unit = "GB/s";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    unit = "MB/s";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    unit = "KB/s";
+  }
+  return fmt(v, 2) + " " + unit;
+}
+
+std::string fmtBytes(double bytes) {
+  const char* unit = "B";
+  double v = bytes;
+  if (v >= 1024.0 * 1024 * 1024) {
+    v /= 1024.0 * 1024 * 1024;
+    unit = "GB";
+  } else if (v >= 1024.0 * 1024) {
+    v /= 1024.0 * 1024;
+    unit = "MB";
+  } else if (v >= 1024.0) {
+    v /= 1024.0;
+    unit = "KB";
+  }
+  return fmt(v, v >= 100 ? 0 : 2) + " " + unit;
+}
+
+}  // namespace calciom::analysis

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table/CSV output for the benches: every figure binary prints
+/// the series the paper plots, in aligned columns, and can also emit CSV
+/// for external plotting.
+
+#include <string>
+#include <vector>
+
+namespace calciom::analysis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+
+  /// Aligned fixed-width rendering.
+  [[nodiscard]] std::string str() const;
+  /// Comma-separated rendering (quotes cells containing commas).
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision number formatting ("12.34").
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+/// Human bytes-per-second ("1.35 GB/s").
+[[nodiscard]] std::string fmtRate(double bytesPerSecond);
+/// Human byte count ("16 MB").
+[[nodiscard]] std::string fmtBytes(double bytes);
+
+}  // namespace calciom::analysis

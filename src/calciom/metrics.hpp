@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Machine-wide efficiency metrics. CALCioM does not optimize a single
+/// application; it optimizes a *specified metric of machine-wide
+/// efficiency* over the set of running applications (paper §III-B, §IV-D).
+/// The dynamic policy scores candidate schedules with one of these.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/contracts.hpp"
+
+namespace calciom::core {
+
+/// Per-application term of a candidate schedule.
+struct AppCost {
+  /// Cores the application occupies.
+  int cores = 1;
+  /// Projected additional time spent in (or waiting on) I/O, seconds.
+  double ioSeconds = 0.0;
+  /// The application's contention-free time for the same work, seconds.
+  double aloneSeconds = 0.0;
+};
+
+/// A machine-wide efficiency metric; lower is better.
+class EfficiencyMetric {
+ public:
+  virtual ~EfficiencyMetric() = default;
+  [[nodiscard]] virtual double cost(
+      const std::vector<AppCost>& apps) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// f = sum_X N_X * T_X — total CPU·seconds wasted in I/O (the paper's
+/// Fig 11 metric: compute resources idling while their application does
+/// I/O). Favors keeping *large* allocations out of long I/O waits.
+class CpuSecondsWasted final : public EfficiencyMetric {
+ public:
+  [[nodiscard]] double cost(const std::vector<AppCost>& apps) const override {
+    double f = 0.0;
+    for (const AppCost& a : apps) {
+      f += static_cast<double>(a.cores) * a.ioSeconds;
+    }
+    return f;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "cpu_seconds_wasted";
+  }
+};
+
+/// f = sum_X T_X — total wall time spent in I/O across applications.
+class SumIoTime final : public EfficiencyMetric {
+ public:
+  [[nodiscard]] double cost(const std::vector<AppCost>& apps) const override {
+    double f = 0.0;
+    for (const AppCost& a : apps) {
+      f += a.ioSeconds;
+    }
+    return f;
+  }
+  [[nodiscard]] std::string name() const override { return "sum_io_time"; }
+};
+
+/// f = sum_X I_X = sum_X T_X / T_X(alone) — the paper's interference-factor
+/// sum (§II-C); protects small applications from disproportionate slowdown.
+class SumInterferenceFactors final : public EfficiencyMetric {
+ public:
+  [[nodiscard]] double cost(const std::vector<AppCost>& apps) const override {
+    double f = 0.0;
+    for (const AppCost& a : apps) {
+      CALCIOM_EXPECTS(a.aloneSeconds > 0.0);
+      f += a.ioSeconds / a.aloneSeconds;
+    }
+    return f;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "sum_interference_factors";
+  }
+};
+
+}  // namespace calciom::core

@@ -1,0 +1,118 @@
+#include "calciom/session.hpp"
+
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace calciom::core {
+
+Session::Session(sim::Engine& engine, mpi::PortRegistry& ports,
+                 SessionConfig cfg)
+    : engine_(engine), ports_(ports), cfg_(std::move(cfg)) {
+  CALCIOM_EXPECTS(cfg_.cores >= 1);
+  ports_.openPort(msg::appPort(cfg_.appId),
+                  [this](std::uint32_t from, mpi::Info payload) {
+                    onMessage(from, std::move(payload));
+                  });
+}
+
+Session::~Session() { ports_.closePort(msg::appPort(cfg_.appId)); }
+
+void Session::prepare(const mpi::Info& info) {
+  preparedStack_.push_back(info);
+}
+
+void Session::complete() {
+  CALCIOM_EXPECTS(!preparedStack_.empty());
+  preparedStack_.pop_back();
+}
+
+void Session::inform(const io::PhaseInfo& phase) {
+  // A pause that raced with the end of the previous phase is stale now.
+  pauseRequested_ = false;
+  authorized_ = false;
+  authGate_.close();
+
+  IoDescriptor desc = IoDescriptor::fromPhase(phase, cfg_.cores);
+  desc.appId = cfg_.appId;
+  if (!cfg_.appName.empty()) {
+    desc.appName = cfg_.appName;
+  }
+  mpi::Info wire = desc.toInfo();
+  wire.set(msg::kType, msg::kInform);
+  for (const mpi::Info& extra : preparedStack_) {
+    wire.merge(extra);
+  }
+  ++informsSent_;
+  ports_.send(msg::arbiterPort(), cfg_.appId, std::move(wire));
+}
+
+sim::Task Session::wait() {
+  const sim::Time t0 = engine_.now();
+  co_await authGate_;
+  waitSeconds_ += engine_.now() - t0;
+}
+
+sim::Task Session::release(double progress, bool pausableBoundary) {
+  if (pausableBoundary && pauseRequested_) {
+    pauseRequested_ = false;
+    resumeGate_.close();
+    mpi::Info ack;
+    ack.setDouble(msg::kProgress, progress);
+    sendToArbiter(msg::kPauseAck, std::move(ack));
+    ++pausesHonored_;
+    const sim::Time t0 = engine_.now();
+    co_await resumeGate_;
+    pausedSeconds_ += engine_.now() - t0;
+    co_return;
+  }
+  if (cfg_.sendProgressUpdates) {
+    mpi::Info upd;
+    upd.setDouble(msg::kProgress, progress);
+    sendToArbiter(msg::kRelease, std::move(upd));
+  }
+}
+
+sim::Task Session::beginPhase(const io::PhaseInfo& info) {
+  inform(info);
+  co_await engine_.spawn(wait());
+}
+
+sim::Task Session::roundBoundary(double progress) {
+  const bool pausable = cfg_.granularity == HookGranularity::PerRound;
+  co_await engine_.spawn(release(progress, pausable));
+}
+
+sim::Task Session::fileBoundary(double progress) {
+  const bool pausable = cfg_.granularity == HookGranularity::PerRound ||
+                        cfg_.granularity == HookGranularity::PerFile;
+  co_await engine_.spawn(release(progress, pausable));
+}
+
+sim::Task Session::endPhase() {
+  authorized_ = false;
+  authGate_.close();
+  sendToArbiter(msg::kComplete);
+  co_return;
+}
+
+void Session::onMessage(std::uint32_t /*from*/, mpi::Info payload) {
+  const auto type = payload.get(msg::kType);
+  CALCIOM_EXPECTS(type.has_value());
+  if (*type == msg::kGrant || *type == msg::kResume) {
+    authorized_ = true;
+    authGate_.open();
+    resumeGate_.open();
+  } else if (*type == msg::kPause) {
+    pauseRequested_ = true;
+  } else {
+    CALCIOM_ENSURES(false);  // unknown message type
+  }
+}
+
+void Session::sendToArbiter(const char* type, mpi::Info payload) {
+  payload.set(msg::kType, type);
+  ports_.send(msg::arbiterPort(), cfg_.appId, std::move(payload));
+}
+
+}  // namespace calciom::core

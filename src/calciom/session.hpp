@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file session.hpp
+/// Application-side CALCioM endpoint: the coordinator process (paper §III-C,
+/// "typically rank 0 of MPI_COMM_WORLD"). It exposes the paper's API —
+/// Prepare / Inform / Check / Wait / Release / Complete — and implements the
+/// I/O stack's coordination hooks in terms of it, so the same object plugs
+/// into the ADIO layer (round granularity), the application level (file
+/// granularity), or both.
+///
+/// Pause protocol: a pause request from the arbiter takes effect at the next
+/// hook the configured granularity honours; the session acknowledges with
+/// its current progress and suspends on a gate until resumed. File-level
+/// granularity therefore yields the paper's Fig 10 "saw" pattern (an
+/// application must finish its current file before yielding), while
+/// round-level granularity interrupts within ~one collective-buffering
+/// round.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "calciom/arbiter.hpp"
+#include "calciom/descriptor.hpp"
+#include "io/hooks.hpp"
+#include "mpi/info.hpp"
+#include "mpi/port.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace calciom::core {
+
+/// Where in the stack Inform/Release are wired (paper §IV-C: "the location
+/// of these calls gives different degrees of freedom").
+enum class HookGranularity {
+  /// Coordination only around whole phases: FCFS-style behaviour.
+  PhaseOnly,
+  /// Application level: pauses honoured between files only (Fig 10 "saw").
+  PerFile,
+  /// CALCioM-enabled ADIO layer: pauses honoured between rounds too.
+  PerRound,
+};
+
+struct SessionConfig {
+  std::uint32_t appId = 0;
+  std::string appName;
+  int cores = 1;
+  HookGranularity granularity = HookGranularity::PerRound;
+  /// Send progress in Release() at each boundary so the arbiter's dynamic
+  /// policy can estimate remaining work.
+  bool sendProgressUpdates = true;
+};
+
+class Session final : public io::IoCoordinationHooks {
+ public:
+  Session(sim::Engine& engine, mpi::PortRegistry& ports, SessionConfig cfg);
+  ~Session() override;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // ---- The paper's API --------------------------------------------------
+
+  /// Stacks additional descriptor knowledge for the next Inform.
+  void prepare(const mpi::Info& info);
+  /// Pops the most recent Prepare.
+  void complete();
+  /// Announces the upcoming phase to the coordination layer.
+  void inform(const io::PhaseInfo& phase);
+  /// Non-blocking authorization check.
+  [[nodiscard]] bool check() const noexcept { return authorized_; }
+  /// Suspends until the access is authorized.
+  sim::Task wait();
+  /// Ends a step: reports progress, honours a pending pause request if the
+  /// boundary's granularity allows it.
+  sim::Task release(double progress, bool pausableBoundary);
+
+  // ---- io::IoCoordinationHooks -------------------------------------------
+
+  sim::Task beginPhase(const io::PhaseInfo& info) override;
+  sim::Task roundBoundary(double progress) override;
+  sim::Task fileBoundary(double progress) override;
+  sim::Task endPhase() override;
+
+  // ---- Introspection / statistics ----------------------------------------
+
+  [[nodiscard]] bool pauseRequested() const noexcept {
+    return pauseRequested_;
+  }
+  [[nodiscard]] bool paused() const noexcept { return !resumeGate_.isOpen(); }
+  [[nodiscard]] double waitSeconds() const noexcept { return waitSeconds_; }
+  [[nodiscard]] double pausedSeconds() const noexcept {
+    return pausedSeconds_;
+  }
+  [[nodiscard]] int pausesHonored() const noexcept { return pausesHonored_; }
+  [[nodiscard]] int informsSent() const noexcept { return informsSent_; }
+  [[nodiscard]] const SessionConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void onMessage(std::uint32_t from, mpi::Info payload);
+  void sendToArbiter(const char* type, mpi::Info payload = {});
+
+  sim::Engine& engine_;
+  mpi::PortRegistry& ports_;
+  SessionConfig cfg_;
+  std::vector<mpi::Info> preparedStack_;
+  sim::Gate authGate_{false};
+  sim::Gate resumeGate_{true};
+  bool authorized_ = false;
+  bool pauseRequested_ = false;
+  double waitSeconds_ = 0.0;
+  double pausedSeconds_ = 0.0;
+  int pausesHonored_ = 0;
+  int informsSent_ = 0;
+};
+
+}  // namespace calciom::core

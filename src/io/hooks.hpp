@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file hooks.hpp
+/// Coordination hook points in the I/O stack. These are the locations where
+/// the paper inserts CALCioM's Inform/Check/Wait/Release calls: around a
+/// whole I/O phase, between files, and — in the CALCioM-enabled ADIO layer —
+/// between rounds of collective buffering. The io library only defines the
+/// interface; the calciom library implements it (Session), keeping the
+/// layering of the real stack (ROMIO calls into CALCioM, not vice versa).
+
+#include <cstdint>
+#include <string>
+
+#include "sim/task.hpp"
+
+namespace calciom::io {
+
+/// What the application is about to do; handed to coordination at phase
+/// start (the paper's Prepare + Inform content).
+struct PhaseInfo {
+  std::uint32_t appId = 0;
+  std::string appName;
+  int processes = 1;
+  /// Total bytes this phase will write across all files.
+  std::uint64_t totalBytes = 0;
+  int files = 1;
+  int roundsPerFile = 1;
+  std::uint64_t bytesPerRound = 0;
+  /// The application's own estimate of the phase duration without
+  /// contention (used by coordination policies).
+  double estimatedAloneSeconds = 0.0;
+};
+
+/// Hook interface awaited by the writer at each boundary. Implementations
+/// may suspend the caller (to wait for authorization, or while paused by
+/// another application). `progress` is the fraction of the phase's bytes
+/// already durably written.
+class IoCoordinationHooks {
+ public:
+  virtual ~IoCoordinationHooks() = default;
+
+  /// Entering an I/O phase: announce intent, possibly wait for access.
+  virtual sim::Task beginPhase(const PhaseInfo& info) = 0;
+  /// Between collective-buffering rounds (ADIO-level granularity).
+  virtual sim::Task roundBoundary(double progress) = 0;
+  /// Between files (application-level granularity).
+  virtual sim::Task fileBoundary(double progress) = 0;
+  /// Phase finished: release the resource.
+  virtual sim::Task endPhase() = 0;
+};
+
+/// Hooks that never wait: the uncoordinated baseline ("interfering").
+class NoopHooks final : public IoCoordinationHooks {
+ public:
+  sim::Task beginPhase(const PhaseInfo&) override { co_return; }
+  sim::Task roundBoundary(double) override { co_return; }
+  sim::Task fileBoundary(double) override { co_return; }
+  sim::Task endPhase() override { co_return; }
+};
+
+}  // namespace calciom::io

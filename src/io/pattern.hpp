@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file pattern.hpp
+/// Application access patterns, matching the controls of the paper's
+/// IOR-derived benchmark: contiguous (each process owns one contiguous file
+/// segment) or strided (fixed-size blocks of the processes interleaved in
+/// the file, which triggers collective buffering / two-phase I/O).
+
+#include <cstdint>
+
+#include "sim/contracts.hpp"
+
+namespace calciom::io {
+
+enum class PatternKind {
+  /// Each process writes its data as one contiguous segment.
+  Contiguous,
+  /// Process blocks are interleaved in the file (IOR "strided"/segmented);
+  /// ROMIO handles this with the two-phase collective buffering algorithm.
+  Strided,
+};
+
+struct AccessPattern {
+  PatternKind kind = PatternKind::Contiguous;
+  /// Size of one block written by one process.
+  std::uint64_t blockBytes = 1 << 20;
+  /// Number of such blocks per process (paper: "8 strides of 2 MB").
+  int blocksPerProcess = 1;
+
+  [[nodiscard]] std::uint64_t bytesPerProcess() const noexcept {
+    return blockBytes * static_cast<std::uint64_t>(blocksPerProcess);
+  }
+  [[nodiscard]] bool collectiveBufferingNeeded() const noexcept {
+    return kind == PatternKind::Strided;
+  }
+  void validate() const {
+    CALCIOM_EXPECTS(blockBytes > 0);
+    CALCIOM_EXPECTS(blocksPerProcess > 0);
+  }
+};
+
+/// Convenience factories mirroring the paper's workload descriptions.
+[[nodiscard]] inline AccessPattern contiguousPattern(
+    std::uint64_t bytesPerProcess) {
+  return AccessPattern{.kind = PatternKind::Contiguous,
+                       .blockBytes = bytesPerProcess,
+                       .blocksPerProcess = 1};
+}
+
+[[nodiscard]] inline AccessPattern stridedPattern(std::uint64_t blockBytes,
+                                                  int blocksPerProcess) {
+  return AccessPattern{.kind = PatternKind::Strided,
+                       .blockBytes = blockBytes,
+                       .blocksPerProcess = blocksPerProcess};
+}
+
+}  // namespace calciom::io

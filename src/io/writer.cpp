@@ -1,0 +1,220 @@
+#include "io/writer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace calciom::io {
+
+double PhaseResult::commSeconds() const {
+  double s = 0.0;
+  for (const auto& f : files) {
+    s += f.commSeconds;
+  }
+  return s;
+}
+
+double PhaseResult::writeSeconds() const {
+  double s = 0.0;
+  for (const auto& f : files) {
+    s += f.writeSeconds;
+  }
+  return s;
+}
+
+double PhaseResult::hookSeconds() const {
+  double s = interFileHookSeconds;
+  for (const auto& f : files) {
+    s += f.hookSeconds;
+  }
+  return s;
+}
+
+std::uint64_t PhaseResult::bytes() const {
+  std::uint64_t s = 0;
+  for (const auto& f : files) {
+    s += f.bytes;
+  }
+  return s;
+}
+
+CollectiveWriter::CollectiveWriter(sim::Engine& engine, pfs::PfsClient& client,
+                                   WriterConfig cfg)
+    : engine_(engine),
+      client_(client),
+      cfg_(cfg),
+      comm_(cfg.processes, cfg.commCosts) {
+  cfg_.validate();
+}
+
+int CollectiveWriter::planRounds(std::uint64_t totalBytes, int aggregators,
+                                 std::uint64_t cbBufferBytes) {
+  CALCIOM_EXPECTS(aggregators >= 1);
+  CALCIOM_EXPECTS(cbBufferBytes > 0);
+  const std::uint64_t perRoundCap =
+      static_cast<std::uint64_t>(aggregators) * cbBufferBytes;
+  if (totalBytes == 0) {
+    return 1;
+  }
+  return static_cast<int>((totalBytes + perRoundCap - 1) / perRoundCap);
+}
+
+std::uint64_t CollectiveWriter::roundBytes(std::uint64_t totalBytes,
+                                           int rounds, int round) {
+  CALCIOM_EXPECTS(rounds >= 1);
+  CALCIOM_EXPECTS(round >= 0 && round < rounds);
+  const std::uint64_t base = totalBytes / static_cast<std::uint64_t>(rounds);
+  const std::uint64_t rem = totalBytes % static_cast<std::uint64_t>(rounds);
+  return base + (static_cast<std::uint64_t>(round) < rem ? 1 : 0);
+}
+
+double CollectiveWriter::estimateAloneSeconds(const PhaseSpec& spec) const {
+  spec.validate();
+  const std::uint64_t perFile =
+      spec.pattern.bytesPerProcess() *
+      static_cast<std::uint64_t>(cfg_.processes);
+  const int rounds =
+      planRounds(perFile, cfg_.aggregators, cfg_.cbBufferBytes);
+  // Per-server sustained bandwidth (servers are homogeneous).
+  const auto& serverCfg = client_.fs().config().server;
+  const double serverBw =
+      std::min(serverCfg.nicBandwidth, serverCfg.diskBandwidth);
+  const double clientCap = client_.clientCap(cfg_.aggregators);
+
+  double shuffle = 0.0;
+  double write = 0.0;
+  std::uint64_t offset = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const std::uint64_t rb = roundBytes(perFile, rounds, r);
+    if (spec.pattern.collectiveBufferingNeeded()) {
+      shuffle += comm_.allToAllTime(static_cast<double>(rb));
+    }
+    // A round is done when its most loaded server has drained its share
+    // (striping may be uneven for small rounds), unless the client-side
+    // injection cap is the binding constraint.
+    const std::vector<std::uint64_t> perServer =
+        client_.fs().layout().bytesPerServer(offset, rb);
+    std::uint64_t maxServer = 0;
+    for (std::uint64_t b : perServer) {
+      maxServer = std::max(maxServer, b);
+    }
+    const double serverTime = static_cast<double>(maxServer) / serverBw;
+    const double clientTime =
+        clientCap == net::kUnlimited
+            ? 0.0
+            : static_cast<double>(rb) / clientCap;
+    write += std::max(serverTime, clientTime);
+    offset += rb;
+  }
+  return spec.fileCount * (shuffle + write);
+}
+
+PhaseInfo CollectiveWriter::describePhase(const PhaseSpec& spec,
+                                          std::uint32_t appId,
+                                          const std::string& appName) const {
+  spec.validate();
+  const std::uint64_t perFile =
+      spec.pattern.bytesPerProcess() *
+      static_cast<std::uint64_t>(cfg_.processes);
+  const int rounds =
+      planRounds(perFile, cfg_.aggregators, cfg_.cbBufferBytes);
+  PhaseInfo info;
+  info.appId = appId;
+  info.appName = appName;
+  info.processes = cfg_.processes;
+  info.totalBytes = perFile * static_cast<std::uint64_t>(spec.fileCount);
+  info.files = spec.fileCount;
+  info.roundsPerFile = rounds;
+  info.bytesPerRound = roundBytes(perFile, rounds, 0);
+  info.estimatedAloneSeconds = estimateAloneSeconds(spec);
+  return info;
+}
+
+sim::Task CollectiveWriter::writeFile(pfs::PfsFile& file,
+                                      AccessPattern pattern,
+                                      IoCoordinationHooks& hooks,
+                                      WriteResult* out,
+                                      std::uint64_t phaseBytesDone,
+                                      std::uint64_t phaseTotal) {
+  CALCIOM_EXPECTS(out != nullptr);
+  pattern.validate();
+  const std::uint64_t total =
+      pattern.bytesPerProcess() * static_cast<std::uint64_t>(cfg_.processes);
+  const int rounds = planRounds(total, cfg_.aggregators, cfg_.cbBufferBytes);
+  const bool shuffle = pattern.collectiveBufferingNeeded();
+  if (phaseTotal == 0) {
+    phaseTotal = total;
+  }
+
+  out->rounds = rounds;
+  out->bytes = total;
+  out->start = engine_.now();
+  std::uint64_t offset = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const std::uint64_t rb = roundBytes(total, rounds, r);
+    if (shuffle) {
+      const sim::Time t0 = engine_.now();
+      co_await sim::Delay{comm_.allToAllTime(static_cast<double>(rb))};
+      out->commSeconds += engine_.now() - t0;
+    }
+    {
+      const sim::Time t0 = engine_.now();
+      co_await client_.writeRange(file, offset, rb,
+                                  static_cast<double>(cfg_.aggregators));
+      out->writeSeconds += engine_.now() - t0;
+    }
+    offset += rb;
+    if (r + 1 < rounds) {
+      const double progress =
+          static_cast<double>(phaseBytesDone + offset) /
+          static_cast<double>(phaseTotal);
+      const sim::Time t0 = engine_.now();
+      co_await engine_.spawn(hooks.roundBoundary(progress));
+      out->hookSeconds += engine_.now() - t0;
+    }
+  }
+  out->end = engine_.now();
+}
+
+sim::Task CollectiveWriter::runPhase(PhaseSpec spec,
+                                     IoCoordinationHooks& hooks,
+                                     PhaseResult* out) {
+  CALCIOM_EXPECTS(out != nullptr);
+  spec.validate();
+  const PhaseInfo info = describePhase(spec, client_.context().appId,
+                                       client_.context().appName);
+  out->start = engine_.now();
+  {
+    const sim::Time t0 = engine_.now();
+    co_await engine_.spawn(hooks.beginPhase(info));
+    out->waitSeconds = engine_.now() - t0;
+  }
+  // Server request queues already hold the incumbent's backlog: a newcomer
+  // joining a busy system pays a drain penalty (first-comer advantage).
+  const double penalty = client_.fs().config().queuePenaltySeconds;
+  if (penalty > 0.0 && client_.contended()) {
+    out->queuePenaltySeconds = penalty;
+    co_await sim::Delay{penalty};
+  }
+
+  const std::uint64_t perFile = info.totalBytes /
+                                static_cast<std::uint64_t>(spec.fileCount);
+  out->files.resize(static_cast<std::size_t>(spec.fileCount));
+  for (int f = 0; f < spec.fileCount; ++f) {
+    pfs::PfsFile& file =
+        client_.fs().open(spec.fileStem + "." + std::to_string(f));
+    co_await engine_.spawn(
+        writeFile(file, spec.pattern, hooks,
+                  &out->files[static_cast<std::size_t>(f)],
+                  static_cast<std::uint64_t>(f) * perFile, info.totalBytes));
+    if (f + 1 < spec.fileCount) {
+      const double progress = static_cast<double>(f + 1) / spec.fileCount;
+      const sim::Time t0 = engine_.now();
+      co_await engine_.spawn(hooks.fileBoundary(progress));
+      out->interFileHookSeconds += engine_.now() - t0;
+    }
+  }
+  co_await engine_.spawn(hooks.endPhase());
+  out->end = engine_.now();
+}
+
+}  // namespace calciom::io

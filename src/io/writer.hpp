@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file writer.hpp
+/// ROMIO-like collective write path. A collective write is executed as a
+/// sequence of *rounds*; for strided patterns each round is two-phase:
+///
+///   1. shuffle: processes exchange data so that each aggregator holds a
+///      contiguous chunk (cost from the intra-app communicator model; runs
+///      on the application-private interconnect, so it is essentially
+///      immune to storage-side interference — paper Fig 8b);
+///   2. write: the aggregators push one collective-buffer's worth of data
+///      to the file system (weighted flows through the PFS client).
+///
+/// Contiguous collective writes skip the shuffle but keep the round
+/// structure (ROMIO still cycles its collective buffer), which is what
+/// gives round-granularity interruption its meaning in Fig 10.
+///
+/// Between rounds and files the writer awaits the coordination hooks — the
+/// CALCioM-enabled ADIO layer of the paper.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/hooks.hpp"
+#include "io/pattern.hpp"
+#include "mpi/comm.hpp"
+#include "pfs/client.hpp"
+#include "sim/engine.hpp"
+
+namespace calciom::io {
+
+struct WriterConfig {
+  /// Processes participating in the collective.
+  int processes = 1;
+  /// Collective-buffering aggregators (ROMIO default: one per node).
+  int aggregators = 1;
+  /// Collective buffer per aggregator per round (ROMIO cb_buffer_size).
+  std::uint64_t cbBufferBytes = 16ull << 20;
+  /// Interconnect cost model for the shuffle phase.
+  mpi::CommCosts commCosts;
+
+  void validate() const {
+    CALCIOM_EXPECTS(processes >= 1);
+    CALCIOM_EXPECTS(aggregators >= 1);
+    CALCIOM_EXPECTS(cbBufferBytes > 0);
+  }
+};
+
+/// Timing breakdown of one collective write (one file).
+struct WriteResult {
+  double commSeconds = 0.0;   // shuffle phases
+  double writeSeconds = 0.0;  // file-system transfer
+  double hookSeconds = 0.0;   // time suspended in coordination hooks
+  int rounds = 0;
+  std::uint64_t bytes = 0;
+  sim::Time start = 0.0;
+  sim::Time end = 0.0;
+  [[nodiscard]] double elapsed() const noexcept { return end - start; }
+};
+
+/// Result of a whole I/O phase (possibly several files).
+struct PhaseResult {
+  std::vector<WriteResult> files;
+  double waitSeconds = 0.0;     // suspended in beginPhase (FCFS wait)
+  double queuePenaltySeconds = 0.0;
+  double interFileHookSeconds = 0.0;  // suspended at file boundaries
+  sim::Time start = 0.0;
+  sim::Time end = 0.0;
+  [[nodiscard]] double elapsed() const noexcept { return end - start; }
+  [[nodiscard]] double commSeconds() const;
+  [[nodiscard]] double writeSeconds() const;
+  [[nodiscard]] double hookSeconds() const;
+  [[nodiscard]] std::uint64_t bytes() const;
+};
+
+/// Specification of one I/O phase: `fileCount` files written back-to-back,
+/// every process contributing `pattern` to each file.
+struct PhaseSpec {
+  std::string fileStem = "out";
+  int fileCount = 1;
+  AccessPattern pattern;
+
+  void validate() const {
+    CALCIOM_EXPECTS(fileCount >= 1);
+    pattern.validate();
+  }
+};
+
+class CollectiveWriter {
+ public:
+  CollectiveWriter(sim::Engine& engine, pfs::PfsClient& client,
+                   WriterConfig cfg);
+
+  /// Number of collective-buffering rounds for `totalBytes`.
+  [[nodiscard]] static int planRounds(std::uint64_t totalBytes,
+                                      int aggregators,
+                                      std::uint64_t cbBufferBytes);
+
+  /// Bytes written in round `r` of `rounds` (uniform split, remainder to
+  /// the first rounds).
+  [[nodiscard]] static std::uint64_t roundBytes(std::uint64_t totalBytes,
+                                                int rounds, int round);
+
+  /// Analytic estimate of the phase duration with the file system to
+  /// itself; feeds the coordination descriptor (the application "knows" its
+  /// expected I/O behaviour, §III-B).
+  [[nodiscard]] double estimateAloneSeconds(const PhaseSpec& spec) const;
+
+  /// Builds the coordination descriptor for a phase.
+  [[nodiscard]] PhaseInfo describePhase(const PhaseSpec& spec,
+                                        std::uint32_t appId,
+                                        const std::string& appName) const;
+
+  /// Writes one file collectively. `phaseBytesDone`/`phaseTotal` position
+  /// this file's progress within the surrounding phase for hook reporting.
+  sim::Task writeFile(pfs::PfsFile& file, AccessPattern pattern,
+                      IoCoordinationHooks& hooks, WriteResult* out,
+                      std::uint64_t phaseBytesDone = 0,
+                      std::uint64_t phaseTotal = 0);
+
+  /// Runs a complete I/O phase: beginPhase hook, optional queue penalty,
+  /// the files (with file-boundary hooks between them), endPhase hook.
+  sim::Task runPhase(PhaseSpec spec, IoCoordinationHooks& hooks,
+                     PhaseResult* out);
+
+  [[nodiscard]] const WriterConfig& config() const noexcept { return cfg_; }
+
+ private:
+  sim::Engine& engine_;
+  pfs::PfsClient& client_;
+  WriterConfig cfg_;
+  mpi::Communicator comm_;
+};
+
+}  // namespace calciom::io

@@ -1,0 +1,51 @@
+#include "mpi/info.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace calciom::mpi {
+
+std::optional<std::int64_t> Info::getInt(const std::string& key) const {
+  const auto v = get(key);
+  if (!v) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(parsed);
+}
+
+std::optional<double> Info::getDouble(const std::string& key) const {
+  const auto v = get(key);
+  if (!v) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+std::vector<std::string> Info::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) {
+    out.push_back(k);
+  }
+  return out;
+}
+
+void Info::merge(const Info& other) {
+  for (const auto& [k, v] : other.entries_) {
+    entries_[k] = v;
+  }
+}
+
+}  // namespace calciom::mpi

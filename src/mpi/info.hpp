@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file info.hpp
+/// MPI_Info-style string key/value dictionary. The paper's CALCioM API is
+/// deliberately generic: applications describe their upcoming I/O through an
+/// MPI_Info handed to Prepare(). We mirror that: descriptors exchanged
+/// between applications are serialized to/from Info objects.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace calciom::mpi {
+
+class Info {
+ public:
+  Info() = default;
+
+  void set(const std::string& key, std::string value) {
+    entries_[key] = std::move(value);
+  }
+  void setInt(const std::string& key, std::int64_t v) {
+    set(key, std::to_string(v));
+  }
+  void setDouble(const std::string& key, double v) {
+    set(key, std::to_string(v));
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+  [[nodiscard]] std::optional<std::int64_t> getInt(
+      const std::string& key) const;
+  [[nodiscard]] std::optional<double> getDouble(const std::string& key) const;
+
+  /// Value access with a fallback, for optional descriptor fields.
+  [[nodiscard]] std::int64_t getIntOr(const std::string& key,
+                                      std::int64_t fallback) const {
+    const auto v = getInt(key);
+    return v ? *v : fallback;
+  }
+  [[nodiscard]] double getDoubleOr(const std::string& key,
+                                   double fallback) const {
+    const auto v = getDouble(key);
+    return v ? *v : fallback;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return entries_.count(key) > 0;
+  }
+  void erase(const std::string& key) { entries_.erase(key); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Merges `other` into this (other's values win on conflict).
+  void merge(const Info& other);
+
+  bool operator==(const Info&) const = default;
+
+ private:
+  std::map<std::string, std::string> entries_;  // ordered => deterministic
+};
+
+}  // namespace calciom::mpi

@@ -1,0 +1,24 @@
+#include "mpi/port.hpp"
+
+#include <utility>
+
+namespace calciom::mpi {
+
+bool PortRegistry::send(const std::string& port, std::uint32_t fromApp,
+                        Info payload) {
+  if (ports_.count(port) == 0) {
+    return false;
+  }
+  engine_.scheduleAfter(
+      latency_, [this, port, fromApp, payload = std::move(payload)]() mutable {
+        const auto it = ports_.find(port);
+        if (it == ports_.end()) {
+          return;  // port closed while the message was in flight
+        }
+        ++delivered_;
+        it->second(fromApp, std::move(payload));
+      });
+  return true;
+}
+
+}  // namespace calciom::mpi

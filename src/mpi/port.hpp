@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file port.hpp
+/// Cross-application messaging. The paper connects applications with
+/// MPI_Comm_connect/MPI_Comm_accept (made non-blocking via a helper thread,
+/// or in the prototype, a shared MPI_COMM_WORLD). We model the result: a
+/// registry of named ports; sending to a port delivers an Info payload to
+/// the owner's handler after a configurable latency. Coordinators and the
+/// arbiter communicate exclusively through this class, so coordination cost
+/// is accounted in simulated time.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "mpi/info.hpp"
+#include "sim/engine.hpp"
+
+namespace calciom::mpi {
+
+class PortRegistry {
+ public:
+  using Handler = std::function<void(std::uint32_t fromApp, Info payload)>;
+
+  PortRegistry(sim::Engine& engine, double latency)
+      : engine_(engine), latency_(latency) {
+    CALCIOM_EXPECTS(latency >= 0.0);
+  }
+  PortRegistry(const PortRegistry&) = delete;
+  PortRegistry& operator=(const PortRegistry&) = delete;
+
+  /// Opens a named port; messages sent to it invoke `handler` after the
+  /// registry latency. Reopening an existing name replaces the handler.
+  void openPort(const std::string& name, Handler handler) {
+    CALCIOM_EXPECTS(handler != nullptr);
+    ports_[name] = std::move(handler);
+  }
+
+  void closePort(const std::string& name) { ports_.erase(name); }
+  [[nodiscard]] bool hasPort(const std::string& name) const {
+    return ports_.count(name) > 0;
+  }
+
+  /// Sends `payload` to `port`. Returns false if the port does not exist at
+  /// send time. Delivery is skipped silently if the port closes in flight
+  /// (like a connection torn down while a message is queued).
+  bool send(const std::string& port, std::uint32_t fromApp, Info payload);
+
+  [[nodiscard]] double latency() const noexcept { return latency_; }
+  [[nodiscard]] std::uint64_t messagesDelivered() const noexcept {
+    return delivered_;
+  }
+
+ private:
+  sim::Engine& engine_;
+  double latency_;
+  std::map<std::string, Handler> ports_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace calciom::mpi

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file client.hpp
+/// Application-side PFS client. Turns a contiguous byte range of a file into
+/// one weighted flow per storage server, following the striping layout.
+///
+/// Stream aggregation: instead of one flow per process, the client issues
+/// one flow per (application, server) pair whose *weight* equals the number
+/// of client streams (processes or collective-buffering aggregators) whose
+/// data lands on that server. Under weighted max–min fairness this is
+/// equivalent to per-stream flows but costs O(servers) instead of
+/// O(processes) — and it preserves the paper's key asymmetry: at a shared
+/// server, application bandwidth is split proportionally to stream counts.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "net/flow_net.hpp"
+#include "pfs/file.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace calciom::pfs {
+
+/// Per-application plumbing the client needs.
+struct ClientContext {
+  /// Application id; used for interference accounting at the servers.
+  std::uint32_t appId = 0;
+  /// Human-readable application name for descriptors and traces.
+  std::string appName;
+  /// Per-application injection bottleneck (I/O forwarding nodes on BG/P).
+  /// All of the application's flows traverse this resource if set.
+  std::optional<net::ResourceId> injectionResource;
+  /// Per-stream (process/aggregator) NIC bandwidth cap, bytes/s.
+  double perStreamCap = net::kUnlimited;
+};
+
+class PfsClient {
+ public:
+  PfsClient(sim::Engine& engine, net::FlowNet& net, ParallelFileSystem& fs,
+            ClientContext ctx)
+      : engine_(engine), net_(net), fs_(fs), ctx_(ctx) {}
+  PfsClient(const PfsClient&) = delete;
+  PfsClient& operator=(const PfsClient&) = delete;
+
+  /// Writes `len` bytes at `offset` of `file`, carried by `streams`
+  /// concurrent client streams. Returns a trigger fired when every
+  /// per-server chunk has landed; `file.recordWrite` runs at that moment.
+  std::shared_ptr<sim::Trigger> writeRange(PfsFile& file, std::uint64_t offset,
+                                           std::uint64_t len, double streams);
+
+  /// True if another application currently has data in flight to the fs.
+  [[nodiscard]] bool contended() const {
+    return fs_.anyOtherAppActive(ctx_.appId);
+  }
+
+  /// Sustained bandwidth this application would get with the file system to
+  /// itself: min of its injection cap, its stream caps and the servers'
+  /// sustained aggregate. Feeds T_alone estimates in descriptors.
+  [[nodiscard]] double aloneBandwidth(double streams) const;
+
+  /// Client-side cap only (injection resource and per-stream NICs),
+  /// ignoring the servers; kUnlimited when neither is configured.
+  [[nodiscard]] double clientCap(double streams) const;
+
+  [[nodiscard]] const ClientContext& context() const noexcept { return ctx_; }
+  [[nodiscard]] ParallelFileSystem& fs() noexcept { return fs_; }
+
+ private:
+  sim::Engine& engine_;
+  net::FlowNet& net_;
+  ParallelFileSystem& fs_;
+  ClientContext ctx_;
+};
+
+}  // namespace calciom::pfs

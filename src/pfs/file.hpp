@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file file.hpp
+/// A file stored in the simulated parallel file system. Files only track
+/// accounting state (bytes durably written); contents are not materialized.
+
+#include <cstdint>
+#include <string>
+
+namespace calciom::pfs {
+
+class PfsFile {
+ public:
+  explicit PfsFile(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t bytesWritten() const noexcept {
+    return bytesWritten_;
+  }
+  [[nodiscard]] int completedWrites() const noexcept {
+    return completedWrites_;
+  }
+
+  /// Called by the client when a write operation has fully landed.
+  void recordWrite(std::uint64_t bytes) noexcept {
+    bytesWritten_ += bytes;
+    ++completedWrites_;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t bytesWritten_ = 0;
+  int completedWrites_ = 0;
+};
+
+}  // namespace calciom::pfs

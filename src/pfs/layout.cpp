@@ -1,0 +1,39 @@
+#include "pfs/layout.hpp"
+
+#include <algorithm>
+
+namespace calciom::pfs {
+
+std::vector<std::uint64_t> StripingLayout::bytesPerServer(
+    std::uint64_t offset, std::uint64_t len) const {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(serverCount_), 0);
+  if (len == 0) {
+    return out;
+  }
+  const auto n = static_cast<std::uint64_t>(serverCount_);
+  const std::uint64_t cycle = stripeBytes_ * n;
+
+  // Whole cycles contribute exactly stripeBytes_ to every server.
+  const std::uint64_t fullCycles = len / cycle;
+  if (fullCycles > 0) {
+    for (auto& b : out) {
+      b += fullCycles * stripeBytes_;
+    }
+  }
+
+  // Walk the remaining partial cycle stripe by stripe (at most n+1 steps).
+  std::uint64_t pos = offset + fullCycles * cycle;
+  std::uint64_t remaining = len - fullCycles * cycle;
+  while (remaining > 0) {
+    const std::uint64_t stripeIndex = pos / stripeBytes_;
+    const auto server = static_cast<std::size_t>(stripeIndex % n);
+    const std::uint64_t stripeEnd = (stripeIndex + 1) * stripeBytes_;
+    const std::uint64_t take = std::min(remaining, stripeEnd - pos);
+    out[server] += take;
+    pos += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+}  // namespace calciom::pfs

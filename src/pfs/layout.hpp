@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file layout.hpp
+/// PVFS-style round-robin striping: a file is cut into fixed-size stripes
+/// distributed cyclically across the storage servers (server of stripe k is
+/// k mod N). The layout answers "how many bytes of this byte range land on
+/// each server", which the PFS client turns into per-server flows.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/contracts.hpp"
+
+namespace calciom::pfs {
+
+class StripingLayout {
+ public:
+  StripingLayout(std::uint64_t stripeBytes, int serverCount)
+      : stripeBytes_(stripeBytes), serverCount_(serverCount) {
+    CALCIOM_EXPECTS(stripeBytes > 0);
+    CALCIOM_EXPECTS(serverCount > 0);
+  }
+
+  [[nodiscard]] std::uint64_t stripeBytes() const noexcept {
+    return stripeBytes_;
+  }
+  [[nodiscard]] int serverCount() const noexcept { return serverCount_; }
+
+  /// Server holding the byte at `offset`.
+  [[nodiscard]] int serverOf(std::uint64_t offset) const noexcept {
+    return static_cast<int>((offset / stripeBytes_) %
+                            static_cast<std::uint64_t>(serverCount_));
+  }
+
+  /// Per-server byte counts for the contiguous range [offset, offset+len).
+  /// Computed in closed form (whole striping cycles plus a partial walk), so
+  /// cost is O(serverCount) regardless of range size.
+  [[nodiscard]] std::vector<std::uint64_t> bytesPerServer(
+      std::uint64_t offset, std::uint64_t len) const;
+
+ private:
+  std::uint64_t stripeBytes_;
+  int serverCount_;
+};
+
+}  // namespace calciom::pfs

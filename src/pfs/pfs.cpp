@@ -1,0 +1,92 @@
+#include "pfs/pfs.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace calciom::pfs {
+
+ParallelFileSystem::ParallelFileSystem(sim::Engine& engine, net::FlowNet& net,
+                                       PfsConfig cfg)
+    : engine_(engine),
+      net_(net),
+      cfg_(cfg),
+      layout_(cfg.stripeBytes, cfg.serverCount) {
+  CALCIOM_EXPECTS(cfg.serverCount > 0);
+  CALCIOM_EXPECTS(cfg.switchBandwidth > 0.0);
+  CALCIOM_EXPECTS(cfg.queuePenaltySeconds >= 0.0);
+  switch_ = net_.addResource(cfg.switchBandwidth, "switch");
+  servers_.reserve(static_cast<std::size_t>(cfg.serverCount));
+  for (int i = 0; i < cfg.serverCount; ++i) {
+    servers_.push_back(std::make_unique<storage::StorageServer>(
+        engine_, net_, cfg.server, "server" + std::to_string(i)));
+  }
+}
+
+PfsFile& ParallelFileSystem::open(std::string name) {
+  if (PfsFile* existing = find(name)) {
+    return *existing;
+  }
+  files_.emplace_back(std::move(name));
+  return files_.back();
+}
+
+PfsFile* ParallelFileSystem::find(std::string_view name) {
+  for (PfsFile& f : files_) {
+    if (f.name() == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+storage::StorageServer& ParallelFileSystem::server(int i) {
+  CALCIOM_EXPECTS(i >= 0 && i < serverCount());
+  return *servers_[static_cast<std::size_t>(i)];
+}
+
+const storage::StorageServer& ParallelFileSystem::server(int i) const {
+  CALCIOM_EXPECTS(i >= 0 && i < serverCount());
+  return *servers_[static_cast<std::size_t>(i)];
+}
+
+double ParallelFileSystem::aggregateIngressCapacity() const {
+  double sum = 0.0;
+  for (const auto& s : servers_) {
+    sum += net_.capacity(s->ingress());
+  }
+  return sum;
+}
+
+double ParallelFileSystem::sustainedAggregateBandwidth() const {
+  double sum = 0.0;
+  for (const auto& s : servers_) {
+    const auto& c = s->config();
+    sum += std::min(c.nicBandwidth, c.diskBandwidth);
+  }
+  return sum;
+}
+
+double ParallelFileSystem::totalDelivered() const {
+  double sum = 0.0;
+  for (const auto& s : servers_) {
+    sum += s->delivered();
+  }
+  return sum;
+}
+
+bool ParallelFileSystem::anyOtherAppActive(std::uint32_t appId) const {
+  for (const auto& s : servers_) {
+    const int groups = net_.activeGroupsThrough(s->ingress());
+    if (groups > 1) {
+      return true;
+    }
+    if (groups == 1 && !net_.groupActiveThrough(s->ingress(), appId)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace calciom::pfs

@@ -1,0 +1,38 @@
+#include "platform/machine.hpp"
+
+#include <algorithm>
+
+namespace calciom::platform {
+
+Machine::Machine(sim::Engine& engine, MachineSpec spec)
+    : engine_(engine),
+      spec_(std::move(spec)),
+      net_(engine),
+      ports_(engine, spec_.coordinationLatencySeconds) {
+  spec_.validate();
+  fs_ = std::make_unique<pfs::ParallelFileSystem>(engine_, net_, spec_.fs);
+}
+
+ProvisionedApp Machine::provisionApp(std::uint32_t appId,
+                                     const std::string& name, int processes) {
+  CALCIOM_EXPECTS(processes >= 1);
+  CALCIOM_EXPECTS(processes <= spec_.totalCores);
+  ProvisionedApp app;
+  app.clientContext.appId = appId;
+  app.clientContext.appName = name;
+  app.clientContext.perStreamCap = spec_.streamNicBandwidth;
+  if (spec_.coresPerIon > 0 && spec_.ionBandwidth > 0.0) {
+    const int ions =
+        (processes + spec_.coresPerIon - 1) / spec_.coresPerIon;
+    app.clientContext.injectionResource = net_.addResource(
+        static_cast<double>(ions) * spec_.ionBandwidth, name + "/ion");
+  }
+  app.writerConfig.processes = processes;
+  app.writerConfig.aggregators =
+      std::max(1, processes / spec_.coresPerNode);
+  app.writerConfig.cbBufferBytes = spec_.cbBufferBytes;
+  app.writerConfig.commCosts = spec_.interconnect;
+  return app;
+}
+
+}  // namespace calciom::platform

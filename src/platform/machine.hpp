@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file machine.hpp
+/// A complete simulated HPC machine: the flow network, the parallel file
+/// system, the cross-application port registry, and per-application
+/// plumbing (I/O-forwarding capacity, writer configuration). Machine specs
+/// for the paper's testbeds live in presets.hpp.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/writer.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/port.hpp"
+#include "net/flow_net.hpp"
+#include "pfs/client.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/engine.hpp"
+
+namespace calciom::platform {
+
+struct MachineSpec {
+  std::string name = "machine";
+  /// Total cores (used by the job-trace replay and for sanity checks).
+  int totalCores = 4096;
+  int coresPerNode = 4;
+  /// I/O forwarding layer (BG/P I/O nodes): one ION per `coresPerIon`
+  /// cores, each providing `ionBandwidth` bytes/s of injection. 0 disables
+  /// the layer (commodity clusters write straight to the fabric).
+  int coresPerIon = 0;
+  double ionBandwidth = 0.0;
+  /// Per-stream NIC ceiling (bytes/s). A "stream" is one writing client:
+  /// a collective-buffering aggregator, i.e. roughly one node. This is
+  /// what bounds small applications (a one-node app cannot exceed its
+  /// node's NIC no matter how fast the servers are).
+  double streamNicBandwidth = net::kUnlimited;
+  /// Application-private interconnect for collective shuffles.
+  mpi::CommCosts interconnect;
+  /// Parallel file system.
+  pfs::PfsConfig fs;
+  /// ROMIO collective buffer per aggregator.
+  std::uint64_t cbBufferBytes = 16ull << 20;
+  /// One-way latency of cross-application coordination messages.
+  double coordinationLatencySeconds = 250e-6;
+
+  void validate() const {
+    CALCIOM_EXPECTS(totalCores >= 1);
+    CALCIOM_EXPECTS(coresPerNode >= 1);
+    CALCIOM_EXPECTS(coresPerIon >= 0);
+    CALCIOM_EXPECTS(coordinationLatencySeconds >= 0.0);
+  }
+};
+
+/// Per-application plumbing created by Machine::provisionApp.
+struct ProvisionedApp {
+  pfs::ClientContext clientContext;
+  io::WriterConfig writerConfig;
+};
+
+class Machine {
+ public:
+  Machine(sim::Engine& engine, MachineSpec spec);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] net::FlowNet& net() noexcept { return net_; }
+  [[nodiscard]] pfs::ParallelFileSystem& fs() noexcept { return *fs_; }
+  [[nodiscard]] mpi::PortRegistry& ports() noexcept { return ports_; }
+  [[nodiscard]] const MachineSpec& spec() const noexcept { return spec_; }
+
+  /// Creates the client context and writer configuration for an
+  /// application running on `processes` cores: an injection resource sized
+  /// to its I/O-forwarding share, one aggregator per node, the machine's
+  /// collective-buffer and interconnect settings.
+  [[nodiscard]] ProvisionedApp provisionApp(std::uint32_t appId,
+                                            const std::string& name,
+                                            int processes);
+
+ private:
+  sim::Engine& engine_;
+  MachineSpec spec_;
+  net::FlowNet net_;
+  std::unique_ptr<pfs::ParallelFileSystem> fs_;
+  mpi::PortRegistry ports_;
+};
+
+}  // namespace calciom::platform

@@ -1,0 +1,80 @@
+#include "platform/presets.hpp"
+
+namespace calciom::platform {
+
+MachineSpec surveyor() {
+  MachineSpec m;
+  m.name = "surveyor";
+  m.totalCores = 4096;
+  m.coresPerNode = 4;
+  m.coresPerIon = 64;
+  m.ionBandwidth = 250e6;
+  m.streamNicBandwidth = net::kUnlimited;  // the ION layer is the client cap
+  // BG/P torus: all-to-all over thousands of cores is latency/contention
+  // bound; the effective per-process exchange bandwidth is a few MB/s,
+  // which makes the shuffle phase of two-phase I/O comparable to the write
+  // phase (paper Fig 8b).
+  m.interconnect = mpi::CommCosts{.latency = 3e-6,
+                                  .bandwidthPerProcess = 4e6};
+  m.fs.serverCount = 4;
+  m.fs.server.nicBandwidth = 1.35e9;
+  m.fs.server.diskBandwidth = 1.35e9;  // server-attached storage arrays
+  m.fs.server.cacheBytes = 0.0;
+  m.fs.server.localityAlpha = 0.10;
+  m.fs.stripeBytes = 64 * 1024;  // PVFS2 default striping
+  m.fs.queuePenaltySeconds = 0.5;
+  m.cbBufferBytes = 16ull << 20;
+  m.coordinationLatencySeconds = 250e-6;
+  return m;
+}
+
+MachineSpec grid5000Rennes() {
+  MachineSpec m;
+  m.name = "g5k-rennes";
+  m.totalCores = 960;  // 40 parapluie nodes x 24 cores
+  m.coresPerNode = 24;
+  m.coresPerIon = 0;  // commodity cluster: no forwarding layer
+  m.streamNicBandwidth = 280e6;  // effective IB client bandwidth per node
+  m.interconnect = mpi::CommCosts{.latency = 2e-6,
+                                  .bandwidthPerProcess = 100e6};
+  m.fs.serverCount = 12;
+  m.fs.server.nicBandwidth = 110e6;   // ~1GbE effective per parapide node
+  m.fs.server.diskBandwidth = 50e6;   // local ext3 disk, caching disabled
+  m.fs.server.cacheBytes = 0.0;
+  m.fs.server.localityAlpha = 0.10;
+  m.fs.stripeBytes = 64 * 1024;
+  m.fs.queuePenaltySeconds = 0.4;
+  m.cbBufferBytes = 16ull << 20;
+  m.coordinationLatencySeconds = 150e-6;
+  return m;
+}
+
+MachineSpec grid5000Nancy(bool withCache) {
+  MachineSpec m;
+  m.name = withCache ? "g5k-nancy+cache" : "g5k-nancy";
+  m.totalCores = 1024;
+  m.coresPerNode = 8;
+  m.coresPerIon = 0;
+  m.streamNicBandwidth = 110e6;  // GbE per client node
+  m.interconnect = mpi::CommCosts{.latency = 2e-6,
+                                  .bandwidthPerProcess = 100e6};
+  m.fs.serverCount = 35;
+  m.fs.server.nicBandwidth = 60e6;
+  m.fs.server.diskBandwidth = 18e6;  // 2009-era SATA behind PVFS, no cache
+  m.fs.server.localityAlpha = 0.15;
+  if (withCache) {
+    // Kernel write-back caching in the storage backend (the Fig 3 setup):
+    // bursts are absorbed at NIC speed until the dirty watermark.
+    m.fs.server.cacheBytes = 256e6;
+    m.fs.server.restoreFraction = 0.6;
+  } else {
+    m.fs.server.cacheBytes = 0.0;
+  }
+  m.fs.stripeBytes = 64 * 1024;
+  m.fs.queuePenaltySeconds = 0.8;
+  m.cbBufferBytes = 16ull << 20;
+  m.coordinationLatencySeconds = 150e-6;
+  return m;
+}
+
+}  // namespace calciom::platform

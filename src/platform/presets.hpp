@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file presets.hpp
+/// Calibrated machine models of the paper's testbeds. Calibration targets
+/// the *axes* of the paper's figures (alone-write times, throughput scales,
+/// interference factors); the success criterion of the reproduction is the
+/// qualitative shape, not the absolute seconds (see EXPERIMENTS.md).
+
+#include "platform/machine.hpp"
+
+namespace calciom::platform {
+
+/// Argonne Surveyor: 4096-core BlueGene/P, 4 cores/node, I/O forwarding
+/// nodes at a 64:1 core ratio, 4-server PVFS2.
+///
+/// Calibration: servers 1.35 GB/s each (aggregate 5.4 GB/s); ION bandwidth
+/// 250 MB/s so a 2048-core app (32 IONs => 8 GB/s) saturates the file
+/// system while a 1024-core app (16 IONs => 4 GB/s) cannot -- which is
+/// exactly why the paper measures full 2x interference in Fig 7(a) and
+/// "lower than expected" interference in Fig 7(b)/Fig 12.
+[[nodiscard]] MachineSpec surveyor();
+
+/// Grid'5000 Rennes: 768 cores of parapluie (24 cores/node), OrangeFS on
+/// 12 parapide nodes with local ext3 disks, caching disabled (the paper
+/// disabled it after observing Fig 3). Used for Figs 6 and 9.
+[[nodiscard]] MachineSpec grid5000Rennes();
+
+/// Grid'5000 Nancy: PVFS on 35 nodes; 336-process applications. Used for
+/// Figs 2, 3 and 4. Caching disabled except in the Fig 3 experiment, which
+/// enables `withCache`.
+[[nodiscard]] MachineSpec grid5000Nancy(bool withCache = false);
+
+}  // namespace calciom::platform

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file contracts.hpp
+/// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+/// Expects/Ensures. Violations throw, so tests can assert on misuse, and a
+/// production build keeps the checks (they are cheap relative to simulation
+/// work and guard against silent model corruption).
+
+#include <stdexcept>
+#include <string>
+
+namespace calciom {
+
+/// Thrown when a precondition (Expects) is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a postcondition or internal invariant (Ensures) is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void failPrecondition(const char* expr, const char* file,
+                                          int line) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+[[noreturn]] inline void failInvariant(const char* expr, const char* file,
+                                       int line) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " +
+                       file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace calciom
+
+/// Precondition check: use at public API boundaries.
+#define CALCIOM_EXPECTS(cond)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::calciom::detail::failPrecondition(#cond, __FILE__, __LINE__);  \
+    }                                                                  \
+  } while (false)
+
+/// Invariant/postcondition check: use for internal consistency.
+#define CALCIOM_ENSURES(cond)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::calciom::detail::failInvariant(#cond, __FILE__, __LINE__);  \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,105 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace calciom::sim {
+
+Engine::~Engine() {
+  drainZombies();
+  // Destroy frames of tasks that never finished (e.g. blocked on a gate when
+  // the simulation ended). Copy first: destroy() mutates live_ via no path,
+  // but keep it simple and safe.
+  std::vector<void*> leftovers(live_.begin(), live_.end());
+  live_.clear();
+  for (void* addr : leftovers) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+}
+
+void Engine::scheduleAt(Time t, std::function<void()> fn) {
+  CALCIOM_EXPECTS(t >= now_);
+  CALCIOM_EXPECTS(fn != nullptr);
+  events_.push_back(Event{t, seq_++, std::move(fn)});
+  std::push_heap(events_.begin(), events_.end(), EventAfter{});
+}
+
+void Engine::scheduleAfter(Time dt, std::function<void()> fn) {
+  scheduleAt(now_ + std::max(dt, 0.0), std::move(fn));
+}
+
+std::shared_ptr<Trigger> Engine::spawn(Task task) {
+  Task::Handle h = task.release();
+  CALCIOM_EXPECTS(h != nullptr);
+  h.promise().engine = this;
+  live_.insert(h.address());
+  std::shared_ptr<Trigger> done = h.promise().done;
+  scheduleAt(now_, [h] { h.resume(); });
+  return done;
+}
+
+Engine::Event Engine::popEvent() {
+  std::pop_heap(events_.begin(), events_.end(), EventAfter{});
+  Event ev = std::move(events_.back());
+  events_.pop_back();
+  return ev;
+}
+
+void Engine::run() {
+  while (!events_.empty()) {
+    drainZombies();
+    rethrowIfFailed();
+    Event ev = popEvent();
+    CALCIOM_ENSURES(ev.t >= now_);
+    now_ = ev.t;
+    ++processed_;
+    ev.fn();
+  }
+  drainZombies();
+  rethrowIfFailed();
+}
+
+void Engine::runUntil(Time t) {
+  CALCIOM_EXPECTS(t >= now_);
+  while (!events_.empty() && events_.front().t <= t) {
+    drainZombies();
+    rethrowIfFailed();
+    Event ev = popEvent();
+    now_ = ev.t;
+    ++processed_;
+    ev.fn();
+  }
+  drainZombies();
+  rethrowIfFailed();
+  now_ = t;
+}
+
+Time Engine::nextEventTime() const noexcept {
+  return events_.empty() ? kNever : events_.front().t;
+}
+
+void Engine::retire(Task::Handle h) {
+  live_.erase(h.address());
+  zombies_.push_back(h);
+}
+
+void Engine::reportTaskFailure(std::exception_ptr e) noexcept {
+  if (!failure_) {
+    failure_ = e;
+  }
+}
+
+void Engine::drainZombies() noexcept {
+  for (Task::Handle h : zombies_) {
+    h.destroy();
+  }
+  zombies_.clear();
+}
+
+void Engine::rethrowIfFailed() {
+  if (failure_) {
+    std::exception_ptr e = std::exchange(failure_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace calciom::sim

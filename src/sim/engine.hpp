@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file engine.hpp
+/// Deterministic discrete-event engine. Events are (time, sequence) ordered;
+/// equal-time events run in scheduling order, which makes every simulation
+/// bit-reproducible for a given seed and construction order.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/contracts.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace calciom::sim {
+
+/// Single-threaded discrete-event simulation engine.
+///
+/// Usage:
+///   Engine eng;
+///   auto done = eng.spawn(myTask(eng, ...));
+///   eng.run();                       // until no events remain
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time in seconds.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute simulated time `t` (must be >= now).
+  void scheduleAt(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `dt` seconds from now (dt < 0 is clamped to 0).
+  void scheduleAfter(Time dt, std::function<void()> fn);
+
+  /// Takes ownership of `task`, schedules its first step at the current time
+  /// and returns its completion trigger (fired when the task body returns).
+  std::shared_ptr<Trigger> spawn(Task task);
+
+  /// Runs until the event queue is empty. Rethrows the first exception that
+  /// escaped any task body.
+  void run();
+
+  /// Runs all events with timestamp <= t, then sets the clock to `t`.
+  void runUntil(Time t);
+
+  /// Time of the earliest pending event, or kNever if none.
+  [[nodiscard]] Time nextEventTime() const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t pendingEvents() const noexcept {
+    return events_.size();
+  }
+  [[nodiscard]] std::uint64_t processedEvents() const noexcept {
+    return processed_;
+  }
+  /// Number of spawned tasks whose bodies have not yet finished.
+  [[nodiscard]] std::size_t liveTasks() const noexcept { return live_.size(); }
+
+ private:
+  friend struct Task::promise_type;
+  friend struct Task::promise_type::FinalAwaiter;
+  friend struct detail::DelayAwaiter;
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventAfter {
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  /// Called from a task's final suspend: the frame is dead and can be
+  /// destroyed at the next safe point (top of the event loop).
+  void retire(Task::Handle h);
+  /// Records the first exception escaping a task body.
+  void reportTaskFailure(std::exception_ptr e) noexcept;
+
+  [[nodiscard]] Event popEvent();
+  void drainZombies() noexcept;
+  void rethrowIfFailed();
+
+  std::vector<Event> events_;  // binary heap ordered by EventAfter
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::vector<Task::Handle> zombies_;
+  std::unordered_set<void*> live_;
+  std::exception_ptr failure_;
+};
+
+}  // namespace calciom::sim

@@ -1,0 +1,52 @@
+#include "sim/sync.hpp"
+
+#include <utility>
+
+namespace calciom::sim {
+
+void Trigger::fire() {
+  if (fired_) {
+    return;
+  }
+  fired_ = true;
+  // Move the waiter list out first: a resumed coroutine may re-await or
+  // destroy this trigger's owner, so we must not touch members afterwards.
+  std::vector<std::coroutine_handle<>> waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) {
+    h.resume();
+  }
+}
+
+void Gate::open() {
+  if (open_) {
+    return;
+  }
+  open_ = true;
+  std::vector<std::coroutine_handle<>> waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) {
+    // The gate may have been re-closed by an earlier waiter; coroutines
+    // released in this batch still pass (they were waiting while it opened).
+    h.resume();
+  }
+}
+
+void Latch::add(std::size_t n) {
+  CALCIOM_EXPECTS(count_ > 0 || waiters_.empty());
+  count_ += n;
+}
+
+void Latch::arrive() {
+  CALCIOM_EXPECTS(count_ > 0);
+  --count_;
+  if (count_ == 0) {
+    std::vector<std::coroutine_handle<>> waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) {
+      h.resume();
+    }
+  }
+}
+
+}  // namespace calciom::sim

@@ -1,0 +1,50 @@
+#include "sim/task.hpp"
+
+#include "sim/engine.hpp"
+
+namespace calciom::sim {
+
+Task& Task::operator=(Task&& other) noexcept {
+  if (this != &other) {
+    if (handle_) {
+      handle_.destroy();
+    }
+    handle_ = std::exchange(other.handle_, {});
+  }
+  return *this;
+}
+
+Task::~Task() {
+  // Only reached for tasks that were never spawned; a spawned task's frame
+  // belongs to the engine.
+  if (handle_) {
+    handle_.destroy();
+  }
+}
+
+void detail::DelayAwaiter::await_suspend(std::coroutine_handle<> h) const {
+  engine->scheduleAfter(dt, [h] { h.resume(); });
+}
+
+void Task::promise_type::FinalAwaiter::await_suspend(Handle h) const noexcept {
+  promise_type& p = h.promise();
+  // Fire completion first so joiners observe a finished task, then hand the
+  // dead frame to the engine for deferred destruction.
+  p.done->fire();
+  p.engine->retire(h);
+}
+
+void Task::promise_type::unhandled_exception() noexcept {
+  // Record and continue to final_suspend; Engine::run rethrows promptly.
+  if (engine != nullptr) {
+    engine->reportTaskFailure(std::current_exception());
+  } else {
+    std::terminate();
+  }
+}
+
+detail::DelayAwaiter Task::promise_type::await_transform(Delay d) noexcept {
+  return detail::DelayAwaiter{engine, d.dt};
+}
+
+}  // namespace calciom::sim

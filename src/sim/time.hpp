@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file time.hpp
+/// Simulated time. The whole simulator uses seconds as a double; all
+/// experiment scales in the paper (milliseconds to hours) are comfortably
+/// representable, and doubles make fluid-flow rate computations natural.
+
+#include <limits>
+
+namespace calciom::sim {
+
+/// Simulated time in seconds since the start of the run.
+using Time = double;
+
+/// Sentinel "never happens" time.
+inline constexpr Time kNever = std::numeric_limits<Time>::infinity();
+
+}  // namespace calciom::sim

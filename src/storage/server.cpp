@@ -1,0 +1,134 @@
+#include "storage/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace calciom::storage {
+
+namespace {
+constexpr double kLevelEpsilon = 1e-6;  // bytes
+}
+
+StorageServer::StorageServer(sim::Engine& engine, net::FlowNet& net,
+                             Config cfg, std::string name)
+    : engine_(engine), net_(net), cfg_(cfg), name_(std::move(name)) {
+  CALCIOM_EXPECTS(cfg_.nicBandwidth > 0.0);
+  CALCIOM_EXPECTS(cfg_.diskBandwidth > 0.0);
+  CALCIOM_EXPECTS(cfg_.cacheBytes >= 0.0);
+  CALCIOM_EXPECTS(cfg_.restoreFraction > 0.0 && cfg_.restoreFraction < 1.0);
+  CALCIOM_EXPECTS(cfg_.localityAlpha >= 0.0);
+  lastDrain_ = cfg_.diskBandwidth;
+  const double initial = cacheEnabled()
+                             ? cfg_.nicBandwidth
+                             : std::min(cfg_.nicBandwidth, cfg_.diskBandwidth);
+  ingress_ = net_.addResource(initial, name_);
+  net_.addRatesListener([this] { onRatesChanged(); });
+}
+
+double StorageServer::effectiveDiskBandwidth() const noexcept {
+  const int extra = std::max(0, activeApps_ - 1);
+  return cfg_.diskBandwidth / (1.0 + cfg_.localityAlpha * extra);
+}
+
+double StorageServer::cacheLevel() const {
+  if (!cacheEnabled()) {
+    return 0.0;
+  }
+  const double dt = engine_.now() - lastUpdate_;
+  if (dt <= 0.0) {
+    return level_;
+  }
+  const double fill = lastInRate_ - lastDrain_;
+  return std::clamp(level_ + fill * dt, 0.0, cfg_.cacheBytes);
+}
+
+double StorageServer::delivered() const {
+  return net_.deliveredThrough(ingress_);
+}
+
+void StorageServer::refreshLevel() {
+  const sim::Time now = engine_.now();
+  const double dt = now - lastUpdate_;
+  if (dt > 0.0 && cacheEnabled()) {
+    const double fill = lastInRate_ - lastDrain_;
+    level_ = std::clamp(level_ + fill * dt, 0.0, cfg_.cacheBytes);
+  }
+  lastUpdate_ = now;
+}
+
+double StorageServer::netFillRate() const { return lastInRate_ - lastDrain_; }
+
+void StorageServer::onRatesChanged() {
+  // Integrate history with the rates that were in force, then sample the new
+  // ones.
+  refreshLevel();
+  activeApps_ = net_.activeGroupsThrough(ingress_);
+  lastInRate_ = net_.throughputOf(ingress_);
+  lastDrain_ = effectiveDiskBandwidth();
+
+  if (cacheEnabled()) {
+    if (!saturated_ && level_ >= cfg_.cacheBytes - kLevelEpsilon &&
+        netFillRate() > 0.0) {
+      saturated_ = true;
+    } else if (saturated_ &&
+               level_ <= cfg_.restoreFraction * cfg_.cacheBytes +
+                             kLevelEpsilon &&
+               netFillRate() <= 0.0) {
+      saturated_ = false;
+    }
+  }
+  applyCapacity();
+  scheduleTransition();
+}
+
+void StorageServer::applyCapacity() {
+  double desired = 0.0;
+  if (!cacheEnabled()) {
+    desired = std::min(cfg_.nicBandwidth, effectiveDiskBandwidth());
+  } else {
+    desired = saturated_ ? effectiveDiskBandwidth() : cfg_.nicBandwidth;
+  }
+  // setCapacity is a no-op when unchanged; when it does change, FlowNet
+  // recomputes and re-enters onRatesChanged, which converges because the
+  // second pass computes the same desired value.
+  net_.setCapacity(ingress_, desired);
+}
+
+void StorageServer::scheduleTransition() {
+  const std::uint64_t gen = ++generation_;
+  if (!cacheEnabled()) {
+    return;
+  }
+  const double fill = netFillRate();
+  sim::Time eta = sim::kNever;
+  if (!saturated_ && fill > 0.0) {
+    eta = (cfg_.cacheBytes - level_) / fill;
+  } else if (saturated_ && fill < 0.0) {
+    const double target = cfg_.restoreFraction * cfg_.cacheBytes;
+    eta = level_ > target ? (level_ - target) / (-fill) : 0.0;
+  }
+  if (eta == sim::kNever) {
+    return;
+  }
+  engine_.scheduleAfter(eta, [this, gen] { transitionEvent(gen); });
+}
+
+void StorageServer::transitionEvent(std::uint64_t generation) {
+  if (generation != generation_) {
+    return;
+  }
+  refreshLevel();
+  if (!saturated_ && level_ >= cfg_.cacheBytes - kLevelEpsilon) {
+    saturated_ = true;
+  } else if (saturated_ &&
+             level_ <=
+                 cfg_.restoreFraction * cfg_.cacheBytes + kLevelEpsilon) {
+    saturated_ = false;
+  }
+  applyCapacity();
+  scheduleTransition();
+}
+
+}  // namespace calciom::storage

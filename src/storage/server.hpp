@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file server.hpp
+/// Storage server model. Each server exposes one *ingress* resource that
+/// write flows traverse. Its effective capacity is governed by two
+/// mechanisms observed in the paper:
+///
+///  1. **Write-back cache** (paper Fig 3): while the cache has room, the
+///     server absorbs data at NIC speed; once full, ingest collapses to the
+///     disk drain rate. The cache drains at disk speed whenever non-empty,
+///     so periodic writers see full speed *if* their bursts fit and the gaps
+///     let the cache drain — and collapse exactly when two applications'
+///     bursts coincide. A hysteresis threshold (like Linux's dirty-page
+///     watermarks) restores fast ingest only after the cache has drained
+///     below `restoreFraction`.
+///
+///  2. **Locality loss under interleaving** (paper §II/V: server schedulers
+///     try to minimize disk-head movement; interleaved requests from
+///     multiple applications break sequential locality). Effective disk
+///     bandwidth is `disk / (1 + alpha * (nApps - 1))` where nApps is the
+///     number of distinct applications with in-flight data at this server.
+///     With alpha > 0, two interfering applications get *less* aggregate
+///     throughput than one — the effect behind the paper's Fig 4.
+
+#include <cstdint>
+#include <string>
+
+#include "net/flow_net.hpp"
+#include "sim/engine.hpp"
+
+namespace calciom::storage {
+
+/// Disk timing parameters; converts a physical description into the drain
+/// bandwidth used by the server model.
+struct DiskModel {
+  /// Sequential streaming bandwidth (bytes/s).
+  double sequentialBandwidth = 50e6;
+  /// Average positioning time per discontiguous request (seconds).
+  double seekTime = 8e-3;
+  /// Typical request size the file system issues to the disk (bytes).
+  double requestBytes = 4.0 * 1024 * 1024;
+
+  /// Effective bandwidth of a stream of `requestBytes` requests with one
+  /// seek between each: bytes / (transfer + seek).
+  [[nodiscard]] double effectiveBandwidth() const noexcept {
+    const double transfer = requestBytes / sequentialBandwidth;
+    return requestBytes / (transfer + seekTime);
+  }
+};
+
+/// A single storage server attached to a FlowNet.
+class StorageServer {
+ public:
+  struct Config {
+    /// Fast-path ingest (server NIC / memory) bytes/s.
+    double nicBandwidth = 1e9;
+    /// Disk drain bandwidth with a single sequential writer, bytes/s.
+    double diskBandwidth = 50e6;
+    /// Write-back cache capacity in bytes; 0 disables the cache, in which
+    /// case ingest is permanently min(nic, effective disk).
+    double cacheBytes = 0.0;
+    /// Fast ingest is restored once the cache drains below this fraction.
+    double restoreFraction = 0.9;
+    /// Locality-loss coefficient: effective disk bandwidth is divided by
+    /// (1 + alpha * (activeApps - 1)). 0 disables the effect.
+    double localityAlpha = 0.0;
+  };
+
+  StorageServer(sim::Engine& engine, net::FlowNet& net, Config cfg,
+                std::string name);
+  StorageServer(const StorageServer&) = delete;
+  StorageServer& operator=(const StorageServer&) = delete;
+
+  /// Resource write flows must traverse to reach this server.
+  [[nodiscard]] net::ResourceId ingress() const noexcept { return ingress_; }
+
+  /// Current cache fill level in bytes (0 when the cache is disabled).
+  [[nodiscard]] double cacheLevel() const;
+  /// True while the cache is full and ingest is collapsed to disk speed.
+  [[nodiscard]] bool cacheSaturated() const noexcept { return saturated_; }
+  /// Disk bandwidth after the locality penalty for current interleaving.
+  [[nodiscard]] double effectiveDiskBandwidth() const noexcept;
+  /// Cumulative bytes accepted by this server.
+  [[nodiscard]] double delivered() const;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] bool cacheEnabled() const noexcept {
+    return cfg_.cacheBytes > 0.0;
+  }
+  /// FlowNet listener: integrates the cache level, refreshes the
+  /// interleaving count and re-applies the ingest capacity.
+  void onRatesChanged();
+  /// Integrates the cache level up to the current time.
+  void refreshLevel();
+  /// Current net cache fill rate (ingest - drain), bytes/s.
+  [[nodiscard]] double netFillRate() const;
+  /// Sets the ingress capacity according to cache/locality state.
+  void applyCapacity();
+  /// Schedules the next cache saturate/restore transition.
+  void scheduleTransition();
+  void transitionEvent(std::uint64_t generation);
+
+  sim::Engine& engine_;
+  net::FlowNet& net_;
+  Config cfg_;
+  std::string name_;
+  net::ResourceId ingress_;
+  double level_ = 0.0;
+  sim::Time lastUpdate_ = 0.0;
+  double lastInRate_ = 0.0;
+  double lastDrain_ = 0.0;
+  bool saturated_ = false;
+  int activeApps_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace calciom::storage

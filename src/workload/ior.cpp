@@ -1,0 +1,97 @@
+#include "workload/ior.hpp"
+
+#include <algorithm>
+
+namespace calciom::workload {
+
+double AppStats::totalIoSeconds() const {
+  double s = 0.0;
+  for (const auto& it : iterations) {
+    s += it.elapsed();
+  }
+  return s;
+}
+
+double AppStats::meanIoSeconds() const {
+  return iterations.empty() ? 0.0
+                            : totalIoSeconds() /
+                                  static_cast<double>(iterations.size());
+}
+
+std::uint64_t AppStats::totalBytes() const {
+  std::uint64_t b = 0;
+  for (const auto& it : iterations) {
+    b += it.bytes();
+  }
+  return b;
+}
+
+std::vector<double> AppStats::iterationThroughputs() const {
+  std::vector<double> out;
+  out.reserve(iterations.size());
+  for (const auto& it : iterations) {
+    const double elapsed = it.elapsed();
+    out.push_back(elapsed > 0.0
+                      ? static_cast<double>(it.bytes()) / elapsed
+                      : 0.0);
+  }
+  return out;
+}
+
+namespace {
+platform::ProvisionedApp provision(platform::Machine& machine,
+                                   std::uint32_t appId,
+                                   const IorConfig& cfg) {
+  cfg.validate();
+  return machine.provisionApp(appId, cfg.name, cfg.processes);
+}
+}  // namespace
+
+IorApp::IorApp(platform::Machine& machine, std::uint32_t appId, IorConfig cfg)
+    : machine_(machine),
+      cfg_(std::move(cfg)),
+      provisioned_(provision(machine, appId, cfg_)),
+      client_(machine.engine(), machine.net(), machine.fs(),
+              provisioned_.clientContext),
+      writer_(machine.engine(), client_, provisioned_.writerConfig) {}
+
+io::PhaseSpec IorApp::phaseSpec(int iteration) const {
+  io::PhaseSpec spec;
+  spec.fileStem = cfg_.name + ".it" + std::to_string(iteration);
+  spec.fileCount = cfg_.filesPerPhase;
+  spec.pattern = cfg_.pattern;
+  return spec;
+}
+
+double IorApp::estimateAlonePhaseSeconds() const {
+  return writer_.estimateAloneSeconds(phaseSpec(0));
+}
+
+sim::Task IorApp::run(io::IoCoordinationHooks& hooks, AppStats* out) {
+  CALCIOM_EXPECTS(out != nullptr);
+  out->name = cfg_.name;
+  out->processes = cfg_.processes;
+  sim::Engine& eng = machine_.engine();
+  co_await sim::Delay{cfg_.startOffset};
+  out->firstStart = eng.now();
+  double computeCredit = 0.0;
+  for (int it = 0; it < cfg_.iterations; ++it) {
+    if (it > 0 && cfg_.computeSeconds > 0.0) {
+      const double credit = std::min(computeCredit, cfg_.computeSeconds);
+      out->computeSavedSeconds += credit;
+      computeCredit = 0.0;
+      co_await sim::Delay{cfg_.computeSeconds - credit};
+    }
+    io::PhaseResult phase;
+    co_await eng.spawn(writer_.runPhase(phaseSpec(it), hooks, &phase));
+    if (cfg_.overlapComputeWhenPaused) {
+      // Hook time is time suspended by coordination (pauses and waits at
+      // boundaries); the application used it for internal reorganization.
+      computeCredit = phase.hookSeconds() + phase.waitSeconds;
+    }
+    out->iterations.push_back(phase);
+  }
+  out->lastEnd = eng.now();
+}
+
+}  // namespace calciom::workload

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file ior.hpp
+/// The IOR-like benchmark application of the paper's Section IV-A: a group
+/// of processes alternating compute and collective-write phases, with full
+/// control over the access pattern, file count, iteration period and start
+/// offset (dt). One IorApp is one simulated application.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/hooks.hpp"
+#include "io/pattern.hpp"
+#include "io/writer.hpp"
+#include "pfs/client.hpp"
+#include "platform/machine.hpp"
+#include "sim/engine.hpp"
+
+namespace calciom::workload {
+
+struct IorConfig {
+  std::string name = "ior";
+  int processes = 1;
+  io::AccessPattern pattern;
+  int filesPerPhase = 1;
+  /// Number of compute+write iterations.
+  int iterations = 1;
+  /// Idle (compute) time between the end of one I/O phase and the start of
+  /// the next.
+  double computeSeconds = 0.0;
+  /// Start offset relative to the simulation origin (the delta-graph dt).
+  sim::Time startOffset = 0.0;
+  /// Paper Section VI (future work): an interrupted application can
+  /// reorganize internal operations (communication, compression, ...)
+  /// while waiting for its I/O to resume. When enabled, time spent paused
+  /// or waiting during an I/O phase is credited against the next compute
+  /// gap, shrinking it (the work was done during the pause).
+  bool overlapComputeWhenPaused = false;
+
+  void validate() const {
+    CALCIOM_EXPECTS(processes >= 1);
+    CALCIOM_EXPECTS(filesPerPhase >= 1);
+    CALCIOM_EXPECTS(iterations >= 1);
+    CALCIOM_EXPECTS(computeSeconds >= 0.0);
+    CALCIOM_EXPECTS(startOffset >= 0.0);
+    pattern.validate();
+  }
+};
+
+/// Everything measured about one application run.
+struct AppStats {
+  std::string name;
+  int processes = 1;
+  std::vector<io::PhaseResult> iterations;
+  sim::Time firstStart = 0.0;
+  sim::Time lastEnd = 0.0;
+  /// Copied from the CALCioM session after the run (0 when uncoordinated).
+  double sessionWaitSeconds = 0.0;
+  double sessionPausedSeconds = 0.0;
+  int pausesHonored = 0;
+  /// Compute time saved by reorganizing work during pauses (Section VI).
+  double computeSavedSeconds = 0.0;
+
+  [[nodiscard]] double totalIoSeconds() const;
+  [[nodiscard]] double meanIoSeconds() const;
+  [[nodiscard]] std::uint64_t totalBytes() const;
+  /// Mean observed application-level throughput per iteration (bytes/s).
+  [[nodiscard]] std::vector<double> iterationThroughputs() const;
+};
+
+/// One application bound to a machine: owns its PFS client and collective
+/// writer, runs its iterations against a hook implementation (a CALCioM
+/// Session or NoopHooks for the uncoordinated baseline).
+class IorApp {
+ public:
+  IorApp(platform::Machine& machine, std::uint32_t appId, IorConfig cfg);
+  IorApp(const IorApp&) = delete;
+  IorApp& operator=(const IorApp&) = delete;
+
+  /// The app's coroutine: delays by startOffset, then iterates.
+  sim::Task run(io::IoCoordinationHooks& hooks, AppStats* out);
+
+  [[nodiscard]] const IorConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] io::PhaseSpec phaseSpec(int iteration) const;
+  /// Contention-free estimate for one I/O phase.
+  [[nodiscard]] double estimateAlonePhaseSeconds() const;
+  [[nodiscard]] io::CollectiveWriter& writer() noexcept { return writer_; }
+
+ private:
+  platform::Machine& machine_;
+  IorConfig cfg_;
+  platform::ProvisionedApp provisioned_;
+  pfs::PfsClient client_;
+  io::CollectiveWriter writer_;
+};
+
+}  // namespace calciom::workload

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file trace.hpp
+/// Job traces in the Parallel Workload Archive's Standard Workload Format
+/// (SWF), which the paper mines for its motivation (Fig 1: job-size
+/// distribution and concurrent-job counts on ANL Intrepid,
+/// ANL-Intrepid-2009-1.swf). The archive trace itself is proprietary-ish
+/// data we do not ship; `IntrepidModel` synthesizes a statistically
+/// comparable trace (≈half the jobs at or below 2048 cores, 4-60 jobs
+/// running concurrently), and the same parser/analysis runs on either.
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace calciom::workload {
+
+/// One SWF record (the fields the analysis needs).
+struct SwfJob {
+  std::int64_t jobId = 0;
+  double submitSeconds = 0.0;
+  double waitSeconds = 0.0;
+  double runSeconds = 0.0;
+  int processors = 0;
+
+  [[nodiscard]] double startSeconds() const noexcept {
+    return submitSeconds + waitSeconds;
+  }
+  [[nodiscard]] double endSeconds() const noexcept {
+    return startSeconds() + runSeconds;
+  }
+};
+
+/// Parses SWF text: one record per line, `;` comment lines, whitespace-
+/// separated fields (field 1 job id, 2 submit, 3 wait, 4 runtime, 5
+/// allocated processors). Records with non-positive runtime or processor
+/// count are skipped, as PWA tools do.
+[[nodiscard]] std::vector<SwfJob> parseSwf(std::istream& in);
+[[nodiscard]] std::vector<SwfJob> parseSwfText(const std::string& text);
+
+/// Serializes jobs back to SWF lines (unused fields written as -1).
+[[nodiscard]] std::string toSwfText(const std::vector<SwfJob>& jobs);
+
+/// Synthetic Intrepid-like workload: power-of-two job sizes with the mass
+/// below 2048 cores matching the paper's Fig 1(a), log-normal runtimes and
+/// Poisson arrivals; jobs start when enough of the machine's cores are
+/// free (FCFS, like a batch scheduler).
+struct IntrepidModel {
+  std::uint64_t seed = 1;
+  int machineCores = 163840;
+  double horizonSeconds = 3600.0 * 24 * 30;  // one month
+  double meanInterarrivalSeconds = 180.0;
+  double runtimeLogMean = 8.0;   // exp(8) ~ 50 min median
+  double runtimeLogSigma = 1.2;
+
+  [[nodiscard]] std::vector<SwfJob> generate() const;
+};
+
+/// Time-weighted distribution of the number of concurrently running jobs
+/// (paper Fig 1b): probability that an instant picked uniformly at random
+/// sees exactly n jobs running.
+[[nodiscard]] std::vector<double> concurrencyDistribution(
+    const std::vector<SwfJob>& jobs);
+
+/// Section II-B: P(at least one other application is doing I/O) given the
+/// concurrency distribution and the mean fraction of time mu an
+/// application spends in I/O:
+///   P = 1 - sum_n P(X = n) * (1 - mu)^n
+[[nodiscard]] double ioActivityProbability(
+    const std::vector<double>& concurrencyDistribution, double meanIoFraction);
+
+}  // namespace calciom::workload

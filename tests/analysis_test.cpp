@@ -1,0 +1,157 @@
+// Unit tests for the analysis toolbox: histograms, the expected-
+// interference model, tables and sweep helpers.
+
+#include <gtest/gtest.h>
+
+#include "analysis/delta.hpp"
+#include "analysis/expected.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+
+namespace {
+
+using calciom::analysis::expectedDeltaTimes;
+using calciom::analysis::expectedPairTimes;
+using calciom::analysis::fmt;
+using calciom::analysis::fmtBytes;
+using calciom::analysis::fmtRate;
+using calciom::analysis::Histogram;
+using calciom::analysis::linspace;
+using calciom::analysis::mean;
+using calciom::analysis::percentile;
+using calciom::analysis::TextTable;
+
+TEST(HistogramTest, BinsValuesIntoRightOpenIntervals) {
+  Histogram h({0.0, 10.0, 20.0, 30.0});
+  h.add(0.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 1.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
+  Histogram h({0.0, 10.0, 20.0});
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+}
+
+TEST(HistogramTest, WeightsAndFractions) {
+  Histogram h({0.0, 1.0, 2.0});
+  h.add(0.5, 3.0);
+  h.add(1.5, 1.0);
+  const auto f = h.fractions();
+  EXPECT_DOUBLE_EQ(f[0], 0.75);
+  EXPECT_DOUBLE_EQ(f[1], 0.25);
+  const auto c = h.cdf();
+  EXPECT_DOUBLE_EQ(c[0], 0.75);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+}
+
+TEST(HistogramTest, PowerOfTwoEdges) {
+  Histogram h = Histogram::powerOfTwo(8, 12);  // 256..4096
+  EXPECT_EQ(h.binCount(), 4u);
+  h.add(256.0);
+  h.add(511.0);
+  h.add(2048.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);  // [256,512)
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);  // [2048,4096)
+}
+
+TEST(StatsTest, MeanAndPercentile) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 50.0), 2.5);
+}
+
+TEST(ExpectedTest, NoOverlapWhenSecondStartsAfterFirstEnds) {
+  const auto t = expectedPairTimes(10.0, 6.0, 12.0);
+  EXPECT_DOUBLE_EQ(t.first, 10.0);
+  EXPECT_DOUBLE_EQ(t.second, 6.0);
+}
+
+TEST(ExpectedTest, FullOverlapMatchesTheDeltaFormula) {
+  // Identical apps, both T=10: elapsed = 2T - dt for both (Section II-C).
+  for (double dt : {0.0, 2.0, 5.0, 8.0}) {
+    const auto t = expectedPairTimes(10.0, 10.0, dt);
+    EXPECT_NEAR(t.first, 20.0 - dt, 1e-9) << dt;
+    EXPECT_NEAR(t.second, 20.0 - dt, 1e-9) << dt;
+  }
+}
+
+TEST(ExpectedTest, PeakInterferenceIsAtDtZero) {
+  const auto peak = expectedPairTimes(10.0, 10.0, 0.0);
+  const auto off = expectedPairTimes(10.0, 10.0, 4.0);
+  EXPECT_GT(peak.first, off.first);
+  EXPECT_DOUBLE_EQ(peak.first, 20.0);
+}
+
+TEST(ExpectedTest, WeightsSkewTheSharing) {
+  // Heavy first app barely notices the light second one.
+  const auto t = expectedPairTimes(10.0, 10.0, 0.0, 31.0, 1.0);
+  EXPECT_LT(t.first, 11.0);
+  EXPECT_GT(t.second, 15.0);
+}
+
+TEST(ExpectedTest, SignedDeltaMirrorsCorrectly) {
+  const auto pos = expectedDeltaTimes(10.0, 6.0, 3.0);
+  const auto neg = expectedDeltaTimes(6.0, 10.0, -3.0);
+  // Mirrored scenario: swap roles and sign, swap outputs.
+  EXPECT_DOUBLE_EQ(pos.timeA, neg.timeB);
+  EXPECT_DOUBLE_EQ(pos.timeB, neg.timeA);
+}
+
+TEST(ExpectedTest, EfficiencyBelowOneInflatesBoth) {
+  const auto full = expectedPairTimes(10.0, 10.0, 0.0, 1.0, 1.0, 1.0);
+  const auto lossy = expectedPairTimes(10.0, 10.0, 0.0, 1.0, 1.0, 0.8);
+  EXPECT_GT(lossy.first, full.first);
+  EXPECT_GT(lossy.second, full.second);
+}
+
+TEST(TableTest, AlignedTextAndCsv) {
+  TextTable t({"dt", "time"});
+  t.addRow({"-5", "8.31"});
+  t.addRow({"10", "12.00"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("dt"), std::string::npos);
+  EXPECT_NE(s.find("12.00"), std::string::npos);
+  const std::string c = t.csv();
+  EXPECT_NE(c.find("dt,time"), std::string::npos);
+  EXPECT_NE(c.find("-5,8.31"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableTest, CsvQuotesCommas) {
+  TextTable t({"a"});
+  t.addRow({"x,y"});
+  EXPECT_NE(t.csv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(TableTest, MismatchedRowThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), calciom::PreconditionError);
+}
+
+TEST(FormatTest, NumbersRatesAndBytes) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmtRate(1.35e9), "1.35 GB/s");
+  EXPECT_EQ(fmtRate(640e6), "640.00 MB/s");
+  EXPECT_EQ(fmtBytes(16.0 * 1024 * 1024), "16.00 MB");
+}
+
+TEST(LinspaceTest, EndpointsAndSpacing) {
+  const auto v = linspace(-10.0, 10.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), -10.0);
+  EXPECT_DOUBLE_EQ(v.back(), 10.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,326 @@
+// Protocol-level tests of the Arbiter driven by hand-crafted messages (no
+// Session objects): state machine transitions, crossing messages, implicit
+// pause-acks, multi-accessor bookkeeping and decision records.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "calciom/arbiter.hpp"
+#include "calciom/policy.hpp"
+#include "mpi/port.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using calciom::core::Action;
+using calciom::core::Arbiter;
+using calciom::core::IoDescriptor;
+using calciom::core::makePolicy;
+using calciom::core::PolicyKind;
+using calciom::mpi::Info;
+using calciom::mpi::PortRegistry;
+using calciom::sim::Engine;
+namespace msg = calciom::core::msg;
+
+/// A fake application endpoint: opens the app port and records messages.
+struct FakeApp {
+  std::uint32_t id;
+  PortRegistry& ports;
+  std::vector<std::string> received;
+
+  FakeApp(std::uint32_t appId, PortRegistry& registry)
+      : id(appId), ports(registry) {
+    ports.openPort(msg::appPort(id), [this](std::uint32_t, Info payload) {
+      received.push_back(*payload.get(msg::kType));
+    });
+  }
+  ~FakeApp() { ports.closePort(msg::appPort(id)); }
+
+  void inform(double estAlone = 10.0, int cores = 64) {
+    IoDescriptor d;
+    d.appId = id;
+    d.cores = cores;
+    d.estAloneSeconds = estAlone;
+    Info wire = d.toInfo();
+    wire.set(msg::kType, msg::kInform);
+    ports.send(msg::arbiterPort(), id, std::move(wire));
+  }
+  void release(double progress) {
+    Info wire;
+    wire.set(msg::kType, msg::kRelease);
+    wire.setDouble(msg::kProgress, progress);
+    ports.send(msg::arbiterPort(), id, std::move(wire));
+  }
+  void complete() {
+    Info wire;
+    wire.set(msg::kType, msg::kComplete);
+    ports.send(msg::arbiterPort(), id, std::move(wire));
+  }
+  void pauseAck(double progress) {
+    Info wire;
+    wire.set(msg::kType, msg::kPauseAck);
+    wire.setDouble(msg::kProgress, progress);
+    ports.send(msg::arbiterPort(), id, std::move(wire));
+  }
+  [[nodiscard]] int count(const std::string& type) const {
+    int n = 0;
+    for (const auto& t : received) {
+      if (t == type) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+struct Rig {
+  Engine eng;
+  PortRegistry ports{eng, 1e-3};
+  Arbiter arbiter;
+  explicit Rig(PolicyKind kind) : arbiter(eng, ports, makePolicy(kind)) {}
+};
+
+TEST(ArbiterTest, FirstRequestIsGrantedImmediately) {
+  Rig rig(PolicyKind::Fcfs);
+  FakeApp a(1, rig.ports);
+  a.inform();
+  rig.eng.run();
+  EXPECT_EQ(a.count(msg::kGrant), 1);
+  EXPECT_EQ(rig.arbiter.currentAccessors(),
+            std::vector<std::uint32_t>{1});
+}
+
+TEST(ArbiterTest, FcfsQueuesAndGrantsInOrder) {
+  Rig rig(PolicyKind::Fcfs);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  FakeApp c(3, rig.ports);
+  a.inform();
+  rig.eng.run();
+  b.inform();
+  c.inform();
+  rig.eng.run();
+  EXPECT_EQ(b.count(msg::kGrant), 0);
+  EXPECT_EQ(rig.arbiter.waitQueue(),
+            (std::vector<std::uint32_t>{2, 3}));
+  a.complete();
+  rig.eng.run();
+  EXPECT_EQ(b.count(msg::kGrant), 1);
+  EXPECT_EQ(c.count(msg::kGrant), 0);
+  b.complete();
+  rig.eng.run();
+  EXPECT_EQ(c.count(msg::kGrant), 1);
+}
+
+TEST(ArbiterTest, InterferePolicyGrantsEveryone) {
+  Rig rig(PolicyKind::Interfere);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  a.inform();
+  rig.eng.run();
+  b.inform();
+  rig.eng.run();
+  EXPECT_EQ(a.count(msg::kGrant), 1);
+  EXPECT_EQ(b.count(msg::kGrant), 1);
+  EXPECT_EQ(rig.arbiter.currentAccessors().size(), 2u);
+  a.complete();
+  b.complete();
+  rig.eng.run();
+  EXPECT_TRUE(rig.arbiter.currentAccessors().empty());
+}
+
+TEST(ArbiterTest, InterruptWaitsForAckBeforeGranting) {
+  Rig rig(PolicyKind::Interrupt);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  a.inform();
+  rig.eng.run();
+  b.inform();
+  rig.eng.run();
+  EXPECT_EQ(a.count(msg::kPause), 1);
+  EXPECT_EQ(b.count(msg::kGrant), 0);  // not yet: A has not acked
+  a.pauseAck(0.4);
+  rig.eng.run();
+  EXPECT_EQ(b.count(msg::kGrant), 1);
+  EXPECT_EQ(rig.arbiter.pausedStack(), std::vector<std::uint32_t>{1});
+  b.complete();
+  rig.eng.run();
+  EXPECT_EQ(a.count(msg::kResume), 1);
+  EXPECT_EQ(rig.arbiter.currentAccessors(),
+            std::vector<std::uint32_t>{1});
+}
+
+TEST(ArbiterTest, CompletionBeforeAckCountsAsImplicitAck) {
+  // A finishes its phase in the window between the pause request and its
+  // next hook: the completion must release the interrupter.
+  Rig rig(PolicyKind::Interrupt);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  a.inform();
+  rig.eng.run();
+  b.inform();
+  rig.eng.run();
+  ASSERT_EQ(a.count(msg::kPause), 1);
+  a.complete();  // crossing: completes instead of acking
+  rig.eng.run();
+  EXPECT_EQ(b.count(msg::kGrant), 1);
+  EXPECT_TRUE(rig.arbiter.pausedStack().empty());
+  b.complete();
+  rig.eng.run();
+  EXPECT_EQ(a.count(msg::kResume), 0);  // nothing to resume
+}
+
+TEST(ArbiterTest, NewcomersQueueWhileInterruptSettles) {
+  Rig rig(PolicyKind::Interrupt);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  FakeApp c(3, rig.ports);
+  a.inform();
+  rig.eng.run();
+  b.inform();
+  rig.eng.run();  // pause sent to A, not yet acked
+  c.inform();
+  rig.eng.run();
+  EXPECT_EQ(c.count(msg::kGrant), 0);
+  EXPECT_EQ(a.count(msg::kPause), 1);  // C did not trigger a second pause
+  a.pauseAck(0.5);
+  rig.eng.run();
+  EXPECT_EQ(b.count(msg::kGrant), 1);
+  b.complete();
+  rig.eng.run();
+  // A (paused) resumes before C (queued).
+  EXPECT_EQ(a.count(msg::kResume), 1);
+  EXPECT_EQ(c.count(msg::kGrant), 0);
+  a.complete();
+  rig.eng.run();
+  EXPECT_EQ(c.count(msg::kGrant), 1);
+}
+
+TEST(ArbiterTest, ReleaseUpdatesProgressForDynamicDecisions) {
+  Rig rig(PolicyKind::Dynamic);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  a.inform(/*estAlone=*/10.0);
+  rig.eng.run();
+  a.release(0.9);  // nearly done
+  rig.eng.run();
+  b.inform(/*estAlone=*/5.0);
+  rig.eng.run();
+  // remaining_A = 1s < est_B = 5s: the metric favors queueing.
+  ASSERT_EQ(rig.arbiter.decisions().size(), 1u);
+  EXPECT_EQ(rig.arbiter.decisions()[0].action, Action::Queue);
+  EXPECT_FALSE(rig.arbiter.decisions()[0].costs.empty());
+}
+
+TEST(ArbiterTest, DecisionRecordsCaptureContext) {
+  Rig rig(PolicyKind::Dynamic);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  a.inform(/*estAlone=*/20.0);
+  rig.eng.run();
+  b.inform(/*estAlone=*/2.0);
+  rig.eng.run();
+  ASSERT_EQ(rig.arbiter.decisions().size(), 1u);
+  const auto& d = rig.arbiter.decisions()[0];
+  EXPECT_EQ(d.requester, 2u);
+  EXPECT_EQ(d.accessors, std::vector<std::uint32_t>{1});
+  EXPECT_EQ(d.action, Action::Interrupt);  // 20s remaining vs 2s request
+  EXPECT_EQ(d.costs.front().action, Action::Interrupt);
+}
+
+TEST(ArbiterTest, UnknownAppMessagesAreIgnored) {
+  Rig rig(PolicyKind::Fcfs);
+  FakeApp a(1, rig.ports);
+  a.release(0.5);   // release without ever informing
+  a.complete();     // complete without ever informing
+  rig.eng.run();
+  EXPECT_TRUE(rig.arbiter.currentAccessors().empty());
+  a.inform();
+  rig.eng.run();
+  EXPECT_EQ(a.count(msg::kGrant), 1);  // still functional afterwards
+}
+
+TEST(ArbiterTest, GrantsAndPausesAreCounted) {
+  Rig rig(PolicyKind::Interrupt);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  a.inform();
+  rig.eng.run();
+  b.inform();
+  rig.eng.run();
+  a.pauseAck(0.1);
+  rig.eng.run();
+  b.complete();
+  rig.eng.run();
+  a.complete();
+  rig.eng.run();
+  EXPECT_EQ(rig.arbiter.grantsIssued(), 2u);  // A's grant + B's grant
+  EXPECT_EQ(rig.arbiter.pausesIssued(), 1u);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(ArbiterTest, TerminatedAccessorUnblocksTheQueue) {
+  Rig rig(PolicyKind::Fcfs);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  a.inform();
+  rig.eng.run();
+  b.inform();
+  rig.eng.run();
+  EXPECT_EQ(b.count(msg::kGrant), 0);
+  // A's job is killed by the scheduler; it never sends Complete.
+  rig.arbiter.onApplicationTerminated(1);
+  rig.eng.run();
+  EXPECT_EQ(b.count(msg::kGrant), 1);
+}
+
+TEST(ArbiterTest, TerminatedInterrupterAbandonsThePause) {
+  Rig rig(PolicyKind::Interrupt);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  a.inform();
+  rig.eng.run();
+  b.inform();
+  rig.eng.run();
+  ASSERT_EQ(a.count(msg::kPause), 1);
+  // B dies before A reaches a hook and acks.
+  rig.arbiter.onApplicationTerminated(2);
+  rig.eng.run();
+  // A acks its (now pointless) pause and must be resumed right away.
+  a.pauseAck(0.5);
+  rig.eng.run();
+  EXPECT_EQ(a.count(msg::kResume), 1);
+  EXPECT_EQ(rig.arbiter.currentAccessors(), std::vector<std::uint32_t>{1});
+  a.complete();
+  rig.eng.run();
+  EXPECT_TRUE(rig.arbiter.currentAccessors().empty());
+}
+
+TEST(ArbiterTest, TerminatedQueuedAppIsForgotten) {
+  Rig rig(PolicyKind::Fcfs);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  FakeApp c(3, rig.ports);
+  a.inform();
+  rig.eng.run();
+  b.inform();
+  c.inform();
+  rig.eng.run();
+  rig.arbiter.onApplicationTerminated(2);  // B dies while queued
+  a.complete();
+  rig.eng.run();
+  EXPECT_EQ(b.count(msg::kGrant), 0);
+  EXPECT_EQ(c.count(msg::kGrant), 1);  // C skipped past the dead B
+}
+
+TEST(ArbiterTest, TerminatingUnknownAppIsANoop) {
+  Rig rig(PolicyKind::Fcfs);
+  EXPECT_NO_THROW(rig.arbiter.onApplicationTerminated(42));
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Session-level tests: the paper-named API (inform/check/wait/release/
+// prepare/complete) used directly, granularity semantics, stale pause
+// handling, and bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "calciom/arbiter.hpp"
+#include "calciom/policy.hpp"
+#include "calciom/session.hpp"
+#include "mpi/port.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using calciom::core::Arbiter;
+using calciom::core::HookGranularity;
+using calciom::core::makePolicy;
+using calciom::core::PolicyKind;
+using calciom::core::Session;
+using calciom::core::SessionConfig;
+using calciom::io::PhaseInfo;
+using calciom::mpi::PortRegistry;
+using calciom::sim::Delay;
+using calciom::sim::Engine;
+using calciom::sim::Task;
+using calciom::sim::Time;
+
+PhaseInfo simplePhase(std::uint32_t appId, double estAlone) {
+  PhaseInfo info;
+  info.appId = appId;
+  info.processes = 8;
+  info.totalBytes = 1000;
+  info.estimatedAloneSeconds = estAlone;
+  return info;
+}
+
+struct Rig {
+  Engine eng;
+  PortRegistry ports{eng, 1e-3};
+  Arbiter arbiter;
+  explicit Rig(PolicyKind kind) : arbiter(eng, ports, makePolicy(kind)) {}
+};
+
+Task informAndWait(Engine& eng, Session& s, PhaseInfo info, Time* granted) {
+  s.inform(info);
+  co_await eng.spawn(s.wait());
+  *granted = eng.now();
+}
+
+TEST(SessionTest, CheckIsFalseUntilGrantArrives) {
+  Rig rig(PolicyKind::Fcfs);
+  Session s(rig.eng, rig.ports, SessionConfig{.appId = 1, .cores = 8});
+  EXPECT_FALSE(s.check());
+  Time granted = -1.0;
+  rig.eng.spawn(informAndWait(rig.eng, s, simplePhase(1, 5.0), &granted));
+  rig.eng.run();
+  EXPECT_TRUE(s.check());
+  EXPECT_NEAR(granted, 2e-3, 1e-9);  // two message hops
+  EXPECT_NEAR(s.waitSeconds(), 2e-3, 1e-9);
+}
+
+TEST(SessionTest, WaitOnAlreadyGrantedSessionReturnsImmediately) {
+  Rig rig(PolicyKind::Fcfs);
+  Session s(rig.eng, rig.ports, SessionConfig{.appId = 1, .cores = 8});
+  Time granted = -1.0;
+  rig.eng.spawn(informAndWait(rig.eng, s, simplePhase(1, 5.0), &granted));
+  rig.eng.run();
+  const double waitBefore = s.waitSeconds();
+  Time again = -1.0;
+  rig.eng.spawn([](Engine& eng, Session& session, Time* out) -> Task {
+    co_await eng.spawn(session.wait());
+    *out = eng.now();
+  }(rig.eng, s, &again));
+  rig.eng.run();
+  EXPECT_DOUBLE_EQ(again, granted);  // no further simulated time passed
+  EXPECT_DOUBLE_EQ(s.waitSeconds(), waitBefore);
+}
+
+Task phaseWithBoundaries(Engine& eng, Session& s, PhaseInfo info,
+                         int rounds, double roundSeconds, Time* end) {
+  s.inform(info);
+  co_await eng.spawn(s.wait());
+  for (int r = 0; r < rounds; ++r) {
+    co_await Delay{roundSeconds};
+    co_await eng.spawn(s.roundBoundary(
+        static_cast<double>(r + 1) / static_cast<double>(rounds)));
+  }
+  co_await eng.spawn(s.endPhase());
+  *end = eng.now();
+}
+
+TEST(SessionTest, PhaseOnlyGranularityNeverPauses) {
+  Rig rig(PolicyKind::Interrupt);
+  Session a(rig.eng, rig.ports,
+            SessionConfig{.appId = 1, .cores = 8,
+                          .granularity = HookGranularity::PhaseOnly});
+  Session b(rig.eng, rig.ports, SessionConfig{.appId = 2, .cores = 8});
+  Time endA = -1.0;
+  Time endB = -1.0;
+  rig.eng.spawn(
+      phaseWithBoundaries(rig.eng, a, simplePhase(1, 4.0), 4, 1.0, &endA));
+  rig.eng.spawn([](Engine& eng, Session& s, Time* end) -> Task {
+    co_await Delay{1.5};
+    co_await eng.spawn(s.beginPhase(simplePhase(2, 1.0)));
+    co_await Delay{1.0};
+    co_await eng.spawn(s.endPhase());
+    *end = eng.now();
+  }(rig.eng, b, &endB));
+  rig.eng.run();
+  // A ignores the pause request at every round boundary and finishes its
+  // whole phase; B is only granted afterwards.
+  EXPECT_EQ(a.pausesHonored(), 0);
+  EXPECT_GT(endB, endA);
+}
+
+TEST(SessionTest, PauseArrivingAfterPhaseEndIsStale) {
+  Rig rig(PolicyKind::Interrupt);
+  Session a(rig.eng, rig.ports, SessionConfig{.appId = 1, .cores = 8});
+  Session b(rig.eng, rig.ports, SessionConfig{.appId = 2, .cores = 8});
+  Time endA = -1.0;
+  Time endB = -1.0;
+  // A's phase is so short that B's interrupt lands after A completed.
+  rig.eng.spawn(
+      phaseWithBoundaries(rig.eng, a, simplePhase(1, 0.1), 1, 0.1, &endA));
+  rig.eng.spawn([](Engine& eng, Session& s, Time* end) -> Task {
+    co_await Delay{0.1001};
+    co_await eng.spawn(s.beginPhase(simplePhase(2, 1.0)));
+    co_await Delay{1.0};
+    co_await eng.spawn(s.endPhase());
+    *end = eng.now();
+  }(rig.eng, b, &endB));
+  rig.eng.run();
+  EXPECT_EQ(a.pausesHonored(), 0);
+  EXPECT_GT(endB, 1.0);
+  // A's next phase must not be poisoned by the stale pause flag.
+  Time endA2 = -1.0;
+  rig.eng.spawn(
+      phaseWithBoundaries(rig.eng, a, simplePhase(1, 0.4), 4, 0.1, &endA2));
+  rig.eng.run();
+  EXPECT_EQ(a.pausesHonored(), 0);
+  EXPECT_GT(endA2, 0.0);
+}
+
+TEST(SessionTest, PausedFlagAndAccountingDuringInterruption) {
+  Rig rig(PolicyKind::Interrupt);
+  Session a(rig.eng, rig.ports, SessionConfig{.appId = 1, .cores = 8});
+  Session b(rig.eng, rig.ports, SessionConfig{.appId = 2, .cores = 8});
+  Time endA = -1.0;
+  Time endB = -1.0;
+  rig.eng.spawn(
+      phaseWithBoundaries(rig.eng, a, simplePhase(1, 4.0), 4, 1.0, &endA));
+  rig.eng.spawn([](Engine& eng, Session& s, Time* end) -> Task {
+    co_await Delay{1.5};
+    co_await eng.spawn(s.beginPhase(simplePhase(2, 2.0)));
+    co_await Delay{2.0};
+    co_await eng.spawn(s.endPhase());
+    *end = eng.now();
+  }(rig.eng, b, &endB));
+  bool pausedMidway = false;
+  rig.eng.scheduleAt(3.0, [&] { pausedMidway = a.paused(); });
+  rig.eng.run();
+  EXPECT_TRUE(pausedMidway);
+  EXPECT_FALSE(a.paused());
+  EXPECT_EQ(a.pausesHonored(), 1);
+  EXPECT_NEAR(a.pausedSeconds(), 2.0, 0.05);
+  EXPECT_NEAR(endA, 4.0 + 2.0, 0.1);
+}
+
+TEST(SessionTest, PrepareCompleteStackSemantics) {
+  Rig rig(PolicyKind::Fcfs);
+  Session s(rig.eng, rig.ports, SessionConfig{.appId = 1, .cores = 8});
+  calciom::mpi::Info extra1;
+  extra1.set("layer", "hdf5");
+  calciom::mpi::Info extra2;
+  extra2.set("layer", "adio");
+  s.prepare(extra1);
+  s.prepare(extra2);
+  s.complete();
+  s.complete();
+  EXPECT_THROW(s.complete(), calciom::PreconditionError);
+}
+
+TEST(SessionTest, InformCountsAndConfigAccessors) {
+  Rig rig(PolicyKind::Fcfs);
+  Session s(rig.eng, rig.ports,
+            SessionConfig{.appId = 7, .appName = "x", .cores = 128});
+  EXPECT_EQ(s.config().appId, 7u);
+  EXPECT_EQ(s.config().cores, 128);
+  Time granted = -1.0;
+  rig.eng.spawn(informAndWait(rig.eng, s, simplePhase(7, 5.0), &granted));
+  rig.eng.run();
+  EXPECT_EQ(s.informsSent(), 1);
+}
+
+TEST(SessionTest, InvalidCoreCountThrows) {
+  Rig rig(PolicyKind::Fcfs);
+  EXPECT_THROW(Session(rig.eng, rig.ports,
+                       SessionConfig{.appId = 1, .cores = 0}),
+               calciom::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// End-to-end integration tests: the paper's headline claims reproduced
+// through the full stack (machine presets -> flows -> PFS -> collective
+// writer -> CALCioM coordination).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/delta.hpp"
+#include "analysis/scenario.hpp"
+#include "io/pattern.hpp"
+#include "platform/presets.hpp"
+
+namespace {
+
+using calciom::analysis::PairResult;
+using calciom::analysis::runAlone;
+using calciom::analysis::runPair;
+using calciom::analysis::ScenarioConfig;
+using calciom::analysis::sweepDelta;
+using calciom::core::Action;
+using calciom::core::PolicyKind;
+using calciom::core::SumInterferenceFactors;
+using calciom::io::stridedPattern;
+using calciom::platform::grid5000Rennes;
+using calciom::workload::IorConfig;
+
+/// The paper's Fig 6/9 workload: 768 Rennes cores split 744/24, 16 MB per
+/// process in 8 strides of 2 MB.
+ScenarioConfig rennesBigSmall(PolicyKind policy, double dt) {
+  ScenarioConfig cfg;
+  cfg.machine = grid5000Rennes();
+  cfg.policy = policy;
+  cfg.dt = dt;
+  cfg.appA = IorConfig{.name = "big",
+                       .processes = 744,
+                       .pattern = stridedPattern(2 << 20, 8)};
+  cfg.appB = IorConfig{.name = "small",
+                       .processes = 24,
+                       .pattern = stridedPattern(2 << 20, 8)};
+  return cfg;
+}
+
+ScenarioConfig rennesEqual(PolicyKind policy, double dt) {
+  ScenarioConfig cfg = rennesBigSmall(policy, dt);
+  cfg.appA.processes = 384;
+  cfg.appB.processes = 384;
+  return cfg;
+}
+
+TEST(IntegrationTest, AloneTimesMatchAnalyticEstimates) {
+  const ScenarioConfig cfg = rennesBigSmall(PolicyKind::Interfere, 0.0);
+  const auto aloneA = runAlone(cfg.machine, cfg.appA);
+  const auto aloneB = runAlone(cfg.machine, cfg.appB);
+  // Big app: 744 * 16MB = 11.6GiB at ~600MB/s sustained => ~20s + shuffle.
+  EXPECT_GT(aloneA.totalIoSeconds(), 15.0);
+  EXPECT_LT(aloneA.totalIoSeconds(), 30.0);
+  // Small app: 24 procs * 12MB/s NIC cap = 288MB/s => 384MB in ~1.4s.
+  EXPECT_GT(aloneB.totalIoSeconds(), 1.0);
+  EXPECT_LT(aloneB.totalIoSeconds(), 2.5);
+}
+
+TEST(IntegrationTest, InterferenceCrushesTheSmallApplication) {
+  // Fig 6: the 24-core app competing with the 744-core app sees an
+  // interference factor around 14; the big app is barely affected.
+  const ScenarioConfig cfg = rennesBigSmall(PolicyKind::Interfere, 2.0);
+  const auto aloneB = runAlone(cfg.machine, cfg.appB).totalIoSeconds();
+  const auto aloneA = runAlone(cfg.machine, cfg.appA).totalIoSeconds();
+  const PairResult r = runPair(cfg);
+  const double factorB = r.b.totalIoSeconds() / aloneB;
+  const double factorA = r.a.totalIoSeconds() / aloneA;
+  EXPECT_GT(factorB, 8.0);
+  EXPECT_LT(factorB, 30.0);
+  EXPECT_LT(factorA, 1.35);
+}
+
+TEST(IntegrationTest, FcfsLeavesTheFirstApplicationUntouched) {
+  // Fig 7a's property: under FCFS serialization only the app arriving
+  // second is impacted.
+  const ScenarioConfig cfg = rennesEqual(PolicyKind::Fcfs, 3.0);
+  const double aloneA = runAlone(cfg.machine, cfg.appA).totalIoSeconds();
+  const double aloneB = runAlone(cfg.machine, cfg.appB).totalIoSeconds();
+  const PairResult r = runPair(cfg);
+  EXPECT_NEAR(r.a.totalIoSeconds(), aloneA, aloneA * 0.02);
+  // B waited for A's remainder then ran at full speed.
+  EXPECT_NEAR(r.b.totalIoSeconds(), (aloneA - 3.0) + aloneB,
+              aloneA * 0.05);
+  EXPECT_GT(r.b.sessionWaitSeconds, aloneA - 3.5);
+}
+
+TEST(IntegrationTest, FcfsFavorsWhoeverStartsFirst) {
+  const ScenarioConfig cfg = rennesEqual(PolicyKind::Fcfs, -2.0);  // B first
+  const double aloneB = runAlone(cfg.machine, cfg.appB).totalIoSeconds();
+  const PairResult r = runPair(cfg);
+  EXPECT_NEAR(r.b.totalIoSeconds(), aloneB, aloneB * 0.02);
+  EXPECT_GT(r.a.sessionWaitSeconds, 1.0);  // A queued behind B's remainder
+}
+
+TEST(IntegrationTest, InterruptionProtectsTheSmallApplication) {
+  // Fig 9/abstract: interruption prevents the 14x slowdown of the small
+  // app at negligible cost to the big one.
+  const ScenarioConfig cfg = rennesBigSmall(PolicyKind::Interrupt, 2.0);
+  const double aloneA = runAlone(cfg.machine, cfg.appA).totalIoSeconds();
+  const double aloneB = runAlone(cfg.machine, cfg.appB).totalIoSeconds();
+  const PairResult r = runPair(cfg);
+  const double factorB = r.b.totalIoSeconds() / aloneB;
+  const double factorA = r.a.totalIoSeconds() / aloneA;
+  EXPECT_LT(factorB, 2.5);            // small app nearly unharmed
+  EXPECT_LT(factorA, 1.25);           // big app pays ~T_B(alone) ~ 7%
+  EXPECT_EQ(r.a.pausesHonored, 1);
+  EXPECT_GT(r.a.sessionPausedSeconds, 0.5);
+}
+
+TEST(IntegrationTest, InterruptionIsCounterproductiveForEqualApps) {
+  // Fig 9(c): interrupting an equal-size app hurts the accessor as much as
+  // FCFS would have hurt the requester -- with no machine-wide gain.
+  const ScenarioConfig fcfs = rennesEqual(PolicyKind::Fcfs, 3.0);
+  const ScenarioConfig intr = rennesEqual(PolicyKind::Interrupt, 3.0);
+  const double aloneA = runAlone(fcfs.machine, fcfs.appA).totalIoSeconds();
+  const PairResult rf = runPair(fcfs);
+  const PairResult ri = runPair(intr);
+  const double factorA_fcfs = rf.a.totalIoSeconds() / aloneA;
+  const double factorA_int = ri.a.totalIoSeconds() / aloneA;
+  EXPECT_LT(factorA_fcfs, 1.05);  // FCFS: accessor untouched
+  EXPECT_GT(factorA_int, 1.5);    // interruption: accessor pays heavily
+}
+
+TEST(IntegrationTest, DynamicPolicyProtectsSmallAppUnderFactorMetric) {
+  ScenarioConfig cfg = rennesBigSmall(PolicyKind::Dynamic, 2.0);
+  cfg.metric = std::make_shared<SumInterferenceFactors>();
+  const PairResult r = runPair(cfg);
+  ASSERT_FALSE(r.decisions.empty());
+  EXPECT_EQ(r.decisions.front().action, Action::Interrupt);
+  EXPECT_EQ(r.a.pausesHonored, 1);
+}
+
+TEST(IntegrationTest, DynamicPolicyNeverWorseThanBothPureOnes) {
+  // Under its own metric, the dynamic choice must match the better of
+  // FCFS/interruption (it picks between exactly those options).
+  auto metric = std::make_shared<SumInterferenceFactors>();
+  for (double dt : {1.0, 5.0, 12.0}) {
+    double costs[3] = {0, 0, 0};
+    const PolicyKind kinds[3] = {PolicyKind::Fcfs, PolicyKind::Interrupt,
+                                 PolicyKind::Dynamic};
+    ScenarioConfig base = rennesBigSmall(PolicyKind::Fcfs, dt);
+    const double aloneA = runAlone(base.machine, base.appA).totalIoSeconds();
+    const double aloneB = runAlone(base.machine, base.appB).totalIoSeconds();
+    for (int k = 0; k < 3; ++k) {
+      ScenarioConfig cfg = rennesBigSmall(kinds[k], dt);
+      cfg.metric = metric;
+      const PairResult r = runPair(cfg);
+      costs[k] = metric->cost(
+          {calciom::core::AppCost{r.a.processes, r.a.totalIoSeconds(),
+                                  aloneA},
+           calciom::core::AppCost{r.b.processes, r.b.totalIoSeconds(),
+                                  aloneB}});
+    }
+    const double best = std::min(costs[0], costs[1]);
+    EXPECT_LE(costs[2], best * 1.10) << "dt=" << dt;
+  }
+}
+
+TEST(IntegrationTest, BytesAreConservedThroughTheWholeStack) {
+  const ScenarioConfig cfg = rennesBigSmall(PolicyKind::Interfere, 1.0);
+  const PairResult r = runPair(cfg);
+  const double expected = static_cast<double>(r.a.totalBytes()) +
+                          static_cast<double>(r.b.totalBytes());
+  EXPECT_NEAR(r.bytesDelivered, expected, expected * 1e-9 + 1.0);
+  EXPECT_EQ(r.a.totalBytes(), 744ull * 16 * 1024 * 1024);
+  EXPECT_EQ(r.b.totalBytes(), 24ull * 16 * 1024 * 1024);
+}
+
+TEST(IntegrationTest, DeltaSweepShowsTheDeltaShape) {
+  ScenarioConfig cfg = rennesEqual(PolicyKind::Interfere, 0.0);
+  const auto graph = sweepDelta(cfg, {-30.0, -5.0, 0.0, 5.0, 30.0});
+  ASSERT_EQ(graph.points.size(), 5u);
+  // Peak at dt=0; far-apart starts show no interference.
+  EXPECT_GT(graph.points[2].factorA, graph.points[0].factorA);
+  EXPECT_GT(graph.points[2].factorB, graph.points[4].factorB);
+  EXPECT_NEAR(graph.points[0].factorB, 1.0, 0.1);  // B ran first, alone
+  EXPECT_NEAR(graph.points[4].factorA, 1.0, 0.1);  // A done before B came
+  // Interference factors never drop meaningfully below 1.
+  for (const auto& p : graph.points) {
+    EXPECT_GT(p.factorA, 0.95);
+    EXPECT_GT(p.factorB, 0.95);
+  }
+}
+
+TEST(IntegrationTest, CoordinationOverheadIsNegligible) {
+  // Uncoordinated baseline vs CALCioM with the interfere policy: the
+  // message round-trips must cost well under 1% of the I/O time.
+  ScenarioConfig cfg = rennesEqual(PolicyKind::Interfere, 0.0);
+  const PairResult with = runPair(cfg);
+  cfg.coordinated = false;
+  const PairResult without = runPair(cfg);
+  EXPECT_NEAR(with.a.totalIoSeconds(), without.a.totalIoSeconds(),
+              without.a.totalIoSeconds() * 0.01);
+  EXPECT_NEAR(with.b.totalIoSeconds(), without.b.totalIoSeconds(),
+              without.b.totalIoSeconds() * 0.01);
+}
+
+}  // namespace

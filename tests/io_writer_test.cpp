@@ -1,0 +1,288 @@
+// Unit tests for the collective writer: round planning, two-phase timing
+// breakdown, hook call sequencing and the alone-time estimator.
+
+#include "io/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "io/hooks.hpp"
+#include "io/pattern.hpp"
+#include "net/flow_net.hpp"
+#include "pfs/client.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using calciom::io::AccessPattern;
+using calciom::io::CollectiveWriter;
+using calciom::io::contiguousPattern;
+using calciom::io::IoCoordinationHooks;
+using calciom::io::NoopHooks;
+using calciom::io::PhaseInfo;
+using calciom::io::PhaseResult;
+using calciom::io::PhaseSpec;
+using calciom::io::stridedPattern;
+using calciom::io::WriteResult;
+using calciom::io::WriterConfig;
+using calciom::mpi::CommCosts;
+using calciom::net::FlowNet;
+using calciom::pfs::ClientContext;
+using calciom::pfs::ParallelFileSystem;
+using calciom::pfs::PfsClient;
+using calciom::pfs::PfsConfig;
+using calciom::sim::Engine;
+using calciom::sim::Gate;
+using calciom::sim::Task;
+
+/// Records every hook invocation with its progress argument.
+class RecordingHooks final : public IoCoordinationHooks {
+ public:
+  std::vector<std::string> events;
+  PhaseInfo lastInfo;
+
+  Task beginPhase(const PhaseInfo& info) override {
+    lastInfo = info;
+    events.push_back("begin");
+    co_return;
+  }
+  Task roundBoundary(double progress) override {
+    events.push_back("round@" + std::to_string(progress));
+    co_return;
+  }
+  Task fileBoundary(double progress) override {
+    events.push_back("file@" + std::to_string(progress));
+    co_return;
+  }
+  Task endPhase() override {
+    events.push_back("end");
+    co_return;
+  }
+};
+
+/// Blocks at every round boundary until the gate opens (pause/resume).
+class GateHooks final : public IoCoordinationHooks {
+ public:
+  explicit GateHooks(Gate& gate) : gate_(gate) {}
+  Task beginPhase(const PhaseInfo&) override { co_return; }
+  Task roundBoundary(double) override { co_await gate_; }
+  Task fileBoundary(double) override { co_return; }
+  Task endPhase() override { co_return; }
+
+ private:
+  Gate& gate_;
+};
+
+struct Fixture {
+  Engine eng;
+  FlowNet net{eng};
+  ParallelFileSystem fs;
+  PfsClient client;
+
+  explicit Fixture(double queuePenalty = 0.0)
+      : fs(eng, net, makeConfig(queuePenalty)),
+        client(eng, net, fs, ClientContext{.appId = 1, .appName = "A"}) {}
+
+  static PfsConfig makeConfig(double queuePenalty) {
+    PfsConfig cfg;
+    cfg.serverCount = 4;
+    cfg.server.nicBandwidth = 1e9;
+    cfg.server.diskBandwidth = 100.0;
+    cfg.stripeBytes = 100;
+    cfg.queuePenaltySeconds = queuePenalty;
+    return cfg;
+  }
+
+  WriterConfig writerConfig() const {
+    WriterConfig cfg;
+    cfg.processes = 8;
+    cfg.aggregators = 2;
+    cfg.cbBufferBytes = 1000;
+    cfg.commCosts = CommCosts{.latency = 0.0, .bandwidthPerProcess = 100.0};
+    return cfg;
+  }
+};
+
+TEST(CollectiveWriterTest, PlanRoundsCeilsTotalOverBufferCapacity) {
+  EXPECT_EQ(CollectiveWriter::planRounds(4000, 2, 1000), 2);
+  EXPECT_EQ(CollectiveWriter::planRounds(4001, 2, 1000), 3);
+  EXPECT_EQ(CollectiveWriter::planRounds(1, 2, 1000), 1);
+  EXPECT_EQ(CollectiveWriter::planRounds(0, 2, 1000), 1);
+  EXPECT_EQ(CollectiveWriter::planRounds(1ull << 30, 16, 16ull << 20), 4);
+}
+
+TEST(CollectiveWriterTest, RoundBytesSplitsWithRemainderUpFront) {
+  // 10 bytes over 3 rounds: 4, 3, 3.
+  EXPECT_EQ(CollectiveWriter::roundBytes(10, 3, 0), 4u);
+  EXPECT_EQ(CollectiveWriter::roundBytes(10, 3, 1), 3u);
+  EXPECT_EQ(CollectiveWriter::roundBytes(10, 3, 2), 3u);
+  // Conservation over a sweep of totals and round counts.
+  for (std::uint64_t total : {1ull, 7ull, 1000ull, 4096ull, 999999ull}) {
+    for (int rounds : {1, 2, 3, 7, 16}) {
+      std::uint64_t sum = 0;
+      for (int r = 0; r < rounds; ++r) {
+        sum += CollectiveWriter::roundBytes(total, rounds, r);
+      }
+      EXPECT_EQ(sum, total) << total << "/" << rounds;
+    }
+  }
+}
+
+TEST(CollectiveWriterTest, ContiguousWriteTimingMatchesBandwidth) {
+  Fixture fx;
+  CollectiveWriter writer(fx.eng, fx.client, fx.writerConfig());
+  NoopHooks hooks;
+  WriteResult result;
+  // 8 procs * 500B = 4000B at 400B/s aggregate = 10s; 2 rounds; no shuffle.
+  auto& file = fx.fs.open("f");
+  fx.eng.spawn(
+      writer.writeFile(file, contiguousPattern(500), hooks, &result));
+  fx.eng.run();
+  EXPECT_EQ(result.rounds, 2);
+  EXPECT_EQ(result.bytes, 4000u);
+  EXPECT_NEAR(result.elapsed(), 10.0, 1e-9);
+  EXPECT_NEAR(result.writeSeconds, 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.commSeconds, 0.0);
+  EXPECT_EQ(file.bytesWritten(), 4000u);
+}
+
+TEST(CollectiveWriterTest, StridedWriteChargesShufflePhases) {
+  Fixture fx;
+  CollectiveWriter writer(fx.eng, fx.client, fx.writerConfig());
+  NoopHooks hooks;
+  WriteResult result;
+  // Strided 8x(500B): same 4000B; per round 2000B. Shuffle aggregate
+  // = 8*100/2 = 400B/s -> 5s per round; write 5s per round. Total 20s.
+  auto& file = fx.fs.open("f");
+  fx.eng.spawn(
+      writer.writeFile(file, stridedPattern(500, 1), hooks, &result));
+  fx.eng.run();
+  EXPECT_EQ(result.rounds, 2);
+  EXPECT_NEAR(result.commSeconds, 10.0, 1e-9);
+  EXPECT_NEAR(result.writeSeconds, 10.0, 1e-9);
+  EXPECT_NEAR(result.elapsed(), 20.0, 1e-9);
+}
+
+TEST(CollectiveWriterTest, PhaseHookSequenceAndProgress) {
+  Fixture fx;
+  CollectiveWriter writer(fx.eng, fx.client, fx.writerConfig());
+  RecordingHooks hooks;
+  PhaseResult result;
+  PhaseSpec spec{.fileStem = "out", .fileCount = 2,
+                 .pattern = contiguousPattern(500)};
+  fx.eng.spawn(writer.runPhase(spec, hooks, &result));
+  fx.eng.run();
+  ASSERT_EQ(hooks.events.size(), 5u);
+  EXPECT_EQ(hooks.events[0], "begin");
+  EXPECT_EQ(hooks.events[1], "round@" + std::to_string(0.25));
+  EXPECT_EQ(hooks.events[2], "file@" + std::to_string(0.5));
+  EXPECT_EQ(hooks.events[3], "round@" + std::to_string(0.75));
+  EXPECT_EQ(hooks.events[4], "end");
+  EXPECT_EQ(result.files.size(), 2u);
+  EXPECT_EQ(result.bytes(), 8000u);
+  EXPECT_NEAR(result.elapsed(), 20.0, 1e-9);
+}
+
+TEST(CollectiveWriterTest, DescriptorSummarizesThePhase) {
+  Fixture fx;
+  CollectiveWriter writer(fx.eng, fx.client, fx.writerConfig());
+  PhaseSpec spec{.fileStem = "out", .fileCount = 4,
+                 .pattern = contiguousPattern(500)};
+  const PhaseInfo info = writer.describePhase(spec, 9, "appX");
+  EXPECT_EQ(info.appId, 9u);
+  EXPECT_EQ(info.appName, "appX");
+  EXPECT_EQ(info.processes, 8);
+  EXPECT_EQ(info.totalBytes, 16000u);
+  EXPECT_EQ(info.files, 4);
+  EXPECT_EQ(info.roundsPerFile, 2);
+  EXPECT_EQ(info.bytesPerRound, 2000u);
+  EXPECT_NEAR(info.estimatedAloneSeconds, 40.0, 1e-9);
+}
+
+TEST(CollectiveWriterTest, EstimateMatchesSimulatedAloneTime) {
+  // The analytic estimator and the simulator must agree when the
+  // application is alone -- contiguous and strided.
+  for (const AccessPattern& pattern :
+       {contiguousPattern(500), stridedPattern(250, 2),
+        stridedPattern(125, 8)}) {
+    Fixture fx;
+    CollectiveWriter writer(fx.eng, fx.client, fx.writerConfig());
+    NoopHooks hooks;
+    PhaseResult result;
+    PhaseSpec spec{.fileStem = "o", .fileCount = 2, .pattern = pattern};
+    const double estimate = writer.estimateAloneSeconds(spec);
+    fx.eng.spawn(writer.runPhase(spec, hooks, &result));
+    fx.eng.run();
+    EXPECT_NEAR(result.elapsed(), estimate, estimate * 1e-9 + 1e-9);
+  }
+}
+
+TEST(CollectiveWriterTest, PausedRoundBoundaryCountsAsHookTime) {
+  Fixture fx;
+  Gate gate(false);
+  CollectiveWriter writer(fx.eng, fx.client, fx.writerConfig());
+  GateHooks hooks(gate);
+  WriteResult result;
+  auto& file = fx.fs.open("f");
+  fx.eng.spawn(
+      writer.writeFile(file, contiguousPattern(500), hooks, &result));
+  fx.eng.scheduleAt(30.0, [&] { gate.open(); });
+  fx.eng.run();
+  // Round 1 finishes at t=5; paused until 30; round 2 takes 5 more.
+  EXPECT_NEAR(result.elapsed(), 35.0, 1e-9);
+  EXPECT_NEAR(result.writeSeconds, 10.0, 1e-9);
+  EXPECT_NEAR(result.hookSeconds, 25.0, 1e-9);
+}
+
+TEST(CollectiveWriterTest, QueuePenaltyAppliesOnlyWhenContended) {
+  Fixture fx(/*queuePenalty=*/2.0);
+  CollectiveWriter writer(fx.eng, fx.client, fx.writerConfig());
+  NoopHooks hooks;
+  PhaseResult alone;
+  PhaseSpec spec{.fileStem = "a", .fileCount = 1,
+                 .pattern = contiguousPattern(500)};
+  fx.eng.spawn(writer.runPhase(spec, hooks, &alone));
+  fx.eng.run();
+  EXPECT_DOUBLE_EQ(alone.queuePenaltySeconds, 0.0);
+  EXPECT_NEAR(alone.elapsed(), 10.0, 1e-9);
+
+  // Second client keeps traffic in flight; the first app now pays the
+  // penalty when re-entering.
+  PfsClient other(fx.eng, fx.net, fx.fs,
+                  ClientContext{.appId = 2, .appName = "B"});
+  auto& bigFile = fx.fs.open("big");
+  other.writeRange(bigFile, 0, 100000, 4.0);
+  PhaseResult contended;
+  fx.eng.spawn(writer.runPhase(spec, hooks, &contended));
+  fx.eng.run();
+  EXPECT_DOUBLE_EQ(contended.queuePenaltySeconds, 2.0);
+}
+
+TEST(CollectiveWriterTest, SingleRoundFileHasNoRoundHooks) {
+  Fixture fx;
+  WriterConfig cfg = fx.writerConfig();
+  cfg.cbBufferBytes = 100000;  // everything fits in one round
+  CollectiveWriter writer(fx.eng, fx.client, cfg);
+  RecordingHooks hooks;
+  PhaseResult result;
+  PhaseSpec spec{.fileStem = "s", .fileCount = 1,
+                 .pattern = contiguousPattern(500)};
+  fx.eng.spawn(writer.runPhase(spec, hooks, &result));
+  fx.eng.run();
+  EXPECT_EQ(hooks.events,
+            (std::vector<std::string>{"begin", "end"}));
+  EXPECT_EQ(result.files[0].rounds, 1);
+}
+
+TEST(CollectiveWriterTest, InvalidConfigThrows) {
+  Fixture fx;
+  WriterConfig cfg = fx.writerConfig();
+  cfg.aggregators = 0;
+  EXPECT_THROW(CollectiveWriter(fx.eng, fx.client, cfg),
+               calciom::PreconditionError);
+}
+
+}  // namespace

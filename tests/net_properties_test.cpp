@@ -1,0 +1,180 @@
+// Property-based tests of the weighted max-min allocator: for randomized
+// networks we assert the defining invariants of a max-min fair allocation
+// rather than specific values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "net/flow_net.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using calciom::net::FlowId;
+using calciom::net::FlowNet;
+using calciom::net::FlowSpec;
+using calciom::net::kUnlimited;
+using calciom::net::ResourceId;
+using calciom::sim::Engine;
+using calciom::sim::Xoshiro256;
+
+struct RandomNetCase {
+  std::uint64_t seed;
+  int resources;
+  int flows;
+};
+
+class MaxMinPropertyTest : public ::testing::TestWithParam<RandomNetCase> {};
+
+TEST_P(MaxMinPropertyTest, AllocationSatisfiesMaxMinInvariants) {
+  const RandomNetCase& p = GetParam();
+  Xoshiro256 rng(p.seed);
+  Engine eng;
+  FlowNet net(eng);
+
+  std::vector<ResourceId> res;
+  std::vector<double> cap;
+  for (int i = 0; i < p.resources; ++i) {
+    cap.push_back(rng.uniform(10.0, 1000.0));
+    res.push_back(net.addResource(cap.back()));
+  }
+
+  std::vector<FlowId> flows;
+  std::vector<FlowSpec> specs;
+  for (int i = 0; i < p.flows; ++i) {
+    FlowSpec spec;
+    spec.bytes = rng.uniform(1e3, 1e6);
+    const auto pathLen = static_cast<int>(
+        rng.uniformInt(1, std::min(3, p.resources)));
+    std::vector<ResourceId> pool = res;
+    std::shuffle(pool.begin(), pool.end(), rng);
+    spec.path.assign(pool.begin(), pool.begin() + pathLen);
+    spec.weight = rng.uniform(0.5, 100.0);
+    if (rng.uniform01() < 0.3) {
+      spec.rateCap = rng.uniform(1.0, 200.0);
+    }
+    specs.push_back(spec);
+    flows.push_back(net.start(spec));
+  }
+
+  // Invariant 1: no flow exceeds its cap; all rates are positive.
+  std::vector<double> rate(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    rate[i] = net.currentRate(flows[i]);
+    EXPECT_GT(rate[i], 0.0);
+    EXPECT_LE(rate[i], specs[i].rateCap * (1 + 1e-9));
+  }
+
+  // Invariant 2: no resource is over capacity.
+  std::vector<double> load(res.size(), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (ResourceId r : specs[i].path) {
+      load[r] += rate[i];
+    }
+  }
+  for (std::size_t r = 0; r < res.size(); ++r) {
+    EXPECT_LE(load[r], cap[r] * (1 + 1e-9)) << "resource " << r;
+  }
+
+  // Invariant 3 (bottleneck condition / Pareto optimality): every flow is
+  // limited either by its rate cap or by a saturated resource on its path
+  // where it has a maximal per-weight share.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const double level = rate[i] / specs[i].weight;
+    const bool capBound = rate[i] >= specs[i].rateCap * (1 - 1e-9);
+    bool bottleneckBound = false;
+    for (ResourceId r : specs[i].path) {
+      if (load[r] >= cap[r] * (1 - 1e-9)) {
+        // Saturated resource: flow i must have the max per-weight level
+        // among flows through it (no one it could steal from).
+        double maxLevel = 0.0;
+        for (std::size_t j = 0; j < flows.size(); ++j) {
+          for (ResourceId rj : specs[j].path) {
+            if (rj == r) {
+              maxLevel = std::max(maxLevel, rate[j] / specs[j].weight);
+            }
+          }
+        }
+        if (level >= maxLevel * (1 - 1e-9)) {
+          bottleneckBound = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(capBound || bottleneckBound) << "flow " << i;
+  }
+}
+
+TEST_P(MaxMinPropertyTest, BytesAreConservedThroughCompletion) {
+  const RandomNetCase& p = GetParam();
+  Xoshiro256 rng(p.seed ^ 0xABCDEF);
+  Engine eng;
+  FlowNet net(eng);
+
+  std::vector<ResourceId> res;
+  for (int i = 0; i < p.resources; ++i) {
+    res.push_back(net.addResource(rng.uniform(50.0, 500.0)));
+  }
+  double totalPerResource = 0.0;
+  const ResourceId shared = res[0];
+  double expected = 0.0;
+  for (int i = 0; i < p.flows; ++i) {
+    FlowSpec spec;
+    spec.bytes = rng.uniform(1e3, 1e5);
+    spec.path = {shared};
+    spec.weight = rng.uniform(1.0, 10.0);
+    expected += spec.bytes;
+    net.start(spec);
+  }
+  eng.run();
+  totalPerResource = net.deliveredThrough(shared);
+  EXPECT_NEAR(totalPerResource, expected, expected * 1e-9 + 1e-3);
+  EXPECT_EQ(net.activeFlowCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetworks, MaxMinPropertyTest,
+    ::testing::Values(
+        RandomNetCase{1, 1, 2}, RandomNetCase{2, 1, 8},
+        RandomNetCase{3, 2, 4}, RandomNetCase{4, 3, 10},
+        RandomNetCase{5, 4, 16}, RandomNetCase{6, 5, 25},
+        RandomNetCase{7, 6, 40}, RandomNetCase{8, 8, 60},
+        RandomNetCase{9, 3, 3}, RandomNetCase{10, 2, 30},
+        RandomNetCase{11, 7, 12}, RandomNetCase{12, 5, 50}),
+    [](const ::testing::TestParamInfo<RandomNetCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_r" +
+             std::to_string(info.param.resources) + "_f" +
+             std::to_string(info.param.flows);
+    });
+
+// Deterministic regression: repeated runs of the same seeded scenario give
+// bit-identical completion times.
+TEST(MaxMinDeterminismTest, IdenticalSeedsGiveIdenticalSchedules) {
+  auto runOnce = [](std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    Engine eng;
+    FlowNet net(eng);
+    std::vector<ResourceId> res;
+    for (int i = 0; i < 4; ++i) {
+      res.push_back(net.addResource(rng.uniform(50.0, 500.0)));
+    }
+    for (int i = 0; i < 20; ++i) {
+      FlowSpec spec;
+      spec.bytes = rng.uniform(1e3, 1e5);
+      spec.path = {res[static_cast<std::size_t>(rng.uniformInt(0, 3))]};
+      spec.weight = rng.uniform(1.0, 10.0);
+      net.start(spec);
+    }
+    eng.run();
+    return eng.now();
+  };
+  const double t1 = runOnce(99);
+  const double t2 = runOnce(99);
+  EXPECT_EQ(t1, t2);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Unit tests for the PFS facade and client: namespace, per-server flow
+// generation, injection caps, stream weighting, and contention queries.
+
+#include "pfs/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/flow_net.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using calciom::net::FlowNet;
+using calciom::net::kUnlimited;
+using calciom::net::ResourceId;
+using calciom::pfs::ClientContext;
+using calciom::pfs::ParallelFileSystem;
+using calciom::pfs::PfsClient;
+using calciom::pfs::PfsConfig;
+using calciom::pfs::PfsFile;
+using calciom::sim::Delay;
+using calciom::sim::Engine;
+using calciom::sim::Task;
+using calciom::sim::Time;
+using calciom::sim::Trigger;
+
+PfsConfig fourServers(double disk = 100.0) {
+  PfsConfig cfg;
+  cfg.serverCount = 4;
+  cfg.server.nicBandwidth = 1e9;
+  cfg.server.diskBandwidth = disk;
+  cfg.server.cacheBytes = 0.0;
+  cfg.stripeBytes = 100;
+  return cfg;
+}
+
+Task waitTrigger(Engine& eng, std::shared_ptr<Trigger> t, Time& out) {
+  co_await std::move(t);
+  out = eng.now();
+}
+
+TEST(PfsTest, OpenIsIdempotentAndFindWorks) {
+  Engine eng;
+  FlowNet net(eng);
+  ParallelFileSystem fs(eng, net, fourServers());
+  PfsFile& a = fs.open("ckpt.0");
+  PfsFile& b = fs.open("ckpt.0");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(fs.find("ckpt.0"), &a);
+  EXPECT_EQ(fs.find("missing"), nullptr);
+}
+
+TEST(PfsTest, AggregateIngressSumsServers) {
+  Engine eng;
+  FlowNet net(eng);
+  ParallelFileSystem fs(eng, net, fourServers(100.0));
+  EXPECT_DOUBLE_EQ(fs.aggregateIngressCapacity(), 400.0);
+}
+
+TEST(PfsClientTest, BalancedWriteUsesAllServersAtAggregateRate) {
+  Engine eng;
+  FlowNet net(eng);
+  ParallelFileSystem fs(eng, net, fourServers(100.0));
+  PfsClient client(eng, net, fs, ClientContext{.appId = 1});
+  PfsFile& f = fs.open("out");
+  Time done = -1.0;
+  // 4000B striped over 4 servers -> 1000B each at 100B/s = 10s.
+  eng.spawn(waitTrigger(eng, client.writeRange(f, 0, 4000, 4.0), done));
+  eng.run();
+  EXPECT_NEAR(done, 10.0, 1e-9);
+  EXPECT_EQ(f.bytesWritten(), 4000u);
+  EXPECT_EQ(f.completedWrites(), 1);
+  EXPECT_NEAR(fs.totalDelivered(), 4000.0, 1e-6);
+}
+
+TEST(PfsClientTest, InjectionCapLimitsAggregateBandwidth) {
+  Engine eng;
+  FlowNet net(eng);
+  ParallelFileSystem fs(eng, net, fourServers(100.0));
+  const ResourceId ion = net.addResource(200.0, "ion");
+  PfsClient client(eng, net, fs,
+                   ClientContext{.appId = 1, .injectionResource = ion});
+  PfsFile& f = fs.open("out");
+  Time done = -1.0;
+  // Aggregate server capacity is 400B/s but the app can only inject 200B/s.
+  eng.spawn(waitTrigger(eng, client.writeRange(f, 0, 4000, 4.0), done));
+  eng.run();
+  EXPECT_NEAR(done, 20.0, 1e-9);
+}
+
+TEST(PfsClientTest, PerStreamCapLimitsSmallApps) {
+  Engine eng;
+  FlowNet net(eng);
+  ParallelFileSystem fs(eng, net, fourServers(100.0));
+  ClientContext ctx;
+  ctx.appId = 1;
+  ctx.perStreamCap = 25.0;  // 2 streams * 25B/s = 50B/s total
+  PfsClient client(eng, net, fs, ctx);
+  PfsFile& f = fs.open("out");
+  Time done = -1.0;
+  eng.spawn(waitTrigger(eng, client.writeRange(f, 0, 4000, 2.0), done));
+  eng.run();
+  EXPECT_NEAR(done, 80.0, 1e-9);  // 4000B / 50B/s
+}
+
+TEST(PfsClientTest, StreamWeightsSplitServerBandwidthLikeFig6) {
+  // Big app (30 streams) and small app (10 streams) writing concurrently:
+  // server bandwidth splits 3:1, so the small app's time inflates ~4x
+  // relative to running alone -- the paper's small-vs-big asymmetry.
+  Engine eng;
+  FlowNet net(eng);
+  ParallelFileSystem fs(eng, net, fourServers(100.0));
+  PfsClient big(eng, net, fs, ClientContext{.appId = 1});
+  PfsClient small(eng, net, fs, ClientContext{.appId = 2});
+  PfsFile& fb = fs.open("big");
+  PfsFile& fsm = fs.open("small");
+  Time doneBig = -1.0;
+  Time doneSmall = -1.0;
+  eng.spawn(waitTrigger(eng, big.writeRange(fb, 0, 12000, 30.0), doneBig));
+  eng.spawn(waitTrigger(eng, small.writeRange(fsm, 0, 4000, 10.0), doneSmall));
+  // Shared 400B/s: big gets 300B/s, small gets 100B/s while both active.
+  // Small finishes 4000/100 = 40s; big then speeds to 400: remaining
+  // 12000-300*40=0 -> big also exactly 40s.
+  eng.run();
+  EXPECT_NEAR(doneSmall, 40.0, 1e-6);
+  EXPECT_NEAR(doneBig, 40.0, 1e-6);
+}
+
+TEST(PfsClientTest, ContendedReflectsOtherAppsOnly) {
+  Engine eng;
+  FlowNet net(eng);
+  ParallelFileSystem fs(eng, net, fourServers(100.0));
+  PfsClient a(eng, net, fs, ClientContext{.appId = 1});
+  PfsClient b(eng, net, fs, ClientContext{.appId = 2});
+  PfsFile& f = fs.open("x");
+  EXPECT_FALSE(a.contended());
+  a.writeRange(f, 0, 4000, 4.0);
+  EXPECT_FALSE(a.contended());  // own traffic does not count
+  EXPECT_TRUE(b.contended());   // but B sees A's traffic
+  eng.run();
+  EXPECT_FALSE(b.contended());
+}
+
+TEST(PfsClientTest, ZeroByteWriteCompletesImmediately) {
+  Engine eng;
+  FlowNet net(eng);
+  ParallelFileSystem fs(eng, net, fourServers());
+  PfsClient client(eng, net, fs, ClientContext{.appId = 1});
+  PfsFile& f = fs.open("empty");
+  auto done = client.writeRange(f, 0, 0, 1.0);
+  EXPECT_TRUE(done->fired());
+  EXPECT_EQ(f.completedWrites(), 1);
+}
+
+TEST(PfsClientTest, NarrowRangeTouchesOnlyItsServers) {
+  Engine eng;
+  FlowNet net(eng);
+  ParallelFileSystem fs(eng, net, fourServers(100.0));
+  PfsClient client(eng, net, fs, ClientContext{.appId = 1});
+  PfsFile& f = fs.open("narrow");
+  Time done = -1.0;
+  // 150B at offset 0: 100B on server0, 50B on server1; bottleneck server0.
+  eng.spawn(waitTrigger(eng, client.writeRange(f, 0, 150, 1.0), done));
+  eng.run();
+  EXPECT_NEAR(done, 1.0, 1e-9);
+  EXPECT_NEAR(fs.server(0).delivered(), 100.0, 1e-6);
+  EXPECT_NEAR(fs.server(1).delivered(), 50.0, 1e-6);
+  EXPECT_NEAR(fs.server(2).delivered(), 0.0, 1e-6);
+}
+
+TEST(PfsClientTest, SwitchBandwidthCapsEverything) {
+  Engine eng;
+  FlowNet net(eng);
+  PfsConfig cfg = fourServers(100.0);
+  cfg.switchBandwidth = 100.0;  // the fabric itself is the bottleneck
+  ParallelFileSystem fs(eng, net, cfg);
+  PfsClient client(eng, net, fs, ClientContext{.appId = 1});
+  PfsFile& f = fs.open("out");
+  Time done = -1.0;
+  eng.spawn(waitTrigger(eng, client.writeRange(f, 0, 4000, 4.0), done));
+  eng.run();
+  EXPECT_NEAR(done, 40.0, 1e-9);
+}
+
+}  // namespace

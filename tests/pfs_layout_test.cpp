@@ -1,0 +1,137 @@
+// Unit + property tests for the striping layout: closed-form per-server byte
+// accounting is checked against a brute-force stripe walk.
+
+#include "pfs/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace {
+
+using calciom::PreconditionError;
+using calciom::pfs::StripingLayout;
+using calciom::sim::Xoshiro256;
+
+/// Brute-force reference: walk the range byte-range stripe by stripe.
+std::vector<std::uint64_t> referenceBytesPerServer(std::uint64_t stripe,
+                                                   int servers,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len) {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(servers), 0);
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::uint64_t idx = pos / stripe;
+    const auto server =
+        static_cast<std::size_t>(idx % static_cast<std::uint64_t>(servers));
+    const std::uint64_t take =
+        std::min(remaining, (idx + 1) * stripe - pos);
+    out[server] += take;
+    pos += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+TEST(StripingLayoutTest, AlignedRangeDistributesRoundRobin) {
+  StripingLayout layout(100, 4);
+  const auto bytes = layout.bytesPerServer(0, 1000);
+  // 10 stripes of 100B: servers 0,1 get 3 stripes; servers 2,3 get 2.
+  EXPECT_EQ(bytes, (std::vector<std::uint64_t>{300, 300, 200, 200}));
+}
+
+TEST(StripingLayoutTest, WholeCyclesAreUniform) {
+  StripingLayout layout(64 * 1024, 12);
+  const auto bytes = layout.bytesPerServer(0, 12ull * 64 * 1024 * 7);
+  for (const auto b : bytes) {
+    EXPECT_EQ(b, 7ull * 64 * 1024);
+  }
+}
+
+TEST(StripingLayoutTest, UnalignedOffsetSplitsFirstStripe) {
+  StripingLayout layout(100, 4);
+  const auto bytes = layout.bytesPerServer(250, 500);
+  EXPECT_EQ(bytes, referenceBytesPerServer(100, 4, 250, 500));
+  // Range [250,750): stripe2 gets 50, stripes 3,4,5,6 get 100, stripe7 gets
+  // 50. Servers: s2:50+?.. verified against the reference walk above; also
+  // check totals.
+  EXPECT_EQ(std::accumulate(bytes.begin(), bytes.end(), std::uint64_t{0}),
+            500u);
+}
+
+TEST(StripingLayoutTest, ZeroLengthRangeIsEmpty) {
+  StripingLayout layout(100, 4);
+  const auto bytes = layout.bytesPerServer(123, 0);
+  EXPECT_EQ(bytes, (std::vector<std::uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(StripingLayoutTest, SubStripeRangeHitsSingleServer) {
+  StripingLayout layout(1000, 8);
+  const auto bytes = layout.bytesPerServer(3500, 200);
+  std::vector<std::uint64_t> expected(8, 0);
+  expected[3] = 200;
+  EXPECT_EQ(bytes, expected);
+  EXPECT_EQ(layout.serverOf(3500), 3);
+}
+
+TEST(StripingLayoutTest, ServerOfWrapsAroundCycle) {
+  StripingLayout layout(10, 3);
+  EXPECT_EQ(layout.serverOf(0), 0);
+  EXPECT_EQ(layout.serverOf(10), 1);
+  EXPECT_EQ(layout.serverOf(20), 2);
+  EXPECT_EQ(layout.serverOf(30), 0);
+  EXPECT_EQ(layout.serverOf(35), 0);
+}
+
+TEST(StripingLayoutTest, SingleServerGetsEverything) {
+  StripingLayout layout(4096, 1);
+  const auto bytes = layout.bytesPerServer(999, 123456);
+  EXPECT_EQ(bytes, (std::vector<std::uint64_t>{123456}));
+}
+
+TEST(StripingLayoutTest, InvalidParametersThrow) {
+  EXPECT_THROW(StripingLayout(0, 4), PreconditionError);
+  EXPECT_THROW(StripingLayout(100, 0), PreconditionError);
+}
+
+struct LayoutCase {
+  std::uint64_t stripe;
+  int servers;
+};
+
+class StripingLayoutPropertyTest
+    : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(StripingLayoutPropertyTest, ClosedFormMatchesBruteForceWalk) {
+  const auto& p = GetParam();
+  StripingLayout layout(p.stripe, p.servers);
+  Xoshiro256 rng(p.stripe * 1000 + static_cast<std::uint64_t>(p.servers));
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto offset =
+        static_cast<std::uint64_t>(rng.uniformInt(0, 1 << 20));
+    const auto len = static_cast<std::uint64_t>(rng.uniformInt(0, 1 << 18));
+    const auto got = layout.bytesPerServer(offset, len);
+    const auto want =
+        referenceBytesPerServer(p.stripe, p.servers, offset, len);
+    ASSERT_EQ(got, want) << "offset=" << offset << " len=" << len;
+    EXPECT_EQ(std::accumulate(got.begin(), got.end(), std::uint64_t{0}), len);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, StripingLayoutPropertyTest,
+    ::testing::Values(LayoutCase{1, 1}, LayoutCase{1, 7}, LayoutCase{64, 4},
+                      LayoutCase{100, 3}, LayoutCase{4096, 12},
+                      LayoutCase{65536, 4}, LayoutCase{65536, 35},
+                      LayoutCase{1337, 5}),
+    [](const ::testing::TestParamInfo<LayoutCase>& info) {
+      return "stripe" + std::to_string(info.param.stripe) + "_servers" +
+             std::to_string(info.param.servers);
+    });
+
+}  // namespace

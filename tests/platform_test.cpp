@@ -1,0 +1,95 @@
+// Unit tests for the machine abstraction and the calibrated presets.
+
+#include <gtest/gtest.h>
+
+#include "net/flow_net.hpp"
+#include "platform/machine.hpp"
+#include "platform/presets.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using calciom::net::kUnlimited;
+using calciom::platform::grid5000Nancy;
+using calciom::platform::grid5000Rennes;
+using calciom::platform::Machine;
+using calciom::platform::MachineSpec;
+using calciom::platform::ProvisionedApp;
+using calciom::platform::surveyor;
+using calciom::sim::Engine;
+
+TEST(MachineTest, ProvisionSizesIonLayerByCoreRatio) {
+  Engine eng;
+  Machine m(eng, surveyor());
+  const ProvisionedApp app = m.provisionApp(1, "a", 2048);
+  ASSERT_TRUE(app.clientContext.injectionResource.has_value());
+  // 2048 cores / 64 cores-per-ION = 32 IONs at 250 MB/s.
+  EXPECT_DOUBLE_EQ(m.net().capacity(*app.clientContext.injectionResource),
+                   32 * 250e6);
+  EXPECT_EQ(app.writerConfig.processes, 2048);
+  EXPECT_EQ(app.writerConfig.aggregators, 512);  // 4 cores per node
+}
+
+TEST(MachineTest, PartialIonGroupsRoundUp) {
+  Engine eng;
+  Machine m(eng, surveyor());
+  const ProvisionedApp app = m.provisionApp(1, "a", 100);
+  // ceil(100/64) = 2 IONs.
+  EXPECT_DOUBLE_EQ(m.net().capacity(*app.clientContext.injectionResource),
+                   2 * 250e6);
+  EXPECT_EQ(app.writerConfig.aggregators, 25);
+}
+
+TEST(MachineTest, CommodityClusterHasNoIonLayer) {
+  Engine eng;
+  Machine m(eng, grid5000Rennes());
+  const ProvisionedApp app = m.provisionApp(1, "a", 336);
+  EXPECT_FALSE(app.clientContext.injectionResource.has_value());
+  EXPECT_DOUBLE_EQ(app.clientContext.perStreamCap, 280e6);
+  EXPECT_EQ(app.writerConfig.aggregators, 14);  // 336/24
+}
+
+TEST(MachineTest, OversizedAppThrows) {
+  Engine eng;
+  Machine m(eng, grid5000Rennes());
+  EXPECT_THROW(m.provisionApp(1, "too-big", 100000),
+               calciom::PreconditionError);
+}
+
+TEST(PresetTest, SurveyorCalibrationMatchesFig7Regimes) {
+  const MachineSpec m = surveyor();
+  const double aggregate =
+      m.fs.serverCount * std::min(m.fs.server.nicBandwidth,
+                                  m.fs.server.diskBandwidth);
+  const double ion2048 = (2048 / m.coresPerIon) * m.ionBandwidth;
+  const double ion1024 = (1024 / m.coresPerIon) * m.ionBandwidth;
+  // Fig 7(a): a 2048-core app can saturate the PFS on its own...
+  EXPECT_GT(ion2048, aggregate);
+  // ...Fig 7(b): a 1024-core app cannot, so two of them interfere mildly.
+  EXPECT_LT(ion1024, aggregate);
+  // But two 1024-core apps together do exceed the servers.
+  EXPECT_GT(2 * ion1024, aggregate);
+}
+
+TEST(PresetTest, NancyCacheVariantOnlyChangesCaching) {
+  const MachineSpec plain = grid5000Nancy(false);
+  const MachineSpec cached = grid5000Nancy(true);
+  EXPECT_DOUBLE_EQ(plain.fs.server.cacheBytes, 0.0);
+  EXPECT_GT(cached.fs.server.cacheBytes, 0.0);
+  EXPECT_EQ(plain.fs.serverCount, cached.fs.serverCount);
+  EXPECT_DOUBLE_EQ(plain.fs.server.diskBandwidth,
+                   cached.fs.server.diskBandwidth);
+}
+
+TEST(PresetTest, AllPresetsValidate) {
+  for (const MachineSpec& spec :
+       {surveyor(), grid5000Rennes(), grid5000Nancy(false),
+        grid5000Nancy(true)}) {
+    EXPECT_NO_THROW(spec.validate());
+    EXPECT_GT(spec.fs.serverCount, 0);
+    Engine eng;
+    EXPECT_NO_THROW(Machine(eng, spec));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Randomized end-to-end property tests over the full stack: for arbitrary
+// two-application scenarios, the paper's structural invariants must hold
+// regardless of sizes, patterns and offsets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "analysis/scenario.hpp"
+#include "io/pattern.hpp"
+#include "platform/presets.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using calciom::analysis::PairResult;
+using calciom::analysis::runAlone;
+using calciom::analysis::runPair;
+using calciom::analysis::ScenarioConfig;
+using calciom::core::PolicyKind;
+using calciom::io::AccessPattern;
+using calciom::io::contiguousPattern;
+using calciom::io::stridedPattern;
+using calciom::platform::grid5000Rennes;
+using calciom::sim::Xoshiro256;
+using calciom::workload::IorConfig;
+
+struct RandomScenario {
+  std::uint64_t seed;
+};
+
+class ScenarioPropertyTest : public ::testing::TestWithParam<RandomScenario> {
+ protected:
+  ScenarioConfig randomConfig(Xoshiro256& rng) const {
+    ScenarioConfig cfg;
+    cfg.machine = grid5000Rennes();
+    const int coresA = static_cast<int>(rng.uniformInt(1, 30)) * 24;
+    const int coresB = static_cast<int>(rng.uniformInt(1, 8)) * 24;
+    const auto mbA = static_cast<std::uint64_t>(rng.uniformInt(2, 16));
+    const auto mbB = static_cast<std::uint64_t>(rng.uniformInt(2, 16));
+    const AccessPattern patA = rng.uniform01() < 0.5
+                                   ? contiguousPattern(mbA << 20)
+                                   : stridedPattern((mbA << 20) / 8, 8);
+    const AccessPattern patB = rng.uniform01() < 0.5
+                                   ? contiguousPattern(mbB << 20)
+                                   : stridedPattern((mbB << 20) / 8, 8);
+    cfg.appA = IorConfig{.name = "A", .processes = coresA, .pattern = patA};
+    cfg.appB = IorConfig{.name = "B", .processes = coresB, .pattern = patB};
+    cfg.dt = rng.uniform(-10.0, 20.0);
+    return cfg;
+  }
+};
+
+TEST_P(ScenarioPropertyTest, BytesConservedUnderEveryPolicy) {
+  Xoshiro256 rng(GetParam().seed);
+  ScenarioConfig cfg = randomConfig(rng);
+  for (PolicyKind policy :
+       {PolicyKind::Interfere, PolicyKind::Fcfs, PolicyKind::Interrupt,
+        PolicyKind::Dynamic}) {
+    cfg.policy = policy;
+    const PairResult r = runPair(cfg);
+    const double expected = static_cast<double>(r.a.totalBytes()) +
+                            static_cast<double>(r.b.totalBytes());
+    EXPECT_NEAR(r.bytesDelivered, expected, expected * 1e-9 + 1.0)
+        << toString(policy);
+  }
+}
+
+TEST_P(ScenarioPropertyTest, InterferenceFactorsNeverBelowOne) {
+  Xoshiro256 rng(GetParam().seed ^ 0x1111);
+  ScenarioConfig cfg = randomConfig(rng);
+  const double aloneA = runAlone(cfg.machine, cfg.appA).totalIoSeconds();
+  const double aloneB = runAlone(cfg.machine, cfg.appB).totalIoSeconds();
+  for (PolicyKind policy : {PolicyKind::Interfere, PolicyKind::Fcfs,
+                            PolicyKind::Interrupt, PolicyKind::Dynamic}) {
+    cfg.policy = policy;
+    const PairResult r = runPair(cfg);
+    // Tiny slack: coordination hops are counted in alone times too, and
+    // the queue penalty may be skipped when uncontended.
+    EXPECT_GT(r.a.totalIoSeconds(), aloneA * 0.999) << toString(policy);
+    EXPECT_GT(r.b.totalIoSeconds(), aloneB * 0.999) << toString(policy);
+  }
+}
+
+TEST_P(ScenarioPropertyTest, FcfsNeverSlowsTheFirstArrival) {
+  Xoshiro256 rng(GetParam().seed ^ 0x2222);
+  ScenarioConfig cfg = randomConfig(rng);
+  cfg.policy = PolicyKind::Fcfs;
+  const PairResult r = runPair(cfg);
+  const bool aFirst = cfg.dt >= 0.0;
+  const auto& first = aFirst ? r.a : r.b;
+  const auto& firstCfg = aFirst ? cfg.appA : cfg.appB;
+  const double alone =
+      runAlone(cfg.machine, firstCfg).totalIoSeconds();
+  EXPECT_LT(first.totalIoSeconds(), alone * 1.05);
+}
+
+TEST_P(ScenarioPropertyTest, InterruptionCostsTheAccessorAboutTheRequester) {
+  Xoshiro256 rng(GetParam().seed ^ 0x3333);
+  ScenarioConfig cfg = randomConfig(rng);
+  cfg.policy = PolicyKind::Interrupt;
+  cfg.dt = std::abs(cfg.dt) * 0.2;  // B arrives early in A's phase
+  const double aloneA = runAlone(cfg.machine, cfg.appA).totalIoSeconds();
+  const double aloneB = runAlone(cfg.machine, cfg.appB).totalIoSeconds();
+  const PairResult r = runPair(cfg);
+  if (r.a.pausesHonored > 0) {
+    // A's observed time ~ its alone time + B's alone time (plus bounded
+    // boundary slack: one round of A and coordination hops).
+    EXPECT_LT(r.a.totalIoSeconds(), aloneA + aloneB + 2.5);
+    // And B, once granted, is nearly uncontended.
+    EXPECT_LT(r.b.totalIoSeconds(), aloneB + 3.5);
+  }
+}
+
+TEST_P(ScenarioPropertyTest, RunsAreDeterministic) {
+  Xoshiro256 rng1(GetParam().seed ^ 0x4444);
+  Xoshiro256 rng2(GetParam().seed ^ 0x4444);
+  ScenarioConfig cfg1 = randomConfig(rng1);
+  ScenarioConfig cfg2 = randomConfig(rng2);
+  cfg1.policy = PolicyKind::Dynamic;
+  cfg2.policy = PolicyKind::Dynamic;
+  const PairResult r1 = runPair(cfg1);
+  const PairResult r2 = runPair(cfg2);
+  EXPECT_EQ(r1.a.totalIoSeconds(), r2.a.totalIoSeconds());
+  EXPECT_EQ(r1.b.totalIoSeconds(), r2.b.totalIoSeconds());
+  EXPECT_EQ(r1.decisions.size(), r2.decisions.size());
+}
+
+TEST_P(ScenarioPropertyTest, WideSeparationMeansNoInterference) {
+  Xoshiro256 rng(GetParam().seed ^ 0x5555);
+  ScenarioConfig cfg = randomConfig(rng);
+  cfg.policy = PolicyKind::Interfere;
+  const double aloneA = runAlone(cfg.machine, cfg.appA).totalIoSeconds();
+  const double aloneB = runAlone(cfg.machine, cfg.appB).totalIoSeconds();
+  cfg.dt = aloneA + aloneB + 60.0;  // far beyond any overlap
+  const PairResult r = runPair(cfg);
+  EXPECT_NEAR(r.a.totalIoSeconds(), aloneA, aloneA * 0.02);
+  EXPECT_NEAR(r.b.totalIoSeconds(), aloneB, aloneB * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, ScenarioPropertyTest,
+    ::testing::Values(RandomScenario{1}, RandomScenario{2},
+                      RandomScenario{3}, RandomScenario{4},
+                      RandomScenario{5}, RandomScenario{6},
+                      RandomScenario{7}, RandomScenario{8}),
+    [](const ::testing::TestParamInfo<RandomScenario>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Unit tests for the discrete-event engine: event ordering, clock semantics,
+// bounded runs and failure propagation.
+
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+using calciom::PreconditionError;
+using calciom::sim::Engine;
+using calciom::sim::kNever;
+using calciom::sim::Time;
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0.0);
+  EXPECT_TRUE(eng.empty());
+  EXPECT_EQ(eng.processedEvents(), 0u);
+}
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<Time> seen;
+  eng.scheduleAt(3.0, [&] { seen.push_back(eng.now()); });
+  eng.scheduleAt(1.0, [&] { seen.push_back(eng.now()); });
+  eng.scheduleAt(2.0, [&] { seen.push_back(eng.now()); });
+  eng.run();
+  EXPECT_EQ(seen, (std::vector<Time>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(eng.now(), 3.0);
+}
+
+TEST(EngineTest, EqualTimeEventsRunInSchedulingOrder) {
+  Engine eng;
+  std::vector<int> seen;
+  for (int i = 0; i < 10; ++i) {
+    eng.scheduleAt(5.0, [&seen, i] { seen.push_back(i); });
+  }
+  eng.run();
+  ASSERT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EngineTest, ScheduleAfterIsRelativeToNow) {
+  Engine eng;
+  Time observed = -1.0;
+  eng.scheduleAt(10.0, [&] {
+    eng.scheduleAfter(2.5, [&] { observed = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(observed, 12.5);
+}
+
+TEST(EngineTest, ScheduleAfterClampsNegativeDelay) {
+  Engine eng;
+  Time observed = -1.0;
+  eng.scheduleAt(4.0, [&] {
+    eng.scheduleAfter(-3.0, [&] { observed = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(observed, 4.0);
+}
+
+TEST(EngineTest, SchedulingInThePastThrows) {
+  Engine eng;
+  eng.scheduleAt(5.0, [&] {
+    EXPECT_THROW(eng.scheduleAt(4.0, [] {}), PreconditionError);
+  });
+  eng.run();
+}
+
+TEST(EngineTest, NullCallbackThrows) {
+  Engine eng;
+  EXPECT_THROW(eng.scheduleAt(1.0, std::function<void()>{}),
+               PreconditionError);
+}
+
+TEST(EngineTest, EventsCanScheduleMoreEvents) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      eng.scheduleAfter(1.0, recurse);
+    }
+  };
+  eng.scheduleAt(0.0, recurse);
+  eng.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(eng.now(), 99.0);
+  EXPECT_EQ(eng.processedEvents(), 100u);
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine eng;
+  std::vector<Time> seen;
+  for (Time t : {1.0, 2.0, 3.0, 4.0}) {
+    eng.scheduleAt(t, [&seen, &eng] { seen.push_back(eng.now()); });
+  }
+  eng.runUntil(2.5);
+  EXPECT_EQ(seen, (std::vector<Time>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(eng.now(), 2.5);
+  EXPECT_EQ(eng.pendingEvents(), 2u);
+  eng.run();
+  EXPECT_EQ(seen, (std::vector<Time>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(EngineTest, RunUntilIncludesEventsAtTheBoundary) {
+  Engine eng;
+  bool ran = false;
+  eng.scheduleAt(2.0, [&] { ran = true; });
+  eng.runUntil(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EngineTest, RunUntilBackwardsThrows) {
+  Engine eng;
+  eng.runUntil(5.0);
+  EXPECT_THROW(eng.runUntil(4.0), PreconditionError);
+}
+
+TEST(EngineTest, NextEventTimeReportsHeadOrNever) {
+  Engine eng;
+  EXPECT_EQ(eng.nextEventTime(), kNever);
+  eng.scheduleAt(7.0, [] {});
+  eng.scheduleAt(3.0, [] {});
+  EXPECT_DOUBLE_EQ(eng.nextEventTime(), 3.0);
+}
+
+TEST(EngineTest, ExceptionFromEventPropagates) {
+  Engine eng;
+  eng.scheduleAt(1.0, [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(EngineTest, ManyEventsStressOrdering) {
+  Engine eng;
+  std::vector<Time> seen;
+  // Insert in a scrambled but deterministic order.
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = static_cast<Time>((i * 611) % 1000);
+    eng.scheduleAt(t, [&seen, &eng] { seen.push_back(eng.now()); });
+  }
+  eng.run();
+  ASSERT_EQ(seen.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(eng.processedEvents(), 1000u);
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+// Unit tests for the storage server model: write-back cache absorption,
+// saturation collapse, hysteresis restore, and locality loss under
+// multi-application interleaving.
+
+#include "storage/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/flow_net.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using calciom::net::FlowId;
+using calciom::net::FlowNet;
+using calciom::net::FlowSpec;
+using calciom::sim::Delay;
+using calciom::sim::Engine;
+using calciom::sim::Task;
+using calciom::sim::Time;
+using calciom::storage::DiskModel;
+using calciom::storage::StorageServer;
+
+Task recordCompletion(Engine& eng, FlowNet& net, FlowId id, Time& out) {
+  co_await net.completion(id);
+  out = eng.now();
+}
+
+Task delayedFlow(Engine& eng, FlowNet& net, Time at, FlowSpec spec, Time& out) {
+  co_await Delay{at};
+  const FlowId id = net.start(std::move(spec));
+  co_await net.completion(id);
+  out = eng.now();
+}
+
+StorageServer::Config noCacheConfig() {
+  StorageServer::Config cfg;
+  cfg.nicBandwidth = 1000.0;
+  cfg.diskBandwidth = 100.0;
+  cfg.cacheBytes = 0.0;
+  return cfg;
+}
+
+StorageServer::Config cacheConfig() {
+  StorageServer::Config cfg;
+  cfg.nicBandwidth = 1000.0;
+  cfg.diskBandwidth = 100.0;
+  cfg.cacheBytes = 5000.0;
+  cfg.restoreFraction = 0.9;
+  return cfg;
+}
+
+TEST(StorageServerTest, NoCacheServesAtDiskSpeed) {
+  Engine eng;
+  FlowNet net(eng);
+  StorageServer srv(eng, net, noCacheConfig(), "s0");
+  EXPECT_DOUBLE_EQ(net.capacity(srv.ingress()), 100.0);
+  Time done = -1.0;
+  const FlowId f = net.start(FlowSpec{.bytes = 1000.0, .path = {srv.ingress()}});
+  eng.spawn(recordCompletion(eng, net, f, done));
+  eng.run();
+  EXPECT_NEAR(done, 10.0, 1e-9);
+  EXPECT_NEAR(srv.delivered(), 1000.0, 1e-6);
+}
+
+TEST(StorageServerTest, CacheAbsorbsSmallBurstAtNicSpeed) {
+  // 3000B burst into a 5000B cache: absorbed entirely at NIC speed (1000B/s)
+  // because the level never reaches capacity (fill rate 900B/s * 3s = 2700B).
+  Engine eng;
+  FlowNet net(eng);
+  StorageServer srv(eng, net, cacheConfig(), "s0");
+  Time done = -1.0;
+  const FlowId f = net.start(FlowSpec{.bytes = 3000.0, .path = {srv.ingress()}});
+  eng.spawn(recordCompletion(eng, net, f, done));
+  eng.run();
+  EXPECT_NEAR(done, 3.0, 1e-9);
+  EXPECT_FALSE(srv.cacheSaturated());
+}
+
+TEST(StorageServerTest, CacheLevelInterpolatesMidBurst) {
+  Engine eng;
+  FlowNet net(eng);
+  StorageServer srv(eng, net, cacheConfig(), "s0");
+  net.start(FlowSpec{.bytes = 3000.0, .path = {srv.ingress()}});
+  double levelAt2 = -1.0;
+  eng.scheduleAt(2.0, [&] { levelAt2 = srv.cacheLevel(); });
+  eng.run();
+  EXPECT_NEAR(levelAt2, 2.0 * (1000.0 - 100.0), 1e-6);
+}
+
+TEST(StorageServerTest, LargeBurstSaturatesCacheAndCollapsesToDiskRate) {
+  // 10000B burst: cache (5000B) fills at 900B/s net after 5000/900 s, having
+  // absorbed 1000 * (5000/900) = 5555.5B; the remaining 4444.4B trickle at
+  // disk speed (100B/s). Total: 5.5556 + 44.444 = 50s.
+  Engine eng;
+  FlowNet net(eng);
+  StorageServer srv(eng, net, cacheConfig(), "s0");
+  Time done = -1.0;
+  const FlowId f =
+      net.start(FlowSpec{.bytes = 10000.0, .path = {srv.ingress()}});
+  eng.spawn(recordCompletion(eng, net, f, done));
+  bool saturatedMidway = false;
+  eng.scheduleAt(10.0, [&] { saturatedMidway = srv.cacheSaturated(); });
+  eng.run();
+  EXPECT_TRUE(saturatedMidway);
+  EXPECT_NEAR(done, 50.0, 1e-6);
+}
+
+TEST(StorageServerTest, CacheDrainsBetweenBurstsRestoringFullSpeed) {
+  // Two 900B bursts separated by a long gap behave like the paper's Fig 3
+  // "without interference" case: both complete at NIC speed.
+  Engine eng;
+  FlowNet net(eng);
+  StorageServer srv(eng, net, cacheConfig(), "s0");
+  Time done1 = -1.0;
+  Time done2 = -1.0;
+  const FlowId f1 = net.start(FlowSpec{.bytes = 900.0, .path = {srv.ingress()}});
+  eng.spawn(recordCompletion(eng, net, f1, done1));
+  eng.spawn(delayedFlow(eng, net, 10.0,
+                        FlowSpec{.bytes = 900.0, .path = {srv.ingress()}},
+                        done2));
+  eng.run();
+  EXPECT_NEAR(done1, 0.9, 1e-9);
+  EXPECT_NEAR(done2, 10.9, 1e-9);
+}
+
+TEST(StorageServerTest, ConcurrentBurstsOverflowTheCacheLikeFigure3) {
+  // Each burst alone fits comfortably; together they saturate the cache and
+  // collapse to disk speed -- the Fig 3 interference mechanism.
+  Engine eng;
+  FlowNet net(eng);
+  StorageServer srv(eng, net, cacheConfig(), "s0");
+  Time doneA = -1.0;
+  Time doneB = -1.0;
+  const FlowId a =
+      net.start(FlowSpec{.bytes = 3000.0, .path = {srv.ingress()}, .group = 1});
+  eng.spawn(recordCompletion(eng, net, a, doneA));
+  const FlowId b =
+      net.start(FlowSpec{.bytes = 3000.0, .path = {srv.ingress()}, .group = 2});
+  eng.spawn(recordCompletion(eng, net, b, doneB));
+  eng.run();
+  // Fill: in=1000, drain=100 -> full at 5000/900 = 5.556s (5555.6B in).
+  // Remaining 444.4B at 100B/s -> ~4.44s more; both finish ~10s, far beyond
+  // the 3s they would take alone.
+  EXPECT_GT(doneA, 9.0);
+  EXPECT_GT(doneB, 9.0);
+}
+
+TEST(StorageServerTest, HysteresisRestoresFastIngestAfterDrain) {
+  Engine eng;
+  FlowNet net(eng);
+  StorageServer srv(eng, net, cacheConfig(), "s0");
+  Time done = -1.0;
+  const FlowId f =
+      net.start(FlowSpec{.bytes = 10000.0, .path = {srv.ingress()}});
+  eng.spawn(recordCompletion(eng, net, f, done));
+  // At completion (t=50) the cache is full (5000B) and saturated. It drains
+  // at 100B/s; the restore threshold (4500B) is reached 5s later, at t=55.
+  eng.runUntil(52.0);
+  ASSERT_NEAR(done, 50.0, 1e-6);
+  EXPECT_TRUE(srv.cacheSaturated());
+  eng.runUntil(54.9);
+  EXPECT_TRUE(srv.cacheSaturated());
+  eng.runUntil(56.0);
+  EXPECT_FALSE(srv.cacheSaturated());
+  EXPECT_DOUBLE_EQ(net.capacity(srv.ingress()), 1000.0);
+}
+
+TEST(StorageServerTest, LocalityPenaltyReducesAggregateWithTwoApps) {
+  // alpha = 0.5: two interleaved applications get 100/(1+0.5) = 66.7B/s
+  // aggregate instead of 100 -- less than one app alone, as in Fig 4.
+  Engine eng;
+  FlowNet net(eng);
+  StorageServer::Config cfg = noCacheConfig();
+  cfg.localityAlpha = 0.5;
+  StorageServer srv(eng, net, cfg, "s0");
+  net.start(FlowSpec{.bytes = 1e6, .path = {srv.ingress()}, .group = 1});
+  EXPECT_DOUBLE_EQ(net.capacity(srv.ingress()), 100.0);
+  net.start(FlowSpec{.bytes = 1e6, .path = {srv.ingress()}, .group = 2});
+  EXPECT_NEAR(net.capacity(srv.ingress()), 100.0 / 1.5, 1e-9);
+  EXPECT_NEAR(srv.effectiveDiskBandwidth(), 100.0 / 1.5, 1e-9);
+}
+
+TEST(StorageServerTest, LocalityPenaltyLiftsWhenAppFinishes) {
+  Engine eng;
+  FlowNet net(eng);
+  StorageServer::Config cfg = noCacheConfig();
+  cfg.localityAlpha = 0.5;
+  StorageServer srv(eng, net, cfg, "s0");
+  Time doneSmall = -1.0;
+  const FlowId small =
+      net.start(FlowSpec{.bytes = 100.0, .path = {srv.ingress()}, .group = 1});
+  eng.spawn(recordCompletion(eng, net, small, doneSmall));
+  Time doneBig = -1.0;
+  const FlowId big =
+      net.start(FlowSpec{.bytes = 10000.0, .path = {srv.ingress()}, .group = 2});
+  eng.spawn(recordCompletion(eng, net, big, doneBig));
+  eng.run();
+  EXPECT_GT(doneBig, doneSmall);
+  // After the small app finishes, capacity returns to the full disk rate.
+  EXPECT_DOUBLE_EQ(net.capacity(srv.ingress()), 100.0);
+}
+
+TEST(StorageServerTest, SameAppMultipleFlowsIncursNoLocalityPenalty) {
+  Engine eng;
+  FlowNet net(eng);
+  StorageServer::Config cfg = noCacheConfig();
+  cfg.localityAlpha = 0.5;
+  StorageServer srv(eng, net, cfg, "s0");
+  net.start(FlowSpec{.bytes = 1e6, .path = {srv.ingress()}, .group = 1});
+  net.start(FlowSpec{.bytes = 1e6, .path = {srv.ingress()}, .group = 1});
+  EXPECT_DOUBLE_EQ(net.capacity(srv.ingress()), 100.0);
+}
+
+TEST(StorageServerTest, InvalidConfigThrows) {
+  Engine eng;
+  FlowNet net(eng);
+  StorageServer::Config cfg = noCacheConfig();
+  cfg.diskBandwidth = 0.0;
+  EXPECT_THROW(StorageServer(eng, net, cfg, "bad"),
+               calciom::PreconditionError);
+  StorageServer::Config cfg2 = cacheConfig();
+  cfg2.restoreFraction = 1.5;
+  EXPECT_THROW(StorageServer(eng, net, cfg2, "bad"),
+               calciom::PreconditionError);
+}
+
+TEST(DiskModelTest, EffectiveBandwidthAccountsForSeeks) {
+  DiskModel disk;
+  disk.sequentialBandwidth = 100e6;
+  disk.seekTime = 10e-3;
+  disk.requestBytes = 1e6;
+  // 1MB transfer takes 10ms; +10ms seek -> 50MB/s effective.
+  EXPECT_NEAR(disk.effectiveBandwidth(), 50e6, 1.0);
+}
+
+TEST(DiskModelTest, LargeRequestsApproachSequentialBandwidth) {
+  DiskModel disk;
+  disk.sequentialBandwidth = 100e6;
+  disk.seekTime = 10e-3;
+  disk.requestBytes = 1e9;
+  EXPECT_GT(disk.effectiveBandwidth(), 99e6);
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+// Unit tests for the IOR-like application driver: iteration structure,
+// statistics, estimates, and the Section VI pause-reorganization extension.
+
+#include "workload/ior.hpp"
+
+#include <gtest/gtest.h>
+
+#include "calciom/arbiter.hpp"
+#include "calciom/session.hpp"
+#include "io/hooks.hpp"
+#include "io/pattern.hpp"
+#include "platform/presets.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using calciom::core::Arbiter;
+using calciom::core::makePolicy;
+using calciom::core::PolicyKind;
+using calciom::core::Session;
+using calciom::core::SessionConfig;
+using calciom::io::contiguousPattern;
+using calciom::io::NoopHooks;
+using calciom::io::stridedPattern;
+using calciom::platform::grid5000Rennes;
+using calciom::platform::Machine;
+using calciom::sim::Engine;
+using calciom::workload::AppStats;
+using calciom::workload::IorApp;
+using calciom::workload::IorConfig;
+
+IorConfig basicConfig() {
+  return IorConfig{.name = "t",
+                   .processes = 96,
+                   .pattern = contiguousPattern(4 << 20),
+                   .iterations = 3,
+                   .computeSeconds = 5.0};
+}
+
+TEST(IorAppTest, IterationsAndByteAccounting) {
+  Engine eng;
+  Machine machine(eng, grid5000Rennes());
+  IorApp app(machine, 1, basicConfig());
+  NoopHooks hooks;
+  AppStats stats;
+  eng.spawn(app.run(hooks, &stats));
+  eng.run();
+  ASSERT_EQ(stats.iterations.size(), 3u);
+  EXPECT_EQ(stats.totalBytes(), 3ull * 96 * 4 * 1024 * 1024);
+  EXPECT_GT(stats.totalIoSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.meanIoSeconds(), stats.totalIoSeconds() / 3.0);
+  EXPECT_EQ(stats.name, "t");
+  EXPECT_EQ(stats.processes, 96);
+}
+
+TEST(IorAppTest, ComputeGapsSeparateIterations) {
+  Engine eng;
+  Machine machine(eng, grid5000Rennes());
+  IorApp app(machine, 1, basicConfig());
+  NoopHooks hooks;
+  AppStats stats;
+  eng.spawn(app.run(hooks, &stats));
+  eng.run();
+  // span = 3 I/O phases + 2 compute gaps of 5s.
+  const double span = stats.lastEnd - stats.firstStart;
+  EXPECT_NEAR(span, stats.totalIoSeconds() + 2 * 5.0, 1e-6);
+}
+
+TEST(IorAppTest, StartOffsetDelaysFirstIteration) {
+  Engine eng;
+  Machine machine(eng, grid5000Rennes());
+  IorConfig cfg = basicConfig();
+  cfg.startOffset = 7.5;
+  cfg.iterations = 1;
+  IorApp app(machine, 1, cfg);
+  NoopHooks hooks;
+  AppStats stats;
+  eng.spawn(app.run(hooks, &stats));
+  eng.run();
+  EXPECT_DOUBLE_EQ(stats.firstStart, 7.5);
+}
+
+TEST(IorAppTest, EstimateMatchesUncontendedRun) {
+  for (const auto& pattern :
+       {contiguousPattern(8 << 20), stridedPattern(1 << 20, 8)}) {
+    Engine eng;
+    Machine machine(eng, grid5000Rennes());
+    IorConfig cfg = basicConfig();
+    cfg.pattern = pattern;
+    cfg.iterations = 1;
+    IorApp app(machine, 1, cfg);
+    const double estimate = app.estimateAlonePhaseSeconds();
+    NoopHooks hooks;
+    AppStats stats;
+    eng.spawn(app.run(hooks, &stats));
+    eng.run();
+    EXPECT_NEAR(stats.totalIoSeconds(), estimate, estimate * 0.01);
+  }
+}
+
+TEST(IorAppTest, IterationThroughputsAreConsistent) {
+  Engine eng;
+  Machine machine(eng, grid5000Rennes());
+  IorApp app(machine, 1, basicConfig());
+  NoopHooks hooks;
+  AppStats stats;
+  eng.spawn(app.run(hooks, &stats));
+  eng.run();
+  const auto tput = stats.iterationThroughputs();
+  ASSERT_EQ(tput.size(), 3u);
+  for (std::size_t i = 0; i < tput.size(); ++i) {
+    EXPECT_NEAR(tput[i],
+                static_cast<double>(stats.iterations[i].bytes()) /
+                    stats.iterations[i].elapsed(),
+                1.0);
+  }
+}
+
+TEST(IorAppTest, DistinctFilesPerIteration) {
+  Engine eng;
+  Machine machine(eng, grid5000Rennes());
+  IorConfig cfg = basicConfig();
+  cfg.iterations = 2;
+  cfg.filesPerPhase = 2;
+  IorApp app(machine, 1, cfg);
+  NoopHooks hooks;
+  AppStats stats;
+  eng.spawn(app.run(hooks, &stats));
+  eng.run();
+  EXPECT_NE(machine.fs().find("t.it0.0"), nullptr);
+  EXPECT_NE(machine.fs().find("t.it0.1"), nullptr);
+  EXPECT_NE(machine.fs().find("t.it1.0"), nullptr);
+  EXPECT_EQ(machine.fs().find("t.it2.0"), nullptr);
+}
+
+TEST(IorAppTest, InvalidConfigThrows) {
+  Engine eng;
+  Machine machine(eng, grid5000Rennes());
+  IorConfig cfg = basicConfig();
+  cfg.iterations = 0;
+  EXPECT_THROW(IorApp(machine, 1, cfg), calciom::PreconditionError);
+}
+
+// ---- Section VI extension: reorganize internal work while paused --------
+
+struct PausedPairResult {
+  AppStats big;
+  AppStats small;
+};
+
+PausedPairResult runInterruptedPair(bool overlap) {
+  Engine eng;
+  Machine machine(eng, grid5000Rennes());
+  Arbiter arbiter(eng, machine.ports(), makePolicy(PolicyKind::Interrupt));
+  IorConfig bigCfg{.name = "big",
+                   .processes = 720,
+                   .pattern = contiguousPattern(8 << 20),
+                   .iterations = 2,
+                   .computeSeconds = 6.0,
+                   .overlapComputeWhenPaused = overlap};
+  IorConfig smallCfg{.name = "small",
+                     .processes = 24,
+                     .pattern = contiguousPattern(8 << 20),
+                     .startOffset = 2.0};
+  IorApp big(machine, 1, bigCfg);
+  IorApp small(machine, 2, smallCfg);
+  Session sBig(eng, machine.ports(),
+               SessionConfig{.appId = 1, .cores = 720});
+  Session sSmall(eng, machine.ports(),
+                 SessionConfig{.appId = 2, .cores = 24});
+  PausedPairResult out;
+  eng.spawn(big.run(sBig, &out.big));
+  eng.spawn(small.run(sSmall, &out.small));
+  eng.run();
+  out.big.sessionPausedSeconds = sBig.pausedSeconds();
+  return out;
+}
+
+TEST(IorAppTest, PauseReorganizationShortensTheRun) {
+  const PausedPairResult without = runInterruptedPair(false);
+  const PausedPairResult with = runInterruptedPair(true);
+  ASSERT_GT(without.big.sessionPausedSeconds, 0.1);
+  EXPECT_DOUBLE_EQ(without.big.computeSavedSeconds, 0.0);
+  EXPECT_GT(with.big.computeSavedSeconds, 0.1);
+  // The credited compute shortens the big app's span by what it saved.
+  const double spanWithout = without.big.lastEnd - without.big.firstStart;
+  const double spanWith = with.big.lastEnd - with.big.firstStart;
+  EXPECT_NEAR(spanWithout - spanWith, with.big.computeSavedSeconds, 0.05);
+  // The small app is unaffected by the big app's internal reorganization.
+  EXPECT_NEAR(with.small.totalIoSeconds(), without.small.totalIoSeconds(),
+              0.05);
+}
+
+TEST(IorAppTest, CreditIsCappedByTheComputeGap) {
+  // Even with enormous pauses the next compute gap cannot go negative.
+  const PausedPairResult with = runInterruptedPair(true);
+  EXPECT_LE(with.big.computeSavedSeconds, 6.0 + 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Unit tests for SWF parsing/generation, the FCFS scheduler, concurrency
+// analysis and the Section II-B I/O activity probability.
+
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace {
+
+using calciom::workload::concurrencyDistribution;
+using calciom::workload::IntrepidModel;
+using calciom::workload::ioActivityProbability;
+using calciom::workload::parseSwfText;
+using calciom::workload::SwfJob;
+using calciom::workload::toSwfText;
+
+TEST(SwfParseTest, ParsesRecordsAndSkipsComments) {
+  const std::string text =
+      "; UnixStartTime: 1230768000\n"
+      "# another comment style\n"
+      "1 0 10 3600 256 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 100 0 7200 2048 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n";
+  const auto jobs = parseSwfText(text);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].jobId, 1);
+  EXPECT_DOUBLE_EQ(jobs[0].startSeconds(), 10.0);
+  EXPECT_DOUBLE_EQ(jobs[0].endSeconds(), 3610.0);
+  EXPECT_EQ(jobs[1].processors, 2048);
+}
+
+TEST(SwfParseTest, SkipsCancelledAndMalformedJobs) {
+  const std::string text =
+      "1 0 0 -1 256\n"       // negative runtime: cancelled
+      "2 0 0 3600 0\n"       // zero processors
+      "garbage line\n"
+      "3 50 5 100 64\n";
+  const auto jobs = parseSwfText(text);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].jobId, 3);
+}
+
+TEST(SwfParseTest, RoundTripThroughText) {
+  std::vector<SwfJob> jobs;
+  jobs.push_back(SwfJob{.jobId = 7, .submitSeconds = 12.5,
+                        .waitSeconds = 2.5, .runSeconds = 600.0,
+                        .processors = 4096});
+  const auto back = parseSwfText(toSwfText(jobs));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].jobId, 7);
+  EXPECT_DOUBLE_EQ(back[0].submitSeconds, 12.5);
+  EXPECT_DOUBLE_EQ(back[0].runSeconds, 600.0);
+  EXPECT_EQ(back[0].processors, 4096);
+}
+
+TEST(IntrepidModelTest, AboutHalfTheJobsAreAtMost2048Cores) {
+  IntrepidModel model;
+  model.seed = 42;
+  model.horizonSeconds = 3600.0 * 24 * 14;
+  const auto jobs = model.generate();
+  ASSERT_GT(jobs.size(), 1000u);
+  int small = 0;
+  for (const auto& j : jobs) {
+    if (j.processors <= 2048) {
+      ++small;
+    }
+  }
+  const double fraction = static_cast<double>(small) /
+                          static_cast<double>(jobs.size());
+  EXPECT_NEAR(fraction, 0.52, 0.05);  // the paper's "half the jobs"
+}
+
+TEST(IntrepidModelTest, SchedulerNeverOversubscribesTheMachine) {
+  IntrepidModel model;
+  model.seed = 7;
+  model.horizonSeconds = 3600.0 * 24 * 3;
+  model.meanInterarrivalSeconds = 60.0;  // stress the packing
+  const auto jobs = model.generate();
+  // Sweep core usage over time.
+  // Quantize to microseconds: start times reconstructed as submit+wait
+  // differ from the scheduler's clock by float epsilon, and ends must sort
+  // before starts at the same instant.
+  std::vector<std::pair<long long, int>> events;
+  for (const auto& j : jobs) {
+    events.emplace_back(llround(j.startSeconds() * 1e6), j.processors);
+    events.emplace_back(llround(j.endSeconds() * 1e6), -j.processors);
+  }
+  std::sort(events.begin(), events.end());
+  int inUse = 0;
+  for (const auto& [t, delta] : events) {
+    inUse += delta;
+    EXPECT_LE(inUse, model.machineCores) << "at t=" << t;
+  }
+}
+
+TEST(IntrepidModelTest, FcfsNeverReordersStarts) {
+  IntrepidModel model;
+  model.seed = 11;
+  model.horizonSeconds = 3600.0 * 24 * 2;
+  const auto jobs = model.generate();
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_LE(jobs[i - 1].startSeconds(), jobs[i].startSeconds() + 1e-9);
+  }
+}
+
+TEST(IntrepidModelTest, DeterministicForSameSeed) {
+  IntrepidModel model;
+  model.seed = 5;
+  model.horizonSeconds = 3600.0 * 24;
+  const auto a = model.generate();
+  const auto b = model.generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].processors, b[i].processors);
+    EXPECT_DOUBLE_EQ(a[i].startSeconds(), b[i].startSeconds());
+  }
+}
+
+TEST(ConcurrencyTest, DistributionIsNormalizedAndMatchesHandCase) {
+  // Two jobs: [0,10) and [5,15): levels 1,2,1 over 5s each.
+  std::vector<SwfJob> jobs;
+  jobs.push_back(SwfJob{.jobId = 1, .submitSeconds = 0, .waitSeconds = 0,
+                        .runSeconds = 10, .processors = 1});
+  jobs.push_back(SwfJob{.jobId = 2, .submitSeconds = 5, .waitSeconds = 0,
+                        .runSeconds = 10, .processors = 1});
+  const auto dist = concurrencyDistribution(jobs);
+  ASSERT_EQ(dist.size(), 3u);  // levels 0..2 (level 0 has zero time)
+  EXPECT_NEAR(dist[0], 0.0, 1e-12);
+  EXPECT_NEAR(dist[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dist[2], 1.0 / 3.0, 1e-12);
+  double sum = 0.0;
+  for (double d : dist) {
+    sum += d;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ConcurrencyTest, EmptyTraceIsAlwaysLevelZero) {
+  const auto dist = concurrencyDistribution({});
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);
+}
+
+TEST(IoProbabilityTest, FormulaMatchesHandComputation) {
+  // P(X=2)=1: P = 1 - (1-mu)^2.
+  EXPECT_NEAR(ioActivityProbability({0.0, 0.0, 1.0}, 0.05),
+              1.0 - 0.95 * 0.95, 1e-12);
+  // Degenerate: no jobs -> probability 0.
+  EXPECT_DOUBLE_EQ(ioActivityProbability({1.0}, 0.05), 0.0);
+  // mu = 0 -> 0 regardless of the distribution.
+  EXPECT_DOUBLE_EQ(ioActivityProbability({0.2, 0.3, 0.5}, 0.0), 0.0);
+  // mu = 1 -> any running job implies I/O.
+  EXPECT_NEAR(ioActivityProbability({0.2, 0.3, 0.5}, 1.0), 0.8, 1e-12);
+}
+
+TEST(IoProbabilityTest, IntrepidLikeTraceGivesPaperScaleProbability) {
+  // The paper reports P ~ 64% for E(mu) = 5% on the Intrepid trace
+  // (20-40 concurrent jobs most of the time).
+  IntrepidModel model;
+  model.seed = 42;
+  model.horizonSeconds = 3600.0 * 24 * 14;
+  const auto dist = concurrencyDistribution(model.generate());
+  const double p = ioActivityProbability(dist, 0.05);
+  EXPECT_GT(p, 0.45);
+  EXPECT_LT(p, 0.95);
+}
+
+TEST(IoProbabilityTest, InvalidFractionThrows) {
+  EXPECT_THROW((void)ioActivityProbability({1.0}, -0.1),
+               calciom::PreconditionError);
+  EXPECT_THROW((void)ioActivityProbability({1.0}, 1.1),
+               calciom::PreconditionError);
+}
+
+}  // namespace
