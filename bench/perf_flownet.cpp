@@ -1,0 +1,241 @@
+// Microbenchmark of the incremental max–min allocator against the retained
+// global-recompute reference (flow_net_reference.hpp).
+//
+// Topology: C independent storage clusters, each one server plus two
+// application links; every flow crosses {link, server} of its cluster. This
+// is the fleet-scale shape the incremental allocator is built for — many
+// applications on mostly disjoint storage paths, interference local to a
+// cluster — and matches the paper's scenarios multiplied out: each flow
+// event should cost O(component), not O(machine).
+//
+// Output is JSON on stdout: per tier (1k / 10k / 100k concurrent flows),
+// events processed, wall seconds and events/sec for both allocators, plus
+// the engine's queue high-water mark. The reference allocator is measured
+// under an event budget at 10k flows (a full run would take minutes and the
+// per-event rate is what matters; the budgeted ramp-up phase *understates*
+// the reference's steady-state cost, so the printed speedup is a lower
+// bound) and skipped at 100k. `--smoke` runs the 1k tier only and exits
+// non-zero if the speedup drops below 2x — the CI regression tripwire.
+//
+// The committed baseline lives in BENCH_flownet.json.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/flow_net.hpp"
+#include "net/flow_net_reference.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using calciom::net::FlowId;
+using calciom::net::FlowNet;
+using calciom::net::FlowSpec;
+using calciom::net::kUnlimited;
+using calciom::net::ReferenceFlowNet;
+using calciom::net::ResourceId;
+using calciom::sim::Delay;
+using calciom::sim::Engine;
+using calciom::sim::Task;
+using calciom::sim::Xoshiro256;
+
+struct WorkerPlan {
+  std::uint32_t app = 0;
+  std::size_t link = 0;    // resource index
+  std::size_t server = 0;  // resource index
+  double startDelay = 0.0;
+  std::vector<double> bytes;
+  std::vector<double> weight;
+  std::vector<double> rateCap;
+};
+
+struct Scenario {
+  std::vector<double> capacities;  // in resource-id order
+  std::vector<WorkerPlan> workers;
+  int clusters = 0;
+};
+
+/// C clusters x (1 server + 2 links); `flows` workers pinned to clusters,
+/// each running `flowsPerWorker` back-to-back transfers.
+Scenario makeScenario(std::uint64_t seed, int clusters, int flows,
+                      int flowsPerWorker) {
+  Xoshiro256 rng(seed);
+  Scenario sc;
+  sc.clusters = clusters;
+  for (int c = 0; c < clusters; ++c) {
+    sc.capacities.push_back(rng.uniform(80e6, 160e6));   // server
+    sc.capacities.push_back(rng.uniform(100e6, 300e6));  // link 0
+    sc.capacities.push_back(rng.uniform(100e6, 300e6));  // link 1
+  }
+  for (int w = 0; w < flows; ++w) {
+    WorkerPlan plan;
+    const int cluster = w % clusters;
+    plan.app = static_cast<std::uint32_t>(w);
+    plan.server = static_cast<std::size_t>(3 * cluster);
+    plan.link = static_cast<std::size_t>(
+        3 * cluster + 1 + static_cast<int>(rng.uniformInt(0, 1)));
+    plan.startDelay = rng.uniform(0.0, 2.0);
+    for (int i = 0; i < flowsPerWorker; ++i) {
+      plan.bytes.push_back(rng.uniform(5e6, 80e6));
+      plan.weight.push_back(rng.uniform(1.0, 16.0));
+      plan.rateCap.push_back(rng.uniform01() < 0.2 ? rng.uniform(5e6, 60e6)
+                                                   : kUnlimited);
+    }
+    sc.workers.push_back(std::move(plan));
+  }
+  return sc;
+}
+
+template <class Net>
+Task flowWorker(Net& net, const WorkerPlan& plan,
+                const std::vector<ResourceId>& res) {
+  co_await Delay{plan.startDelay};
+  for (std::size_t i = 0; i < plan.bytes.size(); ++i) {
+    FlowSpec spec;
+    spec.bytes = plan.bytes[i];
+    spec.path = {res[plan.link], res[plan.server]};
+    spec.weight = plan.weight[i];
+    spec.rateCap = plan.rateCap[i];
+    spec.group = plan.app;
+    const FlowId id = net.start(std::move(spec));
+    co_await net.completion(id);
+  }
+}
+
+struct RunResult {
+  std::uint64_t events = 0;
+  double wallSeconds = 0.0;
+  double eventsPerSecond = 0.0;
+  std::size_t maxQueueDepth = 0;
+  bool ranToCompletion = false;
+};
+
+/// Runs the scenario, measuring events/sec from `warmupTime` (simulated
+/// seconds; by then every worker has started its first flow, so the window
+/// sees full concurrency) until `eventBudget` further events have been
+/// processed or the simulation drains. The warmup is excluded from timing.
+template <class Net>
+RunResult runScenario(const Scenario& sc, double warmupTime,
+                      std::uint64_t eventBudget) {
+  Engine eng;
+  Net net(eng);
+  std::vector<ResourceId> res;
+  res.reserve(sc.capacities.size());
+  for (double cap : sc.capacities) {
+    res.push_back(net.addResource(cap));
+  }
+  for (const WorkerPlan& plan : sc.workers) {
+    eng.spawn(flowWorker(net, plan, res));
+  }
+  eng.runUntil(warmupTime);
+  const std::uint64_t base = eng.processedEvents();
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!eng.empty() && eng.processedEvents() - base < eventBudget) {
+    eng.runUntil(eng.nextEventTime());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult out;
+  out.events = eng.processedEvents() - base;
+  out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+  out.eventsPerSecond =
+      out.wallSeconds > 0.0 ? static_cast<double>(out.events) / out.wallSeconds
+                            : 0.0;
+  out.maxQueueDepth = eng.stats().maxQueueDepth;
+  out.ranToCompletion = eng.empty();
+  return out;
+}
+
+void printRun(const char* key, const RunResult& r, bool last) {
+  std::printf(
+      "      \"%s\": {\"events\": %llu, \"wall_s\": %.6f, "
+      "\"events_per_s\": %.0f, \"max_queue_depth\": %zu, "
+      "\"complete\": %s}%s\n",
+      key, static_cast<unsigned long long>(r.events), r.wallSeconds,
+      r.eventsPerSecond, r.maxQueueDepth, r.ranToCompletion ? "true" : "false",
+      last ? "" : ",");
+}
+
+struct Tier {
+  int flows;
+  int clusters;
+  int flowsPerWorker;
+  std::uint64_t referenceBudget;  // 0 = skip the reference allocator
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  if (argc > 1) {
+    if (argc == 2 && std::strcmp(argv[1], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke]\n"
+                   "  --smoke  1k-flow tier only, exit 1 on <2x speedup\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  constexpr std::uint64_t kNoBudget = ~0ULL;
+
+  // Workers start their first flow within the first 2.05 simulated seconds;
+  // measuring from there sees the full advertised concurrency.
+  constexpr double kWarmup = 2.05;
+
+  std::vector<Tier> tiers;
+  if (smoke) {
+    tiers.push_back(Tier{1000, 64, 4, kNoBudget});
+  } else {
+    tiers.push_back(Tier{1000, 64, 4, kNoBudget});
+    tiers.push_back(Tier{10000, 256, 2, 800});
+    tiers.push_back(Tier{100000, 2048, 2, 0});
+  }
+
+  double smokeSpeedup = -1.0;
+  std::printf("{\n  \"bench\": \"perf_flownet\",\n  \"mode\": \"%s\",\n",
+              smoke ? "smoke" : "full");
+  std::printf("  \"cases\": [\n");
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    const Tier& tier = tiers[t];
+    const Scenario sc = makeScenario(0xCA1C10Full + t, tier.clusters,
+                                     tier.flows, tier.flowsPerWorker);
+    const RunResult inc = runScenario<FlowNet>(sc, kWarmup, kNoBudget);
+    RunResult ref;
+    const bool haveRef = tier.referenceBudget != 0;
+    if (haveRef) {
+      ref = runScenario<ReferenceFlowNet>(sc, kWarmup, tier.referenceBudget);
+    }
+    std::printf("    {\"flows\": %d, \"clusters\": %d, \"resources\": %zu,\n",
+                tier.flows, tier.clusters, sc.capacities.size());
+    printRun("incremental", inc, !haveRef);
+    if (haveRef) {
+      printRun("reference", ref, false);
+      const double speedup = ref.eventsPerSecond > 0.0
+                                 ? inc.eventsPerSecond / ref.eventsPerSecond
+                                 : 0.0;
+      std::printf("      \"speedup_events_per_s\": %.2f\n", speedup);
+      if (tier.flows == 1000) {
+        smokeSpeedup = speedup;
+      }
+    }
+    std::printf("    }%s\n", t + 1 < tiers.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+
+  if (smoke) {
+    const bool ok = smokeSpeedup >= 2.0;
+    std::fprintf(stderr,
+                 "smoke: incremental/reference speedup %.2fx (threshold 2x) "
+                 "-> %s\n",
+                 smokeSpeedup, ok ? "OK" : "REGRESSION");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "sim/contracts.hpp"
@@ -9,17 +10,27 @@
 namespace calciom::net {
 
 namespace {
-/// Active flows kept in a sorted id vector for deterministic iteration.
-void removeId(std::vector<FlowId>& v, FlowId id) {
-  auto it = std::lower_bound(v.begin(), v.end(), id);
-  CALCIOM_ENSURES(it != v.end() && *it == id);
-  v.erase(it);
+
+constexpr std::uint32_t kNoBackRef = std::numeric_limits<std::uint32_t>::max();
+
+/// Kahan compensated accumulation: sum += term without losing low-order
+/// bits across millions of settle steps.
+inline void kahanAdd(double& sum, double& comp, double term) noexcept {
+  const double y = term - comp;
+  const double t = sum + y;
+  comp = (t - sum) - y;
+  sum = t;
 }
+
 }  // namespace
 
 ResourceId FlowNet::addResource(double capacity, std::string name) {
   CALCIOM_EXPECTS(capacity >= 0.0);
-  resources_.push_back(Resource{capacity, std::move(name)});
+  Resource res;
+  res.capacity = capacity;
+  res.name = std::move(name);
+  res.settleTime = engine_.now();
+  resources_.push_back(std::move(res));
   return static_cast<ResourceId>(resources_.size() - 1);
 }
 
@@ -29,9 +40,9 @@ void FlowNet::setCapacity(ResourceId r, double capacity) {
   if (resources_[r].capacity == capacity) {
     return;
   }
-  advanceTo(engine_.now());
   resources_[r].capacity = capacity;
-  recompute();
+  pendingDirtyRes_.push_back(r);
+  recomputeAffected();
 }
 
 double FlowNet::capacity(ResourceId r) const {
@@ -61,21 +72,22 @@ FlowId FlowNet::start(FlowSpec spec) {
   for (ResourceId r : spec.path) {
     CALCIOM_EXPECTS(r < resources_.size());
   }
-  advanceTo(engine_.now());
   const FlowId id = flows_.size();
   flows_.emplace_back();
   Flow& f = flows_.back();
   f.spec = std::move(spec);
   f.remaining = f.spec.bytes;
+  f.settleTime = engine_.now();
   if (f.remaining <= kByteEpsilon) {
     f.remaining = 0.0;
     f.done->fire();
     return id;
   }
   f.active = true;
-  active_.push_back(id);  // ids are monotonic, so the vector stays sorted
   ++activeCount_;
-  recompute();
+  attachFlow(id);
+  pendingSeedFlows_.push_back(id);
+  recomputeAffected();
   return id;
 }
 
@@ -95,143 +107,269 @@ double FlowNet::remainingBytes(FlowId f) const {
   if (!flow.active) {
     return 0.0;
   }
-  const double dt = engine_.now() - lastAdvance_;
-  return std::max(0.0, flow.remaining - flow.rate * std::max(dt, 0.0));
+  if (flow.rate == kUnlimited) {
+    return 0.0;
+  }
+  const double dt = engine_.now() - flow.settleTime;
+  if (dt <= 0.0 || flow.rate <= 0.0) {
+    return std::max(0.0, flow.remaining);
+  }
+  return std::max(0.0, flow.remaining - flow.rate * dt);
 }
 
 double FlowNet::throughputOf(ResourceId r) const {
   CALCIOM_EXPECTS(r < resources_.size());
-  double sum = 0.0;
-  for (FlowId id : active_) {
-    const Flow& f = flows_[id];
-    for (ResourceId res : f.spec.path) {
-      if (res == r) {
-        sum += f.rate;
-        break;
-      }
-    }
-  }
-  return sum;
+  const Resource& res = resources_[r];
+  return res.unlimitedFlows > 0 ? kUnlimited : res.rateSum;
 }
 
 double FlowNet::deliveredThrough(ResourceId r) const {
   CALCIOM_EXPECTS(r < resources_.size());
-  return resources_[r].delivered;
+  const Resource& res = resources_[r];
+  const double dt = engine_.now() - res.settleTime;
+  if (dt <= 0.0 || res.unlimitedFlows > 0) {
+    return res.delivered;
+  }
+  // Rates are constant between flow events, so extrapolating from the last
+  // settle point is exact, not an estimate.
+  return res.delivered + res.deliveredRateSum * dt;
 }
 
 int FlowNet::activeGroupsThrough(ResourceId r) const {
   CALCIOM_EXPECTS(r < resources_.size());
-  std::vector<std::uint32_t> groups;
-  for (FlowId id : active_) {
-    const Flow& f = flows_[id];
-    for (ResourceId res : f.spec.path) {
-      if (res == r) {
-        if (std::find(groups.begin(), groups.end(), f.spec.group) ==
-            groups.end()) {
-          groups.push_back(f.spec.group);
-        }
-        break;
-      }
-    }
-  }
-  return static_cast<int>(groups.size());
+  return static_cast<int>(resources_[r].groupCounts.size());
 }
 
 bool FlowNet::groupActiveThrough(ResourceId r, std::uint32_t group) const {
   CALCIOM_EXPECTS(r < resources_.size());
-  for (FlowId id : active_) {
-    const Flow& f = flows_[id];
-    if (f.spec.group != group) {
-      continue;
-    }
-    for (ResourceId res : f.spec.path) {
-      if (res == r) {
-        return true;
-      }
+  for (const auto& [g, count] : resources_[r].groupCounts) {
+    if (g == group) {
+      return count > 0;
     }
   }
   return false;
 }
 
-void FlowNet::addRatesListener(std::function<void()> fn) {
+void FlowNet::addRatesListener(RatesListener fn) {
   CALCIOM_EXPECTS(fn != nullptr);
   listeners_.push_back(std::move(fn));
 }
 
-void FlowNet::advanceTo(sim::Time t) {
-  if (t <= lastAdvance_) {
-    return;
-  }
-  const double dt = t - lastAdvance_;
-  for (FlowId id : active_) {
-    Flow& f = flows_[id];
-    if (f.rate <= 0.0) {
-      continue;
-    }
-    const double moved = std::min(f.remaining, f.rate * dt);
-    f.remaining -= moved;
-    for (ResourceId r : f.spec.path) {
-      resources_[r].delivered += moved;
-    }
-  }
-  lastAdvance_ = t;
+void FlowNet::addRatesListener(std::function<void()> fn) {
+  CALCIOM_EXPECTS(fn != nullptr);
+  listeners_.push_back(
+      [ping = std::move(fn)](const AffectedResources&) { ping(); });
 }
 
-void FlowNet::computeRates() {
-  std::vector<double> residual(resources_.size());
-  for (std::size_t i = 0; i < resources_.size(); ++i) {
-    residual[i] = resources_[i].capacity;
+void FlowNet::settleResource(Resource& res, sim::Time t) {
+  const double dt = t - res.settleTime;
+  if (dt > 0.0) {
+    if (res.unlimitedFlows == 0 && res.deliveredRateSum > 0.0) {
+      kahanAdd(res.delivered, res.deliveredComp, res.deliveredRateSum * dt);
+    }
   }
-  std::vector<FlowId> unfrozen = active_;
-  for (FlowId id : unfrozen) {
-    flows_[id].rate = 0.0;
+  res.settleTime = t;
+}
+
+void FlowNet::settleFlow(Flow& f, sim::Time t) {
+  const double dt = t - f.settleTime;
+  if (dt > 0.0 && f.rate > 0.0) {
+    if (f.rate == kUnlimited) {
+      f.remaining = 0.0;
+      f.remainingComp = 0.0;
+    } else {
+      const double moved = std::min(f.remaining, f.rate * dt);
+      kahanAdd(f.remaining, f.remainingComp, -moved);
+      if (f.remaining < 0.0) {
+        f.remaining = 0.0;
+        f.remainingComp = 0.0;
+      }
+    }
+  }
+  f.settleTime = t;
+}
+
+void FlowNet::attachFlow(FlowId id) {
+  Flow& f = flows_[id];
+  const auto& path = f.spec.path;
+  f.backRefs.assign(path.size(), kNoBackRef);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const ResourceId r = path[i];
+    // A repeated resource folds into the first occurrence's entry.
+    bool duplicate = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (path[j] == r) {
+        Resource& res = resources_[r];
+        ++res.flows[f.backRefs[j]].multiplicity;
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      continue;
+    }
+    Resource& res = resources_[r];
+    f.backRefs[i] = static_cast<std::uint32_t>(res.flows.size());
+    res.flows.push_back(
+        IncidenceEntry{id, static_cast<std::uint32_t>(i), 1});
+    bool found = false;
+    for (auto& [g, count] : res.groupCounts) {
+      if (g == f.spec.group) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      res.groupCounts.emplace_back(f.spec.group, 1);
+    }
+  }
+}
+
+void FlowNet::detachFlow(FlowId id) {
+  Flow& f = flows_[id];
+  const auto& path = f.spec.path;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (f.backRefs[i] == kNoBackRef) {
+      continue;  // duplicate occurrence, folded into the first
+    }
+    Resource& res = resources_[path[i]];
+    const std::uint32_t slot = f.backRefs[i];
+    const std::size_t last = res.flows.size() - 1;
+    if (slot != last) {
+      res.flows[slot] = res.flows[last];
+      const IncidenceEntry& moved = res.flows[slot];
+      flows_[moved.flow].backRefs[moved.pathIndex] = slot;
+    }
+    res.flows.pop_back();
+    for (std::size_t g = 0; g < res.groupCounts.size(); ++g) {
+      if (res.groupCounts[g].first == f.spec.group) {
+        if (--res.groupCounts[g].second == 0) {
+          res.groupCounts[g] = res.groupCounts.back();
+          res.groupCounts.pop_back();
+        }
+        break;
+      }
+    }
+  }
+  f.backRefs.clear();
+}
+
+void FlowNet::buildComponent() {
+  ++markEpoch_;
+  compRes_.clear();
+  compFlows_.clear();
+  for (ResourceId r : pendingDirtyRes_) {
+    Resource& res = resources_[r];
+    if (res.mark != markEpoch_) {
+      res.mark = markEpoch_;
+      compRes_.push_back(r);
+    }
+  }
+  for (FlowId id : pendingSeedFlows_) {
+    Flow& f = flows_[id];
+    if (f.active && f.mark != markEpoch_) {
+      f.mark = markEpoch_;
+      compFlows_.push_back(id);
+    }
+  }
+  pendingDirtyRes_.clear();
+  pendingSeedFlows_.clear();
+
+  // Breadth-first closure over the bipartite flow/resource incidence graph:
+  // every active flow sharing a resource with the component joins it, and
+  // pulls its whole path in.
+  std::size_t ri = 0;
+  std::size_t fi = 0;
+  while (ri < compRes_.size() || fi < compFlows_.size()) {
+    if (ri < compRes_.size()) {
+      const Resource& res = resources_[compRes_[ri++]];
+      for (const IncidenceEntry& e : res.flows) {
+        Flow& f = flows_[e.flow];
+        if (f.mark != markEpoch_) {
+          f.mark = markEpoch_;
+          compFlows_.push_back(e.flow);
+        }
+      }
+    } else {
+      const Flow& f = flows_[compFlows_[fi++]];
+      for (ResourceId r : f.spec.path) {
+        Resource& res = resources_[r];
+        if (res.mark != markEpoch_) {
+          res.mark = markEpoch_;
+          compRes_.push_back(r);
+        }
+      }
+    }
+  }
+}
+
+void FlowNet::fillComponent() {
+  const sim::Time now = engine_.now();
+  // Integrate the past at the rates that were in force before touching them.
+  for (ResourceId r : compRes_) {
+    settleResource(resources_[r], now);
+  }
+  for (FlowId id : compFlows_) {
+    settleFlow(flows_[id], now);
   }
 
-  // Progressive filling: raise the per-unit-weight level lambda until a
-  // resource or a per-flow cap binds; freeze the bound flows; repeat.
-  while (!unfrozen.empty()) {
-    std::vector<double> weightOn(resources_.size(), 0.0);
-    for (FlowId id : unfrozen) {
+  // Progressive filling restricted to the component. By construction every
+  // active flow through a component resource is a component flow, so the
+  // allocation below equals what a global recompute would assign.
+  for (ResourceId r : compRes_) {
+    resources_[r].residual = resources_[r].capacity;
+  }
+  unfrozen_ = compFlows_;
+  for (FlowId id : unfrozen_) {
+    flows_[id].rate = 0.0;
+  }
+  while (!unfrozen_.empty()) {
+    for (ResourceId r : compRes_) {
+      resources_[r].weightOn = 0.0;
+      resources_[r].bottleneck = false;
+    }
+    for (FlowId id : unfrozen_) {
       for (ResourceId r : flows_[id].spec.path) {
-        weightOn[r] += flows_[id].spec.weight;
+        resources_[r].weightOn += flows_[id].spec.weight;
       }
     }
     double lambda = kUnlimited;
-    for (std::size_t r = 0; r < resources_.size(); ++r) {
-      if (weightOn[r] > 0.0) {
-        lambda = std::min(lambda, std::max(residual[r], 0.0) / weightOn[r]);
+    for (ResourceId r : compRes_) {
+      const Resource& res = resources_[r];
+      if (res.weightOn > 0.0) {
+        lambda = std::min(lambda, std::max(res.residual, 0.0) / res.weightOn);
       }
     }
-    for (FlowId id : unfrozen) {
+    for (FlowId id : unfrozen_) {
       const Flow& f = flows_[id];
       lambda = std::min(lambda, f.spec.rateCap / f.spec.weight);
     }
     if (lambda == kUnlimited) {
       // Entirely unconstrained flows: effectively instantaneous.
-      for (FlowId id : unfrozen) {
+      for (FlowId id : unfrozen_) {
         flows_[id].rate = kUnlimited;
       }
       break;
     }
 
     const double eps = lambda * 1e-9 + 1e-18;
-    std::vector<char> bottleneck(resources_.size(), 0);
-    for (std::size_t r = 0; r < resources_.size(); ++r) {
-      if (weightOn[r] > 0.0 &&
-          std::max(residual[r], 0.0) / weightOn[r] <= lambda + eps) {
-        bottleneck[r] = 1;
+    for (ResourceId r : compRes_) {
+      Resource& res = resources_[r];
+      if (res.weightOn > 0.0 &&
+          std::max(res.residual, 0.0) / res.weightOn <= lambda + eps) {
+        res.bottleneck = true;
       }
     }
 
-    std::vector<FlowId> still;
-    still.reserve(unfrozen.size());
+    still_.clear();
     bool frozeAny = false;
-    for (FlowId id : unfrozen) {
+    for (FlowId id : unfrozen_) {
       Flow& f = flows_[id];
       const bool capBound = f.spec.rateCap / f.spec.weight <= lambda + eps;
       bool resourceBound = false;
       for (ResourceId r : f.spec.path) {
-        if (bottleneck[r] != 0) {
+        if (resources_[r].bottleneck) {
           resourceBound = true;
           break;
         }
@@ -239,21 +377,52 @@ void FlowNet::computeRates() {
       if (capBound || resourceBound) {
         f.rate = std::min(f.spec.rateCap, lambda * f.spec.weight);
         for (ResourceId r : f.spec.path) {
-          residual[r] -= f.rate;
+          resources_[r].residual -= f.rate;
         }
         frozeAny = true;
       } else {
-        still.push_back(id);
+        still_.push_back(id);
       }
     }
     CALCIOM_ENSURES(frozeAny);  // progressive filling always makes progress
-    unfrozen = std::move(still);
+    std::swap(unfrozen_, still_);
+  }
+
+  // Rebuild the aggregates of every touched resource from its incidence
+  // list — exact, no incremental drift.
+  for (ResourceId r : compRes_) {
+    Resource& res = resources_[r];
+    res.rateSum = 0.0;
+    res.deliveredRateSum = 0.0;
+    res.unlimitedFlows = 0;
+    for (const IncidenceEntry& e : res.flows) {
+      const double rate = flows_[e.flow].rate;
+      if (rate == kUnlimited) {
+        ++res.unlimitedFlows;
+      } else {
+        res.rateSum += rate;
+        res.deliveredRateSum += rate * e.multiplicity;
+      }
+    }
+  }
+
+  // Refresh projected completion times of the component's flows.
+  for (FlowId id : compFlows_) {
+    Flow& f = flows_[id];
+    if (f.rate == kUnlimited) {
+      f.finishAt = now;
+    } else if (f.rate > 0.0) {
+      f.finishAt = now + f.remaining / f.rate;
+    } else {
+      f.finishAt = sim::kNever;
+    }
+    heapUpdate(id);
   }
 }
 
-void FlowNet::recompute() {
+void FlowNet::recomputeAffected() {
   // Listeners (storage servers) may call setCapacity from inside the
-  // notification, which requests another recompute. Run to a fixed point
+  // notification, which stages more dirty resources. Run to a fixed point
   // instead of recursing: capacity updates are idempotent, so the loop
   // settles once no listener changes anything.
   if (recomputing_) {
@@ -264,10 +433,12 @@ void FlowNet::recompute() {
   int iterations = 0;
   do {
     recomputePending_ = false;
-    computeRates();
+    buildComponent();
+    fillComponent();
     scheduleNextCompletion();
+    const AffectedResources affected(*this);
     for (const auto& fn : listeners_) {
-      fn();
+      fn(affected);
     }
     CALCIOM_ENSURES(++iterations < 1000);  // listener loops must converge
   } while (recomputePending_);
@@ -276,74 +447,151 @@ void FlowNet::recompute() {
 
 void FlowNet::scheduleNextCompletion() {
   ++generation_;
-  sim::Time best = sim::kNever;
-  for (FlowId id : active_) {
-    const Flow& f = flows_[id];
-    if (f.rate <= 0.0) {
-      continue;
-    }
-    const sim::Time ttf =
-        f.rate == kUnlimited ? 0.0 : f.remaining / f.rate;
-    best = std::min(best, ttf);
-  }
-  if (best == sim::kNever) {
+  if (heap_.empty()) {
     return;  // nothing moving: a capacity change or new flow will reschedule
   }
+  const sim::Time best = flows_[heap_.front()].finishAt;
   const std::uint64_t gen = generation_;
-  engine_.scheduleAfter(best, [this, gen] { completionEvent(gen); });
+  engine_.scheduleAt(std::max(best, engine_.now()),
+                     [this, gen] { completionEvent(gen); });
 }
 
 void FlowNet::completionEvent(std::uint64_t generation) {
-  if (generation != generation_) {
+  if (generation != generation_ || heap_.empty()) {
     return;  // superseded by a later recompute
   }
-  advanceTo(engine_.now());
+  const sim::Time now = engine_.now();
+  // Absolute-time analogue of the reference's ttf <= 1e-12 test, widened by
+  // a few ulp of `now` because keys are stored as absolute times.
+  const sim::Time slack =
+      1e-12 + 4.0 * std::numeric_limits<double>::epsilon() * std::abs(now);
 
-  std::vector<FlowId> finishedNow;
-  for (FlowId id : active_) {
-    Flow& f = flows_[id];
-    if (f.rate <= 0.0) {
-      continue;
-    }
-    const sim::Time ttf =
-        f.rate == kUnlimited ? 0.0 : f.remaining / f.rate;
-    if (f.remaining <= kByteEpsilon || ttf <= 1e-12) {
-      finishedNow.push_back(id);
-    }
+  finishedNow_.clear();
+  while (!heap_.empty() && flows_[heap_.front()].finishAt <= now + slack) {
+    const FlowId top = heap_.front();
+    heapRemove(top);
+    finishedNow_.push_back(top);
   }
-  if (finishedNow.empty()) {
+  if (finishedNow_.empty()) {
     // Floating-point edge: force-complete the closest flow to avoid a
     // zero-progress event loop. Its residual is below any test tolerance.
-    FlowId best = active_.front();
-    sim::Time bestTtf = sim::kNever;
-    for (FlowId id : active_) {
-      const Flow& f = flows_[id];
-      if (f.rate <= 0.0) {
-        continue;
-      }
-      const sim::Time ttf = f.remaining / f.rate;
-      if (ttf < bestTtf) {
-        bestTtf = ttf;
-        best = id;
+    const FlowId top = heap_.front();
+    heapRemove(top);
+    finishedNow_.push_back(top);
+  }
+  // Deterministic completion order regardless of heap layout.
+  std::sort(finishedNow_.begin(), finishedNow_.end());
+
+  // Settle before any rate changes: the finishing flows were running at
+  // their old rates right up to this instant.
+  for (FlowId id : finishedNow_) {
+    Flow& f = flows_[id];
+    for (std::size_t i = 0; i < f.spec.path.size(); ++i) {
+      if (f.backRefs[i] != kNoBackRef) {
+        settleResource(resources_[f.spec.path[i]], now);
       }
     }
-    finishedNow.push_back(best);
+    settleFlow(f, now);
   }
-
-  for (FlowId id : finishedNow) {
+  for (FlowId id : finishedNow_) {
     Flow& f = flows_[id];
-    f.remaining = 0.0;
-    f.rate = 0.0;
+    for (ResourceId r : f.spec.path) {
+      pendingDirtyRes_.push_back(r);
+    }
+    detachFlow(id);
     f.active = false;
-    removeId(active_, id);
+    f.rate = 0.0;
+    f.remaining = 0.0;
+    f.remainingComp = 0.0;
+    f.finishAt = sim::kNever;
     --activeCount_;
   }
-  recompute();
+  recomputeAffected();
   // Fire after the network state is consistent: resumed coroutines may start
   // new flows immediately.
-  for (FlowId id : finishedNow) {
+  for (FlowId id : finishedNow_) {
     flows_[id].done->fire();
   }
+}
+
+bool FlowNet::heapBefore(FlowId a, FlowId b) const noexcept {
+  const sim::Time fa = flows_[a].finishAt;
+  const sim::Time fb = flows_[b].finishAt;
+  return fa < fb || (fa == fb && a < b);
+}
+
+void FlowNet::heapSiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!heapBefore(heap_[i], heap_[parent])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    flows_[heap_[i]].heapPos = static_cast<std::int64_t>(i);
+    flows_[heap_[parent]].heapPos = static_cast<std::int64_t>(parent);
+    i = parent;
+  }
+}
+
+void FlowNet::heapSiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = i * 4 + 1;
+    if (first >= n) {
+      break;
+    }
+    std::size_t best = first;
+    const std::size_t lastChild = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < lastChild; ++c) {
+      if (heapBefore(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!heapBefore(heap_[best], heap_[i])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[best]);
+    flows_[heap_[i]].heapPos = static_cast<std::int64_t>(i);
+    flows_[heap_[best]].heapPos = static_cast<std::int64_t>(best);
+    i = best;
+  }
+}
+
+void FlowNet::heapUpdate(FlowId id) {
+  Flow& f = flows_[id];
+  if (f.finishAt == sim::kNever) {
+    if (f.heapPos >= 0) {
+      heapRemove(id);
+    }
+    return;
+  }
+  if (f.heapPos < 0) {
+    f.heapPos = static_cast<std::int64_t>(heap_.size());
+    heap_.push_back(id);
+    heapSiftUp(static_cast<std::size_t>(f.heapPos));
+  } else {
+    const auto pos = static_cast<std::size_t>(f.heapPos);
+    heapSiftUp(pos);
+    heapSiftDown(static_cast<std::size_t>(f.heapPos));
+  }
+}
+
+void FlowNet::heapRemove(FlowId id) {
+  Flow& f = flows_[id];
+  CALCIOM_ENSURES(f.heapPos >= 0);
+  const auto pos = static_cast<std::size_t>(f.heapPos);
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    const FlowId moved = heap_[last];
+    heap_[pos] = moved;
+    flows_[moved].heapPos = static_cast<std::int64_t>(pos);
+    heap_.pop_back();
+    heapSiftUp(pos);
+    heapSiftDown(static_cast<std::size_t>(flows_[moved].heapPos));
+  } else {
+    heap_.pop_back();
+  }
+  f.heapPos = -1;
 }
 
 }  // namespace calciom::net

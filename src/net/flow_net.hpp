@@ -19,6 +19,19 @@
 /// constant, so the engine only needs an event at the next flow completion:
 /// simulation cost is proportional to the number of flow events, not to
 /// transferred bytes.
+///
+/// **Incremental recomputation.** A weighted max–min allocation decomposes
+/// over the connected components of the bipartite flow/resource graph:
+/// flows that share no resource (directly or transitively) never influence
+/// each other's rates. This implementation exploits that: each flow event
+/// discovers the component reachable from the changed resources via
+/// per-resource incidence lists, settles and re-fills only that component,
+/// and leaves every other flow's rate, byte account and projected completion
+/// untouched. The next completion is read off an indexed 4-ary min-heap of
+/// absolute projected finish times with decrease-key, so event dispatch is
+/// O(log F) instead of a linear scan. The original global-recompute
+/// allocator is retained verbatim in flow_net_reference.hpp as the oracle
+/// for differential testing; see src/net/README.md for the invariants.
 
 #include <cstdint>
 #include <functional>
@@ -58,9 +71,31 @@ struct FlowSpec {
   std::string label;
 };
 
+class FlowNet;
+
+/// View of the resources whose flow rates may have changed during the
+/// recomputation that triggered a rates listener. Only valid for the
+/// duration of the listener callback.
+class AffectedResources {
+ public:
+  /// True if rates through `r` may have changed in this recomputation.
+  [[nodiscard]] bool contains(ResourceId r) const noexcept;
+  /// Affected resource ids, unordered.
+  [[nodiscard]] const std::vector<ResourceId>& ids() const noexcept;
+
+ private:
+  friend class FlowNet;
+  explicit AffectedResources(const FlowNet& net) noexcept : net_(net) {}
+  const FlowNet& net_;
+};
+
 /// Weighted max–min fair fluid network driven by a discrete-event engine.
 class FlowNet {
  public:
+  /// Listener invoked after every rate recomputation with the set of
+  /// resources whose rates may have changed.
+  using RatesListener = std::function<void(const AffectedResources&)>;
+
   explicit FlowNet(sim::Engine& engine) : engine_(engine) {}
   FlowNet(const FlowNet&) = delete;
   FlowNet& operator=(const FlowNet&) = delete;
@@ -98,28 +133,79 @@ class FlowNet {
 
   /// Instantaneous aggregate rate through a resource (bytes/s).
   [[nodiscard]] double throughputOf(ResourceId r) const;
-  /// Cumulative bytes delivered through a resource since construction.
+  /// Cumulative bytes delivered through a resource since construction,
+  /// integrated up to the engine's current time.
   [[nodiscard]] double deliveredThrough(ResourceId r) const;
   /// Number of distinct groups with an active flow through the resource.
   [[nodiscard]] int activeGroupsThrough(ResourceId r) const;
   /// True if the given group has an active flow through the resource.
   [[nodiscard]] bool groupActiveThrough(ResourceId r, std::uint32_t group) const;
 
-  /// Registers a callback invoked after every rate recomputation; used by
-  /// the storage servers to track cache fill levels.
+  /// Registers a callback invoked after every rate recomputation with the
+  /// affected resource set; used by the storage servers to track cache fill
+  /// levels without paying for recomputations elsewhere in the machine.
+  void addRatesListener(RatesListener fn);
+  /// Legacy ping form: invoked on every recomputation regardless of where it
+  /// happened.
   void addRatesListener(std::function<void()> fn);
 
  private:
+  friend class AffectedResources;
+
+  /// Entry in a resource's incidence list: the active flow and the index of
+  /// this resource within the flow's path (so the flow's back-pointer can be
+  /// patched on swap-remove).
+  struct IncidenceEntry {
+    FlowId flow;
+    std::uint32_t pathIndex;
+    /// Occurrences of the resource in the flow's path (paths may repeat a
+    /// resource; each occurrence counts for filling and byte accounting).
+    std::uint32_t multiplicity;
+  };
+
   struct Resource {
     double capacity;
     std::string name;
+    /// Cumulative bytes integrated up to settleTime (Kahan-compensated).
     double delivered = 0.0;
+    double deliveredComp = 0.0;
+    /// Aggregate rate of active flows through this resource (finite part,
+    /// each flow counted once — what throughputOf reports).
+    double rateSum = 0.0;
+    /// Like rateSum but weighted by path multiplicity — the rate at which
+    /// `delivered` grows (a flow crossing a resource twice deposits twice).
+    double deliveredRateSum = 0.0;
+    /// Active flows with unlimited allocated rate through this resource.
+    std::uint32_t unlimitedFlows = 0;
+    sim::Time settleTime = 0.0;
+    /// Active flows traversing this resource.
+    std::vector<IncidenceEntry> flows;
+    /// (group, active flow count) pairs; typically a handful of groups.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> groupCounts;
+    /// Component-discovery stamp (== FlowNet::markEpoch_ when visited).
+    std::uint64_t mark = 0;
+    // Progressive-filling scratch, valid only inside fillComponent().
+    double residual = 0.0;
+    double weightOn = 0.0;
+    bool bottleneck = false;
   };
+
   struct Flow {
     FlowSpec spec;
+    /// Bytes left as of settleTime (Kahan-compensated).
     double remaining = 0.0;
+    double remainingComp = 0.0;
     double rate = 0.0;
+    sim::Time settleTime = 0.0;
+    /// Absolute projected completion time (heap key); kNever when stalled.
+    sim::Time finishAt = sim::kNever;
     bool active = false;
+    /// Component-discovery stamp.
+    std::uint64_t mark = 0;
+    /// Position in the completion heap, -1 when absent.
+    std::int64_t heapPos = -1;
+    /// backRefs[i] is this flow's slot in resources_[spec.path[i]].flows.
+    std::vector<std::uint32_t> backRefs;
     std::shared_ptr<sim::Trigger> done = std::make_shared<sim::Trigger>();
   };
 
@@ -129,25 +215,68 @@ class FlowNet {
   Flow& flowRef(FlowId f);
   [[nodiscard]] const Flow& flowRef(FlowId f) const;
 
-  /// Integrates flow progress from the last update to time `t`.
-  void advanceTo(sim::Time t);
-  /// Recomputes the weighted max–min allocation, reschedules the completion
-  /// event and notifies listeners.
-  void recompute();
-  void computeRates();
+  /// Integrates a resource's delivered bytes up to `t` at its current
+  /// aggregate rate. Idempotent for a given `t`.
+  void settleResource(Resource& res, sim::Time t);
+  /// Integrates a flow's remaining bytes up to `t` at its current rate.
+  void settleFlow(Flow& f, sim::Time t);
+
+  /// Inserts the flow into the incidence lists of its path resources.
+  void attachFlow(FlowId id);
+  /// Removes the flow from the incidence lists (O(path) via back-refs).
+  void detachFlow(FlowId id);
+
+  /// Expands pendingDirtyRes_/pendingSeedFlows_ into the union of connected
+  /// components touching them (compRes_/compFlows_).
+  void buildComponent();
+  /// Progressive filling restricted to the current component; rebuilds the
+  /// per-resource aggregates and the completion-heap keys it touched.
+  void fillComponent();
+  /// Runs buildComponent/settle/fillComponent/reschedule/notify to a fixed
+  /// point (listeners may request further capacity changes).
+  void recomputeAffected();
   void scheduleNextCompletion();
   void completionEvent(std::uint64_t generation);
+
+  [[nodiscard]] bool isAffected(ResourceId r) const noexcept {
+    return resources_[r].mark == markEpoch_;
+  }
+
+  // Indexed 4-ary min-heap over active flows keyed by (finishAt, id).
+  [[nodiscard]] bool heapBefore(FlowId a, FlowId b) const noexcept;
+  void heapSiftUp(std::size_t i);
+  void heapSiftDown(std::size_t i);
+  void heapUpdate(FlowId id);  // insert/move/remove per flows_[id].finishAt
+  void heapRemove(FlowId id);
 
   sim::Engine& engine_;
   std::vector<Resource> resources_;
   std::vector<Flow> flows_;  // indexed by FlowId; flows are never removed
-  std::vector<FlowId> active_;  // sorted ids of in-flight flows
   std::size_t activeCount_ = 0;
-  sim::Time lastAdvance_ = 0.0;
   std::uint64_t generation_ = 0;
-  std::vector<std::function<void()>> listeners_;
+  std::vector<RatesListener> listeners_;
   bool recomputing_ = false;
   bool recomputePending_ = false;
+
+  std::vector<FlowId> heap_;  // completion index; positions in Flow::heapPos
+
+  // Recompute staging and scratch (members to avoid per-event allocation).
+  std::uint64_t markEpoch_ = 0;
+  std::vector<ResourceId> pendingDirtyRes_;
+  std::vector<FlowId> pendingSeedFlows_;
+  std::vector<ResourceId> compRes_;
+  std::vector<FlowId> compFlows_;
+  std::vector<FlowId> unfrozen_;
+  std::vector<FlowId> still_;
+  std::vector<FlowId> finishedNow_;
 };
+
+inline bool AffectedResources::contains(ResourceId r) const noexcept {
+  return net_.isAffected(r);
+}
+
+inline const std::vector<ResourceId>& AffectedResources::ids() const noexcept {
+  return net_.compRes_;
+}
 
 }  // namespace calciom::net

@@ -1,8 +1,28 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace calciom::sim {
+
+namespace {
+/// Accumulates wall-clock time spent in a scope into `sink`.
+class WallTimer {
+ public:
+  explicit WallTimer(double& sink) noexcept
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~WallTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    sink_ += std::chrono::duration<double>(end - start_).count();
+  }
+  WallTimer(const WallTimer&) = delete;
+  WallTimer& operator=(const WallTimer&) = delete;
+
+ private:
+  double& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+}  // namespace
 
 Engine::~Engine() {
   drainZombies();
@@ -16,14 +36,14 @@ Engine::~Engine() {
   }
 }
 
-void Engine::scheduleAt(Time t, std::function<void()> fn) {
+void Engine::scheduleAt(Time t, EventFn fn) {
   CALCIOM_EXPECTS(t >= now_);
-  CALCIOM_EXPECTS(fn != nullptr);
-  events_.push_back(Event{t, seq_++, std::move(fn)});
-  std::push_heap(events_.begin(), events_.end(), EventAfter{});
+  CALCIOM_EXPECTS(static_cast<bool>(fn));
+  events_.push(Event{t, seq_++, std::move(fn)});
+  maxQueueDepth_ = std::max(maxQueueDepth_, events_.size());
 }
 
-void Engine::scheduleAfter(Time dt, std::function<void()> fn) {
+void Engine::scheduleAfter(Time dt, EventFn fn) {
   scheduleAt(now_ + std::max(dt, 0.0), std::move(fn));
 }
 
@@ -37,18 +57,12 @@ std::shared_ptr<Trigger> Engine::spawn(Task task) {
   return done;
 }
 
-Engine::Event Engine::popEvent() {
-  std::pop_heap(events_.begin(), events_.end(), EventAfter{});
-  Event ev = std::move(events_.back());
-  events_.pop_back();
-  return ev;
-}
-
 void Engine::run() {
+  WallTimer timer(wallSeconds_);
   while (!events_.empty()) {
     drainZombies();
     rethrowIfFailed();
-    Event ev = popEvent();
+    Event ev = events_.pop();
     CALCIOM_ENSURES(ev.t >= now_);
     now_ = ev.t;
     ++processed_;
@@ -60,10 +74,11 @@ void Engine::run() {
 
 void Engine::runUntil(Time t) {
   CALCIOM_EXPECTS(t >= now_);
-  while (!events_.empty() && events_.front().t <= t) {
+  WallTimer timer(wallSeconds_);
+  while (!events_.empty() && events_.top().t <= t) {
     drainZombies();
     rethrowIfFailed();
-    Event ev = popEvent();
+    Event ev = events_.pop();
     now_ = ev.t;
     ++processed_;
     ev.fn();
@@ -74,7 +89,19 @@ void Engine::runUntil(Time t) {
 }
 
 Time Engine::nextEventTime() const noexcept {
-  return events_.empty() ? kNever : events_.front().t;
+  return events_.empty() ? kNever : events_.top().t;
+}
+
+EngineStats Engine::stats() const noexcept {
+  EngineStats s;
+  s.processedEvents = processed_;
+  s.scheduledEvents = seq_;
+  s.pendingEvents = events_.size();
+  s.maxQueueDepth = maxQueueDepth_;
+  s.wallSeconds = wallSeconds_;
+  s.eventsPerSecond =
+      wallSeconds_ > 0.0 ? static_cast<double>(processed_) / wallSeconds_ : 0.0;
+  return s;
 }
 
 void Engine::retire(Task::Handle h) {

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file event_fn.hpp
+/// Small-buffer, move-only callable used for engine events. The simulator
+/// schedules millions of tiny lambdas (a `this` pointer plus a generation
+/// counter); routing them through `std::function` costs a heap allocation
+/// and an indirect copy per event. `EventFn` stores any nothrow-movable
+/// callable up to `kInlineBytes` directly inside the event record, falling
+/// back to a heap box only for oversized or throwing-move callables, so the
+/// hot scheduling path performs zero allocations.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace calciom::sim {
+
+/// Move-only type-erased `void()` callable with inline storage.
+class EventFn {
+ public:
+  /// Inline storage: enough for a `std::function`, a coroutine handle, or a
+  /// capture of several pointers/counters, without making Event records fat.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    // Callables with a null state (function pointers, empty std::function)
+    // produce an empty EventFn, preserving std::function's null semantics.
+    if constexpr (requires { static_cast<bool>(f); }) {
+      if (!static_cast<bool>(f)) {
+        return;
+      }
+    }
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &inlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &boxedVTable<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { moveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vt_ != nullptr;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*moveTo)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <class D>
+  static constexpr VTable inlineVTable{
+      [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+      [](void* src, void* dst) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) noexcept { std::launder(reinterpret_cast<D*>(p))->~D(); },
+  };
+
+  template <class D>
+  static constexpr VTable boxedVTable{
+      [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+      [](void* src, void* dst) noexcept {
+        D** s = std::launder(reinterpret_cast<D**>(src));
+        ::new (dst) D*(*s);
+        *s = nullptr;
+      },
+      [](void* p) noexcept { delete *std::launder(reinterpret_cast<D**>(p)); },
+  };
+
+  void moveFrom(EventFn& other) noexcept {
+    if (other.vt_ != nullptr) {
+      other.vt_->moveTo(other.buf_, buf_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace calciom::sim

@@ -24,7 +24,14 @@ StorageServer::StorageServer(sim::Engine& engine, net::FlowNet& net,
                              ? cfg_.nicBandwidth
                              : std::min(cfg_.nicBandwidth, cfg_.diskBandwidth);
   ingress_ = net_.addResource(initial, name_);
-  net_.addRatesListener([this] { onRatesChanged(); });
+  // Only react to recomputations that touched this server's ingress: with
+  // the incremental allocator, flow events elsewhere in the machine leave
+  // our rates (and therefore the cache trajectory) unchanged.
+  net_.addRatesListener([this](const net::AffectedResources& affected) {
+    if (affected.contains(ingress_)) {
+      onRatesChanged();
+    }
+  });
 }
 
 double StorageServer::effectiveDiskBandwidth() const noexcept {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/flow_net.hpp"
+#include "net/flow_net_reference.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/task.hpp"
@@ -204,5 +205,223 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.resources) + "_f" +
              std::to_string(info.param.flows);
     });
+
+// ---------------------------------------------------------------------------
+// Differential property test: the incremental allocator (FlowNet) against
+// the retained global-recompute oracle (ReferenceFlowNet). Both are driven
+// through identical randomized event sequences — staggered flow starts plus
+// mid-stream setCapacity churn — on lock-stepped engines. After every
+// scripted action the two must agree on every flow's rate and every
+// resource's throughput to 1e-9, and at the end on every completion time.
+// This is the proof that restricting progressive filling to the affected
+// connected component leaves behavior unchanged.
+// ---------------------------------------------------------------------------
+
+using calciom::net::ReferenceFlowNet;
+
+namespace diff {
+
+struct StartOp {
+  double time;
+  FlowSpec spec;
+};
+struct CapacityOp {
+  double time;
+  int resource;
+  double capacity;
+};
+
+struct Script {
+  std::vector<double> capacities;
+  std::vector<StartOp> starts;
+  std::vector<CapacityOp> churn;
+};
+
+Script makeScript(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Script s;
+  const int resources = static_cast<int>(rng.uniformInt(1, 6));
+  const int flows = static_cast<int>(rng.uniformInt(2, 25));
+  for (int i = 0; i < resources; ++i) {
+    s.capacities.push_back(rng.uniform(2.0, 40.0));
+  }
+  for (int i = 0; i < flows; ++i) {
+    StartOp op;
+    op.time = rng.uniform(0.0, 15.0);
+    op.spec.bytes = rng.uniform(5.0, 300.0);
+    if (rng.uniform01() < 0.25) {
+      // Sample with replacement: paths may repeat a resource, which both
+      // allocators must account per occurrence (weight, delivered bytes)
+      // but once for throughput/groups.
+      const int pathLen = static_cast<int>(rng.uniformInt(1, 3));
+      for (int k = 0; k < pathLen; ++k) {
+        op.spec.path.push_back(
+            static_cast<ResourceId>(rng.uniformInt(0, resources - 1)));
+      }
+    } else {
+      const int pathLen =
+          static_cast<int>(rng.uniformInt(1, std::min(3, resources)));
+      std::vector<int> pool(static_cast<std::size_t>(resources));
+      for (int r = 0; r < resources; ++r) {
+        pool[static_cast<std::size_t>(r)] = r;
+      }
+      std::shuffle(pool.begin(), pool.end(), rng);
+      for (int k = 0; k < pathLen; ++k) {
+        op.spec.path.push_back(
+            static_cast<ResourceId>(pool[static_cast<std::size_t>(k)]));
+      }
+    }
+    op.spec.weight = rng.uniform(0.5, 8.0);
+    if (rng.uniform01() < 0.3) {
+      op.spec.rateCap = rng.uniform(1.0, 20.0);
+    }
+    op.spec.group = static_cast<std::uint32_t>(rng.uniformInt(0, 3));
+    s.starts.push_back(std::move(op));
+  }
+  const int churnOps = static_cast<int>(rng.uniformInt(0, 5));
+  for (int i = 0; i < churnOps; ++i) {
+    CapacityOp op;
+    op.time = rng.uniform(0.0, 20.0);
+    op.resource = static_cast<int>(rng.uniformInt(0, resources - 1));
+    // Never drop to zero: a permanently stalled flow would hang eng.run().
+    op.capacity = rng.uniform(0.5, 40.0);
+    s.churn.push_back(op);
+  }
+  return s;
+}
+
+/// Relative-or-absolute agreement at the given tolerance; infinities match.
+::testing::AssertionResult near(double a, double b, double tol) {
+  if (a == b) {
+    return ::testing::AssertionSuccess();  // covers +inf == +inf
+  }
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  if (std::abs(a - b) <= tol * scale) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << " (diff " << std::abs(a - b) << ")";
+}
+
+Task recordFinish(Engine& eng, std::shared_ptr<calciom::sim::Trigger> done,
+                  Time* out) {
+  co_await std::move(done);
+  *out = eng.now();
+}
+
+void runDifferentialCase(std::uint64_t seed) {
+  const Script script = makeScript(seed);
+  constexpr double kRateTol = 1e-9;
+
+  Engine engInc;
+  Engine engRef;
+  FlowNet inc(engInc);
+  ReferenceFlowNet ref(engRef);
+  std::vector<ResourceId> resInc;
+  std::vector<ResourceId> resRef;
+  for (double c : script.capacities) {
+    resInc.push_back(inc.addResource(c));
+    resRef.push_back(ref.addResource(c));
+  }
+
+  // Merge starts and churn into one time-ordered action list (stable order
+  // for simultaneous actions: starts first, in script order).
+  struct Action {
+    double time;
+    int kind;  // 0 = start, 1 = capacity
+    std::size_t index;
+  };
+  std::vector<Action> actions;
+  for (std::size_t i = 0; i < script.starts.size(); ++i) {
+    actions.push_back(Action{script.starts[i].time, 0, i});
+  }
+  for (std::size_t i = 0; i < script.churn.size(); ++i) {
+    actions.push_back(Action{script.churn[i].time, 1, i});
+  }
+  std::stable_sort(actions.begin(), actions.end(),
+                   [](const Action& a, const Action& b) {
+                     return a.time < b.time;
+                   });
+
+  std::vector<FlowId> flowsInc;
+  std::vector<FlowId> flowsRef;
+  std::vector<Time> finishInc;
+  std::vector<Time> finishRef;
+  // Recorder coroutines hold pointers into these vectors: reserve up front
+  // so push_back never reallocates.
+  finishInc.reserve(script.starts.size());
+  finishRef.reserve(script.starts.size());
+
+  for (const Action& a : actions) {
+    engInc.runUntil(a.time);
+    engRef.runUntil(a.time);
+    if (a.kind == 0) {
+      const StartOp& op = script.starts[a.index];
+      flowsInc.push_back(inc.start(op.spec));
+      flowsRef.push_back(ref.start(op.spec));
+      finishInc.push_back(-1.0);
+      finishRef.push_back(-1.0);
+      engInc.spawn(recordFinish(engInc, inc.completion(flowsInc.back()),
+                                &finishInc.back()));
+      engRef.spawn(recordFinish(engRef, ref.completion(flowsRef.back()),
+                                &finishRef.back()));
+    } else {
+      const CapacityOp& op = script.churn[a.index];
+      inc.setCapacity(resInc[static_cast<std::size_t>(op.resource)],
+                      op.capacity);
+      ref.setCapacity(resRef[static_cast<std::size_t>(op.resource)],
+                      op.capacity);
+    }
+
+    // Allocations must agree after every scripted action.
+    for (std::size_t i = 0; i < flowsInc.size(); ++i) {
+      EXPECT_TRUE(near(inc.currentRate(flowsInc[i]),
+                       ref.currentRate(flowsRef[i]), kRateTol))
+          << "seed " << seed << " flow " << i << " rate at t=" << a.time;
+      EXPECT_EQ(inc.finished(flowsInc[i]), ref.finished(flowsRef[i]))
+          << "seed " << seed << " flow " << i << " at t=" << a.time;
+    }
+    for (std::size_t r = 0; r < resInc.size(); ++r) {
+      EXPECT_TRUE(
+          near(inc.throughputOf(resInc[r]), ref.throughputOf(resRef[r]),
+               kRateTol))
+          << "seed " << seed << " resource " << r << " at t=" << a.time;
+      EXPECT_EQ(inc.activeGroupsThrough(resInc[r]),
+                ref.activeGroupsThrough(resRef[r]))
+          << "seed " << seed << " resource " << r << " at t=" << a.time;
+    }
+  }
+
+  engInc.run();
+  engRef.run();
+
+  ASSERT_EQ(inc.activeFlowCount(), 0u) << "seed " << seed;
+  ASSERT_EQ(ref.activeFlowCount(), 0u) << "seed " << seed;
+  for (std::size_t i = 0; i < flowsInc.size(); ++i) {
+    ASSERT_GE(finishInc[i], 0.0) << "seed " << seed << " flow " << i;
+    ASSERT_GE(finishRef[i], 0.0) << "seed " << seed << " flow " << i;
+    EXPECT_TRUE(near(finishInc[i], finishRef[i], kRateTol))
+        << "seed " << seed << " completion of flow " << i;
+  }
+  // Final byte accounting (the incremental net integrates lazily with
+  // Kahan compensation; totals must still match the eager oracle).
+  for (std::size_t r = 0; r < resInc.size(); ++r) {
+    EXPECT_TRUE(near(inc.deliveredThrough(resInc[r]),
+                     ref.deliveredThrough(resRef[r]), 1e-6))
+        << "seed " << seed << " delivered through resource " << r;
+  }
+}
+
+}  // namespace diff
+
+TEST(IncrementalVsReferenceDifferentialTest,
+     AgreesOnRatesAndCompletionsAcross200RandomSequences) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    diff::runDifferentialCase(seed);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
 
 }  // namespace

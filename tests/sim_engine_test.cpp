@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -136,6 +137,39 @@ TEST(EngineTest, ExceptionFromEventPropagates) {
   Engine eng;
   eng.scheduleAt(1.0, [] { throw std::runtime_error("boom"); });
   EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(EngineTest, StatsTrackThroughputAndQueueDepth) {
+  Engine eng;
+  EXPECT_EQ(eng.stats().processedEvents, 0u);
+  EXPECT_EQ(eng.stats().maxQueueDepth, 0u);
+  for (int i = 0; i < 50; ++i) {
+    eng.scheduleAt(static_cast<Time>(i), [] {});
+  }
+  const auto before = eng.stats();
+  EXPECT_EQ(before.scheduledEvents, 50u);
+  EXPECT_EQ(before.pendingEvents, 50u);
+  EXPECT_EQ(before.maxQueueDepth, 50u);
+  eng.run();
+  const auto after = eng.stats();
+  EXPECT_EQ(after.processedEvents, 50u);
+  EXPECT_EQ(after.pendingEvents, 0u);
+  EXPECT_EQ(after.maxQueueDepth, 50u);  // high-water mark is sticky
+  EXPECT_GT(after.wallSeconds, 0.0);
+  EXPECT_GT(after.eventsPerSecond, 0.0);
+}
+
+TEST(EngineTest, OversizedCallbacksSpillToTheHeapAndStillRun) {
+  // Captures larger than EventFn's inline buffer take the boxed path.
+  Engine eng;
+  std::array<double, 16> payload{};
+  payload[0] = 1.0;
+  payload[15] = 2.0;
+  double seen = 0.0;
+  static_assert(sizeof(payload) > calciom::sim::EventFn::kInlineBytes);
+  eng.scheduleAt(1.0, [payload, &seen] { seen = payload[0] + payload[15]; });
+  eng.run();
+  EXPECT_DOUBLE_EQ(seen, 3.0);
 }
 
 TEST(EngineTest, ManyEventsStressOrdering) {
