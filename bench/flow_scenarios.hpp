@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file flow_scenarios.hpp
+/// Workload generators shared by the perf benches and the cluster tests.
+/// Single source of truth on purpose: the serial-parity baseline in
+/// BENCH_cluster.json claims the cluster path replays *exactly* the event
+/// stream of perf_flownet's 100k tier, and the storage livelock regression
+/// test (tests/platform_cluster_test.cpp) claims to pin *exactly* the
+/// campaign perf_cluster's storage tier livelocked on. Both claims hold
+/// only while every party compiles the same generator — so they all
+/// include this header instead of keeping copies.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/flow_net.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+
+namespace calciom::scenarios {
+
+/// One worker pinned to a resource cluster, running back-to-back transfers.
+struct WorkerPlan {
+  std::uint32_t app = 0;
+  std::size_t link = 0;    // resource index
+  std::size_t server = 0;  // resource index
+  double startDelay = 0.0;
+  std::vector<double> bytes;
+  std::vector<double> weight;
+  std::vector<double> rateCap;
+};
+
+/// C resource-clusters of {server, link, link} plus the worker plans.
+struct FlowScenario {
+  std::vector<double> capacities;  // in resource-id order
+  std::vector<WorkerPlan> workers;
+};
+
+/// The fleet-scale shape both perf benches measure: `flows` workers
+/// pinned round-robin to `clusters` disjoint {server, 2×link} groups, each
+/// running `flowsPerWorker` transfers. Deterministic in `seed`.
+inline FlowScenario makeClusteredScenario(std::uint64_t seed, int clusters,
+                                          int flows, int flowsPerWorker) {
+  sim::Xoshiro256 rng(seed);
+  FlowScenario sc;
+  for (int c = 0; c < clusters; ++c) {
+    sc.capacities.push_back(rng.uniform(80e6, 160e6));   // server
+    sc.capacities.push_back(rng.uniform(100e6, 300e6));  // link 0
+    sc.capacities.push_back(rng.uniform(100e6, 300e6));  // link 1
+  }
+  for (int w = 0; w < flows; ++w) {
+    WorkerPlan plan;
+    const int cluster = w % clusters;
+    plan.app = static_cast<std::uint32_t>(w);
+    plan.server = static_cast<std::size_t>(3 * cluster);
+    plan.link = static_cast<std::size_t>(
+        3 * cluster + 1 + static_cast<int>(rng.uniformInt(0, 1)));
+    plan.startDelay = rng.uniform(0.0, 2.0);
+    for (int i = 0; i < flowsPerWorker; ++i) {
+      plan.bytes.push_back(rng.uniform(5e6, 80e6));
+      plan.weight.push_back(rng.uniform(1.0, 16.0));
+      plan.rateCap.push_back(rng.uniform01() < 0.2
+                                 ? rng.uniform(5e6, 60e6)
+                                 : net::kUnlimited);
+    }
+    sc.workers.push_back(std::move(plan));
+  }
+  return sc;
+}
+
+/// Executes a WorkerPlan against any allocator with the FlowNet interface
+/// (the incremental FlowNet or the reference oracle).
+template <class Net>
+sim::Task flowWorker(Net& net, const WorkerPlan& plan,
+                     const std::vector<net::ResourceId>& res) {
+  co_await sim::Delay{plan.startDelay};
+  for (std::size_t i = 0; i < plan.bytes.size(); ++i) {
+    net::FlowSpec spec;
+    spec.bytes = plan.bytes[i];
+    spec.path = {res[plan.link], res[plan.server]};
+    spec.weight = plan.weight[i];
+    spec.rateCap = plan.rateCap[i];
+    spec.group = plan.app;
+    const net::FlowId id = net.start(std::move(spec));
+    co_await net.completion(id);
+  }
+}
+
+/// Periodic checkpoint-style writer: bursts start at aligned period
+/// boundaries (thousands of writers share the identical timestamp — the
+/// completion-storm shape batched dispatch amortizes), sizes drawn from the
+/// *engine's* shard-local stream so campaigns stay a pure function of the
+/// shard.
+inline sim::Task burstWriter(sim::Engine& eng, net::FlowNet& net,
+                             net::ResourceId ingress, std::uint32_t app,
+                             int periods, double periodSeconds) {
+  for (int p = 0; p < periods; ++p) {
+    co_await sim::Delay{periodSeconds * p - eng.now()};
+    net::FlowSpec spec;
+    spec.bytes = eng.rng().uniform(32e6, 96e6);
+    spec.path = {ingress};
+    spec.weight = 4.0;
+    spec.group = app;
+    const net::FlowId id = net.start(std::move(spec));
+    co_await net.completion(id);
+  }
+}
+
+}  // namespace calciom::scenarios

@@ -1,0 +1,402 @@
+// Benchmark of the sharded simulation core (platform::Cluster + batched
+// equal-time dispatch).
+//
+// Three tiers, all JSON on stdout (committed baseline: BENCH_cluster.json):
+//
+//  * serial_100k — one shard, the exact 100k-flow scenario of
+//    bench/perf_flownet.cpp's largest tier (same generator, same seed), run
+//    through the Cluster path with one worker. Guards the acceptance
+//    criterion that batched dispatch and the sync-horizon loop do not
+//    regress the serial path vs BENCH_flownet.json.
+//
+//  * cluster_1m — 16 shards x 15625 workers x 4 transfers = 1,000,000 flows
+//    simulated to completion, repeated at 1/2/4/8 worker threads. Records
+//    wall seconds, speedup vs 1 worker, and a per-run fingerprint folding
+//    every shard's event counters, final clock bits and per-resource
+//    delivered-byte bits; the fingerprints must be identical across worker
+//    counts (thread-count invariance) or the bench exits non-zero. The JSON
+//    also records hardware_threads: on a 1-core container the speedup
+//    column measures scheduling overhead, not parallelism.
+//
+//  * storage_2k — 8 shards x 256 = 2048 cache-enabled storage servers fed
+//    by synchronized periodic burst writers (collective-checkpoint shape:
+//    bursts start at aligned times, so completion storms exercise
+//    popBatch). Aggregates StorageServer::TransitionProfile to answer the
+//    ROADMAP "cache/locality model at scale" question: is the per-server
+//    transition-event reschedule hot at thousands of servers? The verdict
+//    is recorded in src/net/README.md.
+//
+// `--smoke` runs a small cluster at 1 and 2 workers and exits non-zero if
+// the fingerprints diverge or the runs do not complete — the CI tripwire
+// for shard determinism.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/flow_scenarios.hpp"
+#include "net/flow_net.hpp"
+#include "platform/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "storage/server.hpp"
+
+namespace {
+
+using calciom::net::FlowNet;
+using calciom::net::ResourceId;
+using calciom::platform::Cluster;
+using calciom::platform::ClusterSpec;
+using calciom::scenarios::burstWriter;
+using calciom::scenarios::flowWorker;
+using calciom::scenarios::FlowScenario;
+using calciom::scenarios::makeClusteredScenario;
+using calciom::sim::Engine;
+using calciom::storage::StorageServer;
+
+// ---------------------------------------------------------------------------
+// Determinism fingerprint: FNV-1a over every shard's deterministic counters,
+// clock bits and per-resource delivered-byte bits. wallSeconds is explicitly
+// NOT folded in (it is the one nondeterministic EngineStats field).
+
+class Fingerprint {
+ public:
+  void fold(std::uint64_t v) noexcept {
+    h_ ^= v;
+    h_ *= 0x100000001B3ULL;
+  }
+  void foldBits(double v) noexcept {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    fold(bits);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+std::uint64_t clusterFingerprint(Cluster& cl) {
+  Fingerprint fp;
+  for (std::size_t i = 0; i < cl.shardCount(); ++i) {
+    Engine& eng = cl.engine(i);
+    const auto es = eng.stats();
+    fp.fold(es.processedEvents);
+    fp.fold(es.scheduledEvents);
+    fp.fold(es.pendingEvents);
+    fp.fold(es.maxQueueDepth);
+    fp.fold(es.dispatchBatches);
+    fp.foldBits(eng.now());
+    FlowNet& net = cl.machine(i).net();
+    for (ResourceId r = 0;
+         r < static_cast<ResourceId>(net.resourceCount()); ++r) {
+      fp.foldBits(net.deliveredThrough(r));
+    }
+  }
+  return fp.value();
+}
+
+// ---------------------------------------------------------------------------
+// Flow-scenario cluster runs.
+
+struct FlowTier {
+  std::size_t shards;
+  int clustersPerShard;
+  int workersPerShard;
+  int flowsPerWorker;
+  std::uint64_t seed;
+};
+
+struct RunResult {
+  double wallSeconds = 0.0;
+  std::uint64_t events = 0;
+  double eventsPerSecond = 0.0;
+  std::uint64_t dispatchBatches = 0;
+  std::size_t maxQueueDepth = 0;
+  std::uint64_t syncRounds = 0;
+  std::uint64_t fingerprint = 0;
+  bool complete = false;
+};
+
+/// Builds the cluster for a tier, runs it to completion with `workers`
+/// threads and collects counters. `warmup` simulated seconds run first —
+/// with the same worker count, so thread-pool spin-up is paid before the
+/// timer starts — and are excluded from the timed window so the window
+/// sees full concurrency, mirroring perf_flownet's measurement.
+RunResult runFlowTier(const FlowTier& tier, unsigned workers, double warmup) {
+  ClusterSpec spec;
+  spec.name = "bench";
+  spec.shards = tier.shards;
+  spec.seed = tier.seed;
+  Cluster cl(spec);
+  // Owner of per-shard resource-id tables; scenarios die with this scope.
+  std::vector<std::vector<ResourceId>> res(tier.shards);
+  std::vector<FlowScenario> scenarios;
+  scenarios.reserve(tier.shards);
+  for (std::size_t s = 0; s < tier.shards; ++s) {
+    scenarios.push_back(makeClusteredScenario(tier.seed + s, tier.clustersPerShard,
+                                          tier.workersPerShard,
+                                          tier.flowsPerWorker));
+    FlowNet& net = cl.machine(s).net();
+    for (double cap : scenarios[s].capacities) {
+      res[s].push_back(net.addResource(cap));
+    }
+    for (const calciom::scenarios::WorkerPlan& plan : scenarios[s].workers) {
+      cl.engine(s).spawn(flowWorker(net, plan, res[s]));
+    }
+  }
+  cl.runUntil(warmup, workers);
+  // Baseline every windowed counter at the same point, so events, batches
+  // and rounds all describe the post-warmup window and events/batches is a
+  // meaningful storm size. (maxQueueDepth stays campaign-cumulative: a
+  // high-water mark has no window.)
+  const auto baseStats = cl.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  cl.run(workers);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto stats = cl.stats();
+  RunResult out;
+  out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+  out.events = stats.total.processedEvents - baseStats.total.processedEvents;
+  out.eventsPerSecond = out.wallSeconds > 0.0
+                            ? static_cast<double>(out.events) / out.wallSeconds
+                            : 0.0;
+  out.dispatchBatches =
+      stats.total.dispatchBatches - baseStats.total.dispatchBatches;
+  out.maxQueueDepth = stats.total.maxQueueDepth;
+  out.syncRounds = stats.syncRounds - baseStats.syncRounds;
+  out.fingerprint = clusterFingerprint(cl);
+  out.complete = cl.empty();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Storage tier: synchronized periodic burst writers over cache-enabled
+// servers, profiling the transition-event reschedule at fleet scale.
+
+struct StorageTier {
+  std::size_t shards = 8;
+  int serversPerShard = 256;
+  int appsPerServer = 2;
+  int periods = 6;
+  double periodSeconds = 10.0;
+  std::uint64_t seed = 0x57024A6Eull;
+};
+
+struct StorageResult {
+  RunResult run;
+  std::uint64_t transitionsScheduled = 0;
+  std::uint64_t transitionsFired = 0;
+  std::uint64_t transitionsStale = 0;
+  std::uint64_t totalScheduled = 0;
+};
+
+StorageResult runStorageTier(const StorageTier& tier, unsigned workers) {
+  ClusterSpec spec;
+  spec.name = "storage-bench";
+  spec.shards = tier.shards;
+  spec.seed = tier.seed;
+  Cluster cl(spec);
+  std::vector<std::vector<std::unique_ptr<StorageServer>>> servers(
+      tier.shards);
+  for (std::size_t s = 0; s < tier.shards; ++s) {
+    Engine& eng = cl.engine(s);
+    FlowNet& net = cl.machine(s).net();
+    for (int i = 0; i < tier.serversPerShard; ++i) {
+      StorageServer::Config cfg;
+      cfg.nicBandwidth = 1e9;
+      cfg.diskBandwidth = 50e6;
+      cfg.cacheBytes = 64e6;
+      cfg.localityAlpha = 0.4;
+      servers[s].push_back(std::make_unique<StorageServer>(
+          eng, net, cfg, "srv" + std::to_string(i)));
+      for (int a = 0; a < tier.appsPerServer; ++a) {
+        const auto app = static_cast<std::uint32_t>(i * tier.appsPerServer + a);
+        eng.spawn(burstWriter(eng, net, servers[s].back()->ingress(), app,
+                              tier.periods, tier.periodSeconds));
+      }
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  cl.run(workers);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto stats = cl.stats();
+  StorageResult out;
+  out.run.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+  out.run.events = stats.total.processedEvents;
+  out.run.eventsPerSecond =
+      out.run.wallSeconds > 0.0
+          ? static_cast<double>(out.run.events) / out.run.wallSeconds
+          : 0.0;
+  out.run.dispatchBatches = stats.total.dispatchBatches;
+  out.run.maxQueueDepth = stats.total.maxQueueDepth;
+  out.run.syncRounds = stats.syncRounds;
+  out.run.fingerprint = clusterFingerprint(cl);
+  out.run.complete = cl.empty();
+  out.totalScheduled = stats.total.scheduledEvents;
+  for (auto& shard : servers) {
+    for (auto& srv : shard) {
+      const auto& prof = srv->transitionProfile();
+      out.transitionsScheduled += prof.scheduled;
+      out.transitionsFired += prof.fired;
+      out.transitionsStale += prof.stale;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+void printRun(const char* indent, unsigned workers, const RunResult& r,
+              bool last) {
+  std::printf(
+      "%s{\"workers\": %u, \"wall_s\": %.6f, \"events\": %llu, "
+      "\"events_per_s\": %.0f, \"batches\": %llu, \"sync_rounds\": %llu, "
+      "\"max_queue_depth\": %zu, \"fingerprint\": \"%016llx\", "
+      "\"complete\": %s}%s\n",
+      indent, workers, r.wallSeconds,
+      static_cast<unsigned long long>(r.events), r.eventsPerSecond,
+      static_cast<unsigned long long>(r.dispatchBatches),
+      static_cast<unsigned long long>(r.syncRounds), r.maxQueueDepth,
+      static_cast<unsigned long long>(r.fingerprint),
+      r.complete ? "true" : "false", last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  if (argc > 1) {
+    if (argc == 2 && std::strcmp(argv[1], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke]\n"
+                   "  --smoke  small cluster at 1/2 workers; exit 1 unless\n"
+                   "           runs complete with identical fingerprints\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // Workers start their first flow within the first 2.05 simulated seconds
+  // (startDelay is uniform in [0, 2)); measuring from there sees the full
+  // advertised concurrency. Matches perf_flownet.
+  constexpr double kWarmup = 2.05;
+
+  bool ok = true;
+  std::printf("{\n  \"bench\": \"perf_cluster\",\n  \"mode\": \"%s\",\n",
+              smoke ? "smoke" : "full");
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+
+  if (smoke) {
+    const FlowTier tier{4, 64, 1000, 2, 0xC1C10ull};
+    const RunResult r1 = runFlowTier(tier, 1, kWarmup);
+    const RunResult r2 = runFlowTier(tier, 2, kWarmup);
+    std::printf("  \"smoke\": {\n    \"flows\": %d,\n    \"runs\": [\n",
+                static_cast<int>(tier.shards) * tier.workersPerShard *
+                    tier.flowsPerWorker);
+    printRun("      ", 1, r1, false);
+    printRun("      ", 2, r2, true);
+    std::printf("    ]\n  }\n}\n");
+    ok = r1.complete && r2.complete && r1.fingerprint == r2.fingerprint;
+    std::fprintf(stderr, "smoke: fingerprints %016llx / %016llx -> %s\n",
+                 static_cast<unsigned long long>(r1.fingerprint),
+                 static_cast<unsigned long long>(r2.fingerprint),
+                 ok ? "OK" : "DETERMINISM REGRESSION");
+    return ok ? 0 : 1;
+  }
+
+  // --- serial parity: the BENCH_flownet 100k tier through the Cluster path.
+  {
+    // Seed 0xCA1C10F + 2 is literally what perf_flownet uses for its
+    // 100k-flow tier, so the event stream is identical.
+    const FlowTier tier{1, 2048, 100000, 2, 0xCA1C10Full + 2};
+    const RunResult r = runFlowTier(tier, 1, kWarmup);
+    std::printf("  \"serial_100k\": {\n");
+    std::printf("    \"flows\": 200000, \"note\": "
+                "\"perf_flownet 100k tier, cluster path, 1 worker\",\n");
+    printRun("    \"run\": ", 1, r, true);
+    std::printf("  },\n");
+    ok = ok && r.complete;
+  }
+
+  // --- thread scaling at 1M flows.
+  {
+    const FlowTier tier{16, 512, 15625, 4, 0xC1A57E2ull};
+    const int totalFlows = static_cast<int>(tier.shards) *
+                           tier.workersPerShard * tier.flowsPerWorker;
+    std::printf("  \"cluster_1m\": {\n    \"flows\": %d, \"shards\": %zu,\n",
+                totalFlows, tier.shards);
+    const std::vector<unsigned> counts = {1, 2, 4, 8};
+    std::vector<RunResult> runs;
+    runs.reserve(counts.size());
+    for (unsigned w : counts) {
+      runs.push_back(runFlowTier(tier, w, kWarmup));
+    }
+    bool deterministic = true;
+    std::printf("    \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const RunResult& r = runs[i];
+      ok = ok && r.complete;
+      deterministic = deterministic && r.fingerprint == runs[0].fingerprint;
+      const double speedup =
+          r.wallSeconds > 0.0 ? runs[0].wallSeconds / r.wallSeconds : 0.0;
+      std::printf(
+          "      {\"workers\": %u, \"wall_s\": %.6f, \"events\": %llu, "
+          "\"events_per_s\": %.0f, \"batches\": %llu, \"sync_rounds\": %llu, "
+          "\"max_queue_depth\": %zu, \"speedup_vs_1\": %.2f, "
+          "\"fingerprint\": \"%016llx\", \"complete\": %s}%s\n",
+          counts[i], r.wallSeconds, static_cast<unsigned long long>(r.events),
+          r.eventsPerSecond, static_cast<unsigned long long>(r.dispatchBatches),
+          static_cast<unsigned long long>(r.syncRounds), r.maxQueueDepth,
+          speedup, static_cast<unsigned long long>(r.fingerprint),
+          r.complete ? "true" : "false", i + 1 < runs.size() ? "," : "");
+    }
+    std::printf("    ],\n");
+    std::printf("    \"deterministic_across_workers\": %s\n",
+                deterministic ? "true" : "false");
+    std::printf("  },\n");
+    ok = ok && deterministic;
+  }
+
+  // --- storage transition-reschedule profile at 2048 servers.
+  {
+    const StorageTier tier;
+    const StorageResult sr = runStorageTier(tier, 1);
+    const double transitionShare =
+        sr.totalScheduled > 0
+            ? static_cast<double>(sr.transitionsScheduled) /
+                  static_cast<double>(sr.totalScheduled)
+            : 0.0;
+    const double staleShare =
+        sr.transitionsScheduled > 0
+            ? static_cast<double>(sr.transitionsStale) /
+                  static_cast<double>(sr.transitionsScheduled)
+            : 0.0;
+    std::printf("  \"storage_2k\": {\n");
+    std::printf("    \"servers\": %d, \"writers\": %d,\n",
+                static_cast<int>(tier.shards) * tier.serversPerShard,
+                static_cast<int>(tier.shards) * tier.serversPerShard *
+                    tier.appsPerServer);
+    printRun("    \"run\": ", 1, sr.run, false);
+    std::printf("    \"transitions\": {\"scheduled\": %llu, \"fired\": %llu, "
+                "\"stale\": %llu, \"share_of_scheduled\": %.4f, "
+                "\"stale_fraction\": %.4f}\n",
+                static_cast<unsigned long long>(sr.transitionsScheduled),
+                static_cast<unsigned long long>(sr.transitionsFired),
+                static_cast<unsigned long long>(sr.transitionsStale),
+                transitionShare, staleShare);
+    std::printf("  }\n");
+    ok = ok && sr.run.complete;
+  }
+
+  std::printf("}\n");
+  return ok ? 0 : 1;
+}

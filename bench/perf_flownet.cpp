@@ -26,87 +26,21 @@
 #include <string>
 #include <vector>
 
+#include "bench/flow_scenarios.hpp"
 #include "net/flow_net.hpp"
 #include "net/flow_net_reference.hpp"
 #include "sim/engine.hpp"
-#include "sim/rng.hpp"
 #include "sim/task.hpp"
 
 namespace {
 
-using calciom::net::FlowId;
 using calciom::net::FlowNet;
-using calciom::net::FlowSpec;
-using calciom::net::kUnlimited;
 using calciom::net::ReferenceFlowNet;
 using calciom::net::ResourceId;
-using calciom::sim::Delay;
+using calciom::scenarios::flowWorker;
+using calciom::scenarios::FlowScenario;
+using calciom::scenarios::makeClusteredScenario;
 using calciom::sim::Engine;
-using calciom::sim::Task;
-using calciom::sim::Xoshiro256;
-
-struct WorkerPlan {
-  std::uint32_t app = 0;
-  std::size_t link = 0;    // resource index
-  std::size_t server = 0;  // resource index
-  double startDelay = 0.0;
-  std::vector<double> bytes;
-  std::vector<double> weight;
-  std::vector<double> rateCap;
-};
-
-struct Scenario {
-  std::vector<double> capacities;  // in resource-id order
-  std::vector<WorkerPlan> workers;
-  int clusters = 0;
-};
-
-/// C clusters x (1 server + 2 links); `flows` workers pinned to clusters,
-/// each running `flowsPerWorker` back-to-back transfers.
-Scenario makeScenario(std::uint64_t seed, int clusters, int flows,
-                      int flowsPerWorker) {
-  Xoshiro256 rng(seed);
-  Scenario sc;
-  sc.clusters = clusters;
-  for (int c = 0; c < clusters; ++c) {
-    sc.capacities.push_back(rng.uniform(80e6, 160e6));   // server
-    sc.capacities.push_back(rng.uniform(100e6, 300e6));  // link 0
-    sc.capacities.push_back(rng.uniform(100e6, 300e6));  // link 1
-  }
-  for (int w = 0; w < flows; ++w) {
-    WorkerPlan plan;
-    const int cluster = w % clusters;
-    plan.app = static_cast<std::uint32_t>(w);
-    plan.server = static_cast<std::size_t>(3 * cluster);
-    plan.link = static_cast<std::size_t>(
-        3 * cluster + 1 + static_cast<int>(rng.uniformInt(0, 1)));
-    plan.startDelay = rng.uniform(0.0, 2.0);
-    for (int i = 0; i < flowsPerWorker; ++i) {
-      plan.bytes.push_back(rng.uniform(5e6, 80e6));
-      plan.weight.push_back(rng.uniform(1.0, 16.0));
-      plan.rateCap.push_back(rng.uniform01() < 0.2 ? rng.uniform(5e6, 60e6)
-                                                   : kUnlimited);
-    }
-    sc.workers.push_back(std::move(plan));
-  }
-  return sc;
-}
-
-template <class Net>
-Task flowWorker(Net& net, const WorkerPlan& plan,
-                const std::vector<ResourceId>& res) {
-  co_await Delay{plan.startDelay};
-  for (std::size_t i = 0; i < plan.bytes.size(); ++i) {
-    FlowSpec spec;
-    spec.bytes = plan.bytes[i];
-    spec.path = {res[plan.link], res[plan.server]};
-    spec.weight = plan.weight[i];
-    spec.rateCap = plan.rateCap[i];
-    spec.group = plan.app;
-    const FlowId id = net.start(std::move(spec));
-    co_await net.completion(id);
-  }
-}
 
 struct RunResult {
   std::uint64_t events = 0;
@@ -121,7 +55,7 @@ struct RunResult {
 /// sees full concurrency) until `eventBudget` further events have been
 /// processed or the simulation drains. The warmup is excluded from timing.
 template <class Net>
-RunResult runScenario(const Scenario& sc, double warmupTime,
+RunResult runScenario(const FlowScenario& sc, double warmupTime,
                       std::uint64_t eventBudget) {
   Engine eng;
   Net net(eng);
@@ -130,7 +64,7 @@ RunResult runScenario(const Scenario& sc, double warmupTime,
   for (double cap : sc.capacities) {
     res.push_back(net.addResource(cap));
   }
-  for (const WorkerPlan& plan : sc.workers) {
+  for (const calciom::scenarios::WorkerPlan& plan : sc.workers) {
     eng.spawn(flowWorker(net, plan, res));
   }
   eng.runUntil(warmupTime);
@@ -204,7 +138,7 @@ int main(int argc, char** argv) {
   std::printf("  \"cases\": [\n");
   for (std::size_t t = 0; t < tiers.size(); ++t) {
     const Tier& tier = tiers[t];
-    const Scenario sc = makeScenario(0xCA1C10Full + t, tier.clusters,
+    const FlowScenario sc = makeClusteredScenario(0xCA1C10Full + t, tier.clusters,
                                      tier.flows, tier.flowsPerWorker);
     const RunResult inc = runScenario<FlowNet>(sc, kWarmup, kNoBudget);
     RunResult ref;

@@ -24,7 +24,19 @@ inline void kahanAdd(double& sum, double& comp, double term) noexcept {
 
 }  // namespace
 
+void FlowNet::expectShardLocal() const {
+  // Shard safety: a FlowNet belongs to one engine (= one Cluster shard). It
+  // may be mutated from setup code (no event loop running on this thread)
+  // or from its own engine's callbacks, but never from another engine's
+  // loop — with shards on worker threads that would be a data race, and
+  // even single-threaded it would couple components the sharded executor
+  // assumes are independent (see src/sim/README.md).
+  CALCIOM_EXPECTS(sim::Engine::current() == nullptr ||
+                  sim::Engine::current() == &engine_);
+}
+
 ResourceId FlowNet::addResource(double capacity, std::string name) {
+  expectShardLocal();
   CALCIOM_EXPECTS(capacity >= 0.0);
   Resource res;
   res.capacity = capacity;
@@ -35,6 +47,7 @@ ResourceId FlowNet::addResource(double capacity, std::string name) {
 }
 
 void FlowNet::setCapacity(ResourceId r, double capacity) {
+  expectShardLocal();
   CALCIOM_EXPECTS(r < resources_.size());
   CALCIOM_EXPECTS(capacity >= 0.0);
   if (resources_[r].capacity == capacity) {
@@ -66,6 +79,7 @@ const FlowNet::Flow& FlowNet::flowRef(FlowId f) const {
 }
 
 FlowId FlowNet::start(FlowSpec spec) {
+  expectShardLocal();
   CALCIOM_EXPECTS(spec.bytes >= 0.0);
   CALCIOM_EXPECTS(spec.weight > 0.0);
   CALCIOM_EXPECTS(spec.rateCap > 0.0);
@@ -151,11 +165,13 @@ bool FlowNet::groupActiveThrough(ResourceId r, std::uint32_t group) const {
 }
 
 void FlowNet::addRatesListener(RatesListener fn) {
+  expectShardLocal();
   CALCIOM_EXPECTS(fn != nullptr);
   listeners_.push_back(std::move(fn));
 }
 
 void FlowNet::addRatesListener(std::function<void()> fn) {
+  expectShardLocal();
   CALCIOM_EXPECTS(fn != nullptr);
   listeners_.push_back(
       [ping = std::move(fn)](const AffectedResources&) { ping(); });

@@ -144,6 +144,8 @@ class FlowNet {
   /// Registers a callback invoked after every rate recomputation with the
   /// affected resource set; used by the storage servers to track cache fill
   /// levels without paying for recomputations elsewhere in the machine.
+  /// Listeners are shard-local: they run on the thread driving this net's
+  /// engine and must only touch state owned by the same shard.
   void addRatesListener(RatesListener fn);
   /// Legacy ping form: invoked on every recomputation regardless of where it
   /// happened.
@@ -151,6 +153,10 @@ class FlowNet {
 
  private:
   friend class AffectedResources;
+
+  /// Throws PreconditionError when called from another engine's event loop;
+  /// see the definition for the shard-safety rationale.
+  void expectShardLocal() const;
 
   /// Entry in a resource's incidence list: the active flow and the index of
   /// this resource within the flow's path (so the flow's back-pointer can be

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file cluster.hpp
+/// A sharded simulation platform: N `Machine` shards, each with its own
+/// `sim::Engine` (private event heap, clock, and RNG stream), advancing
+/// together in *sync-horizon* rounds on a `sim::ShardExecutor` thread pool.
+///
+/// Why this is exact, not approximate: every simulated component (FlowNet
+/// resources and flows, storage servers, port registries) belongs to exactly
+/// one shard, and nothing in the model lets components in different shards
+/// interact — a flow's path can only name resources of its shard's FlowNet,
+/// and coordination ports live per machine. Shard state is therefore a
+/// function of the shard's own event sequence, and the conservative clock
+/// barrier (no shard runs past the horizon until every shard reached it)
+/// exists to bound clock skew for future cross-shard couplings and for
+/// observers that sample all shards "at time t", not for correctness of
+/// today's model. Consequently a campaign partitions deterministically:
+/// results are bit-identical for 1, 4, or 16 worker threads (the
+/// thread-count invariance test in tests/platform_cluster_test.cpp holds the
+/// codebase to this).
+///
+/// See src/sim/README.md for the determinism model in full.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/machine.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace calciom::platform {
+
+struct ClusterSpec {
+  std::string name = "cluster";
+  /// Machine spec replicated per shard; each shard's machine is named
+  /// `<spec.name>/shard<i>`.
+  MachineSpec shard;
+  std::size_t shards = 1;
+  /// Base seed for the per-shard engine RNG streams (shard i draws from an
+  /// independent SplitMix64-derived stream).
+  std::uint64_t seed = 0x5EEDC1C1u;
+  /// Length of a sync-horizon round in simulated seconds: each round runs
+  /// every shard from the global earliest pending event to that event's
+  /// time plus this horizon, then barriers. Larger horizons mean fewer
+  /// barriers (less synchronization overhead) but coarser clock alignment
+  /// between shards.
+  sim::Time syncHorizonSeconds = 0.5;
+
+  void validate() const {
+    CALCIOM_EXPECTS(shards >= 1);
+    CALCIOM_EXPECTS(syncHorizonSeconds > 0.0);
+    shard.validate();
+  }
+};
+
+/// Aggregated event-loop counters across shards (see Cluster::stats()).
+struct ClusterStats {
+  /// Sums over shards; maxQueueDepth is the per-shard maximum,
+  /// wallSeconds the per-shard maximum (busiest single shard, NOT the
+  /// campaign's elapsed time), and eventsPerSecond is events per
+  /// CPU-second (processedEvents / cpuSeconds). For wall-clock throughput
+  /// time the campaign externally — per-shard timers overlap across
+  /// worker threads, so no combination of them is elapsed time.
+  sim::EngineStats total;
+  /// Seconds spent inside shard event loops, summed over shards — total
+  /// CPU burned. With W workers, perfect scaling gives an elapsed time of
+  /// about cpuSeconds / W.
+  double cpuSeconds = 0.0;
+  std::size_t shards = 0;
+  /// Barrier rounds executed (deterministic: derived from simulated time
+  /// only, never from thread scheduling).
+  std::uint64_t syncRounds = 0;
+};
+
+/// Owner of the shard engines and machines; see file comment.
+class Cluster {
+ public:
+  explicit Cluster(ClusterSpec spec);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::size_t shardCount() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] sim::Engine& engine(std::size_t shard);
+  [[nodiscard]] Machine& machine(std::size_t shard);
+  [[nodiscard]] const ClusterSpec& spec() const noexcept { return spec_; }
+
+  /// Runs every shard until no events remain anywhere, using `workers`
+  /// threads (clamped to >= 1). Rethrows the lowest-shard-index failure.
+  void run(unsigned workers = 1);
+
+  /// Runs every shard through simulated time `t` inclusive (like
+  /// Engine::runUntil: each shard's clock ends at exactly `t`).
+  void runUntil(sim::Time t, unsigned workers = 1);
+
+  /// Earliest pending event across shards, kNever when drained.
+  [[nodiscard]] sim::Time nextEventTime() const noexcept;
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] ClusterStats stats() const noexcept;
+
+ private:
+  struct Shard {
+    std::unique_ptr<sim::Engine> engine;
+    std::unique_ptr<Machine> machine;
+  };
+
+  /// Sync-horizon rounds until no event remains at or before `limit`.
+  void runRounds(sim::Time limit, unsigned workers);
+
+  ClusterSpec spec_;
+  std::vector<Shard> shards_;
+  std::uint64_t syncRounds_ = 0;
+};
+
+}  // namespace calciom::platform

@@ -22,7 +22,27 @@ class WallTimer {
   double& sink_;
   std::chrono::steady_clock::time_point start_;
 };
+
+/// The engine running an event loop on this thread (shard workers each set
+/// their own). Scoped so nested run()s (rare, but legal) restore the outer
+/// engine.
+thread_local Engine* tlsCurrentEngine = nullptr;
+
+class CurrentEngineScope {
+ public:
+  explicit CurrentEngineScope(Engine* e) noexcept : prev_(tlsCurrentEngine) {
+    tlsCurrentEngine = e;
+  }
+  ~CurrentEngineScope() { tlsCurrentEngine = prev_; }
+  CurrentEngineScope(const CurrentEngineScope&) = delete;
+  CurrentEngineScope& operator=(const CurrentEngineScope&) = delete;
+
+ private:
+  Engine* prev_;
+};
 }  // namespace
+
+Engine* Engine::current() noexcept { return tlsCurrentEngine; }
 
 Engine::~Engine() {
   drainZombies();
@@ -39,6 +59,10 @@ Engine::~Engine() {
 void Engine::scheduleAt(Time t, EventFn fn) {
   CALCIOM_EXPECTS(t >= now_);
   CALCIOM_EXPECTS(static_cast<bool>(fn));
+  // Scheduling is shard-local: events may be planted from setup code (no
+  // engine running) or from this engine's own callbacks, never from another
+  // engine's loop — that would race with the owning shard's thread.
+  CALCIOM_EXPECTS(current() == nullptr || current() == this);
   events_.push(Event{t, seq_++, std::move(fn)});
   maxQueueDepth_ = std::max(maxQueueDepth_, events_.size());
 }
@@ -57,16 +81,76 @@ std::shared_ptr<Trigger> Engine::spawn(Task task) {
   return done;
 }
 
-void Engine::run() {
-  WallTimer timer(wallSeconds_);
-  while (!events_.empty()) {
+void Engine::flushActiveBatch() {
+  // A nested run()/runUntil() must see the enclosing dispatch's unconsumed
+  // events: they are at the head of the order, and holding them privately
+  // would let the nested loop advance the clock past them — dispatching
+  // them afterwards would rewind now() and double-integrate every
+  // time-integrating component (FlowNet delivered bytes, cache levels).
+  // Pushing them back restores the exact one-event-at-a-time semantics:
+  // the nested loop pops them first, in (time, seq) order. By induction
+  // only the innermost dispatch ever holds a non-empty tail, so one flush
+  // suffices.
+  if (activeBatch_ != nullptr) {
+    for (std::size_t i = *activeNext_; i < activeBatch_->size(); ++i) {
+      events_.push(std::move((*activeBatch_)[i]));
+    }
+    *activeNext_ = activeBatch_->size();
+  }
+}
+
+void Engine::dispatchHeadBatch() {
+  // Take the scratch buffer by value: a nested run on this engine will
+  // reuse batch_ for its own dispatches. In the (overwhelmingly common)
+  // non-reentrant case this is a pointer swap, and the buffer's capacity
+  // returns to batch_ below, so the steady state stays allocation-free.
+  std::vector<Event> batch = std::move(batch_);
+  batch_.clear();
+  batch.clear();
+  events_.popBatch(batch, [](const Event& top, const Event& x) noexcept {
+    return x.t == top.t;
+  });
+  ++dispatchBatches_;
+  // On every exit (including an exception escaping an event) re-push the
+  // unconsumed tail: (t, seq) keys are unchanged, so the next run()
+  // resumes in the exact order this one would have used. Also unwinds the
+  // active-dispatch stack used by flushActiveBatch().
+  struct Restore {
+    Engine& eng;
+    std::vector<Event>& batch;
+    std::vector<Event>* prevBatch;
+    std::size_t* prevNext;
+    std::size_t next = 0;
+    ~Restore() {
+      for (std::size_t i = next; i < batch.size(); ++i) {
+        eng.events_.push(std::move(batch[i]));
+      }
+      batch.clear();
+      eng.batch_ = std::move(batch);  // hand the capacity back
+      eng.activeBatch_ = prevBatch;
+      eng.activeNext_ = prevNext;
+    }
+  } restore{*this, batch, activeBatch_, activeNext_};
+  activeBatch_ = &batch;
+  activeNext_ = &restore.next;
+  while (restore.next < batch.size()) {
     drainZombies();
     rethrowIfFailed();
-    Event ev = events_.pop();
-    CALCIOM_ENSURES(ev.t >= now_);
+    Event& ev = batch[restore.next];
+    ++restore.next;  // consumed even if fn() throws: the event did run
     now_ = ev.t;
     ++processed_;
     ev.fn();
+  }
+}
+
+void Engine::run() {
+  WallTimer timer(wallSeconds_);
+  CurrentEngineScope scope(this);
+  flushActiveBatch();  // nested call: inherit the enclosing batch's tail
+  while (!events_.empty()) {
+    CALCIOM_ENSURES(events_.top().t >= now_);
+    dispatchHeadBatch();
   }
   drainZombies();
   rethrowIfFailed();
@@ -75,13 +159,10 @@ void Engine::run() {
 void Engine::runUntil(Time t) {
   CALCIOM_EXPECTS(t >= now_);
   WallTimer timer(wallSeconds_);
+  CurrentEngineScope scope(this);
+  flushActiveBatch();  // nested call: inherit the enclosing batch's tail
   while (!events_.empty() && events_.top().t <= t) {
-    drainZombies();
-    rethrowIfFailed();
-    Event ev = events_.pop();
-    now_ = ev.t;
-    ++processed_;
-    ev.fn();
+    dispatchHeadBatch();
   }
   drainZombies();
   rethrowIfFailed();
@@ -98,6 +179,7 @@ EngineStats Engine::stats() const noexcept {
   s.scheduledEvents = seq_;
   s.pendingEvents = events_.size();
   s.maxQueueDepth = maxQueueDepth_;
+  s.dispatchBatches = dispatchBatches_;
   s.wallSeconds = wallSeconds_;
   s.eventsPerSecond =
       wallSeconds_ > 0.0 ? static_cast<double>(processed_) / wallSeconds_ : 0.0;

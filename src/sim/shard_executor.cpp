@@ -1,0 +1,101 @@
+#include "sim/shard_executor.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace calciom::sim {
+
+ShardExecutor::ShardExecutor(unsigned workers) {
+  const unsigned poolSize = std::max(1u, workers) - 1;
+  threads_.reserve(poolSize);
+  for (unsigned i = 0; i < poolSize; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ShardExecutor::runIndices(const std::function<void(std::size_t)>& fn,
+                               std::size_t n) {
+  for (;;) {
+    const std::size_t i = nextIndex_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      return;
+    }
+    try {
+      fn(i);
+    } catch (...) {
+      errors_[i] = std::current_exception();
+    }
+  }
+}
+
+void ShardExecutor::parallelFor(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  errors_.assign(n, nullptr);
+  nextIndex_.store(0, std::memory_order_relaxed);
+  if (threads_.empty() || n == 1) {
+    // Serial fast path: no broadcast, no barrier.
+    runIndices(fn, n);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      CALCIOM_EXPECTS(job_ == nullptr);  // rounds never overlap
+      job_ = &fn;
+      jobSize_ = n;
+      activeWorkers_ = threads_.size();
+      ++roundGeneration_;
+    }
+    wake_.notify_all();
+    runIndices(fn, n);  // the caller pulls indices too
+    std::unique_lock<std::mutex> lk(mu_);
+    done_.wait(lk, [this] { return activeWorkers_ == 0; });
+    job_ = nullptr;
+  }
+  for (const std::exception_ptr& e : errors_) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ShardExecutor::workerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      wake_.wait(lk, [&] { return shutdown_ || roundGeneration_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = roundGeneration_;
+      job = job_;
+      n = jobSize_;
+    }
+    runIndices(*job, n);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --activeWorkers_;
+      if (activeWorkers_ == 0) {
+        done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace calciom::sim

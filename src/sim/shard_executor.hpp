@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file shard_executor.hpp
+/// Worker-thread pool for sharded simulations. A platform::Cluster advances
+/// its shards in sync-horizon rounds; each round is a `parallelFor` over
+/// shard indices. The executor is deliberately minimal:
+///
+///  * Persistent workers. A campaign runs thousands of barrier rounds;
+///    spawning threads per round would dominate. Workers are created once
+///    and woken per round with a generation-counted broadcast.
+///  * The caller participates. `parallelFor(n, fn)` has the calling thread
+///    pull indices alongside the pool, so `workers == 1` (or an empty pool)
+///    degenerates to a plain loop with no synchronization — the serial path
+///    of a 1-worker cluster pays nothing.
+///  * Deterministic failure. Exceptions from `fn(i)` are captured in
+///    per-index slots and the lowest-index one is rethrown after the round
+///    completes, so which error surfaces does not depend on thread
+///    interleaving.
+///
+/// Index distribution uses an atomic counter (work stealing by another
+/// name). That is safe for simulation shards because shard results are
+/// independent of *which thread* runs them — determinism lives in the
+/// shards, not in the schedule.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace calciom::sim {
+
+class ShardExecutor {
+ public:
+  /// Creates a pool that runs rounds on `workers` threads total (the caller
+  /// counts as one, so `workers - 1` threads are spawned). `workers` is
+  /// clamped to at least 1.
+  explicit ShardExecutor(unsigned workers);
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+  ~ShardExecutor();
+
+  /// Invokes `fn(i)` exactly once for every i in [0, n), distributed over
+  /// the pool plus the calling thread; blocks until all calls finished.
+  /// `fn` must be safe to call concurrently for distinct indices. If any
+  /// call threw, the lowest-index exception is rethrown.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Total threads a round runs on (pool + caller).
+  [[nodiscard]] unsigned workers() const noexcept {
+    return static_cast<unsigned>(threads_.size()) + 1;
+  }
+
+ private:
+  void workerLoop();
+  /// Pulls indices from nextIndex_ until the round is exhausted.
+  void runIndices(const std::function<void(std::size_t)>& fn, std::size_t n);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable wake_;  // workers wait here for the next round
+  std::condition_variable done_;  // the caller waits here for round end
+  std::uint64_t roundGeneration_ = 0;
+  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by mu_
+  std::size_t jobSize_ = 0;                                // guarded by mu_
+  std::size_t activeWorkers_ = 0;                          // guarded by mu_
+  bool shutdown_ = false;                                  // guarded by mu_
+  std::atomic<std::size_t> nextIndex_{0};
+  /// One slot per index; distinct indices write distinct slots, so no lock.
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace calciom::sim

@@ -1,6 +1,7 @@
 #include "storage/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sim/contracts.hpp"
@@ -119,13 +120,33 @@ void StorageServer::scheduleTransition() {
   if (eta == sim::kNever) {
     return;
   }
-  engine_.scheduleAfter(eta, [this, gen] { transitionEvent(gen); });
+  const sim::Time now = engine_.now();
+  sim::Time at = now + eta;
+  if (!std::isfinite(at)) {
+    return;  // beyond any representable horizon: effectively never
+  }
+  if (eta > 0.0 && at == now) {
+    // The crossing is nearer than one ulp of the clock. Scheduling at `now`
+    // would re-fire with dt == 0 forever: the level never integrates the
+    // residual sub-epsilon gap, the threshold test never flips, and the
+    // simulation livelocks at a frozen timestamp. (Latent since the cache
+    // model was written; at thousands of servers some server reliably lands
+    // in this window — found by the perf_cluster storage tier.) One ulp is
+    // the smallest representable forward step, and it is enough: the
+    // integrated fill over an ulp dwarfs the remaining gap whenever the
+    // fill rate is large enough to have produced an unrepresentable eta.
+    at = std::nextafter(now, sim::kNever);
+  }
+  ++profile_.scheduled;
+  engine_.scheduleAt(at, [this, gen] { transitionEvent(gen); });
 }
 
 void StorageServer::transitionEvent(std::uint64_t generation) {
   if (generation != generation_) {
+    ++profile_.stale;
     return;
   }
+  ++profile_.fired;
   refreshLevel();
   if (!saturated_ && level_ >= cfg_.cacheBytes - kLevelEpsilon) {
     saturated_ = true;

@@ -51,6 +51,22 @@ struct DiskModel {
 /// A single storage server attached to a FlowNet.
 class StorageServer {
  public:
+  /// Counters for the cache-transition reschedule path. Every rate change at
+  /// this server's ingress bumps a generation and (when the cache is
+  /// trending toward a threshold) schedules a transition event; events that
+  /// arrive with a stale generation are no-ops. `bench/perf_cluster.cpp`
+  /// aggregates these across thousands of servers to decide whether the
+  /// reschedule needs a next-transition-time index (ROADMAP "cache/locality
+  /// model at scale"); the profile verdict is recorded in src/net/README.md.
+  struct TransitionProfile {
+    /// Transition events pushed into the engine.
+    std::uint64_t scheduled = 0;
+    /// Events that arrived live and actually flipped/checked state.
+    std::uint64_t fired = 0;
+    /// Events superseded by a later reschedule before they arrived.
+    std::uint64_t stale = 0;
+  };
+
   struct Config {
     /// Fast-path ingest (server NIC / memory) bytes/s.
     double nicBandwidth = 1e9;
@@ -84,6 +100,9 @@ class StorageServer {
   [[nodiscard]] double delivered() const;
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] const TransitionProfile& transitionProfile() const noexcept {
+    return profile_;
+  }
 
  private:
   [[nodiscard]] bool cacheEnabled() const noexcept {
@@ -114,6 +133,7 @@ class StorageServer {
   bool saturated_ = false;
   int activeApps_ = 0;
   std::uint64_t generation_ = 0;
+  TransitionProfile profile_;
 };
 
 }  // namespace calciom::storage

@@ -1,0 +1,240 @@
+// Property tests for DaryHeap::popBatch and the engine's batched equal-time
+// dispatch: batches drain exactly the minimal-key class, batch boundaries
+// respect (time, seq) order, and the batched engine loop preserves the
+// documented equal-time-runs-in-scheduling-order semantics (including when
+// events throw mid-batch).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/dary_heap.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using calciom::sim::DaryHeap;
+using calciom::sim::Engine;
+using calciom::sim::Time;
+using calciom::sim::Xoshiro256;
+
+// (key, seq) record mirroring the engine's Event ordering: key ties are
+// broken by insertion sequence, so the full order is total and unique.
+struct Rec {
+  std::int64_t key;
+  std::uint64_t seq;
+};
+struct RecBefore {
+  bool operator()(const Rec& a, const Rec& b) const noexcept {
+    return a.key < b.key || (a.key == b.key && a.seq < b.seq);
+  }
+};
+bool sameKey(const Rec& top, const Rec& x) { return x.key == top.key; }
+
+TEST(DaryHeapPopBatchTest, FullDrainEqualsReferenceSort) {
+  // 60 randomized heaps with heavily quantized keys (many duplicates — the
+  // completion-storm shape): draining batch by batch must reproduce the
+  // exact (key, seq) sort, with every batch a maximal equal-key run.
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    Xoshiro256 rng(0xBA7C4000ull + seed);
+    DaryHeap<Rec, RecBefore> heap;
+    std::vector<Rec> reference;
+    const int pushes = 1 + static_cast<int>(rng.uniformInt(1, 1200));
+    for (int i = 0; i < pushes; ++i) {
+      // keys in [0, 12]: storms of dozens of equal keys per batch.
+      const Rec r{rng.uniformInt(0, 12),
+                  static_cast<std::uint64_t>(i)};
+      heap.push(r);
+      reference.push_back(r);
+    }
+    std::vector<Rec> drained;
+    while (!heap.empty()) {
+      const std::size_t before = drained.size();
+      const std::size_t n = heap.popBatch(drained, sameKey);
+      ASSERT_GT(n, 0u);
+      ASSERT_EQ(drained.size(), before + n);
+      // Every record in the batch shares one key...
+      for (std::size_t i = before + 1; i < drained.size(); ++i) {
+        EXPECT_EQ(drained[i].key, drained[before].key);
+      }
+      // ...and the next top (if any) has a strictly larger key: the batch
+      // was maximal.
+      if (!heap.empty()) {
+        EXPECT_GT(heap.top().key, drained[before].key);
+      }
+    }
+    // The concatenation of all batches is the full multiset in exact
+    // (key, seq) order — batch boundaries never reorder records.
+    ASSERT_EQ(drained.size(), reference.size());
+    std::sort(reference.begin(), reference.end(),
+              [](const Rec& a, const Rec& b) { return RecBefore{}(a, b); });
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(drained[i].key, reference[i].key) << "at " << i;
+      EXPECT_EQ(drained[i].seq, reference[i].seq) << "at " << i;
+    }
+  }
+}
+
+TEST(DaryHeapPopBatchTest, InterleavesWithSinglePops) {
+  // popBatch must leave a valid heap behind: alternate batch drains with
+  // plain pops and pushes and check global ordering per key class.
+  Xoshiro256 rng(0xF00D);
+  DaryHeap<Rec, RecBefore> heap;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 500; ++i) {
+    heap.push(Rec{rng.uniformInt(0, 9), seq++});
+  }
+  std::vector<Rec> out;
+  bool useBatch = true;
+  while (!heap.empty()) {
+    if (useBatch) {
+      heap.popBatch(out, sameKey);
+    } else {
+      out.push_back(heap.pop());
+    }
+    useBatch = !useBatch;
+    if (seq < 700 && rng.uniform01() < 0.3) {
+      heap.push(Rec{rng.uniformInt(0, 9), seq++});
+    }
+  }
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(seq));
+  // Keys leave the heap in nondecreasing order within any window where no
+  // push intervened; globally, every (key, seq) pair must be unique and the
+  // multiset must match what was pushed.
+  std::vector<std::uint64_t> seqs;
+  for (const Rec& r : out) {
+    seqs.push_back(r.seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], i);
+  }
+}
+
+TEST(DaryHeapPopBatchTest, SingletonAndFullDrainEdges) {
+  DaryHeap<Rec, RecBefore> heap;
+  std::vector<Rec> out;
+  EXPECT_EQ(heap.popBatch(out, sameKey), 0u);  // empty heap
+  heap.push(Rec{7, 0});
+  EXPECT_EQ(heap.popBatch(out, sameKey), 1u);  // singleton
+  EXPECT_TRUE(heap.empty());
+  // All items equal: one batch drains the whole heap, in seq order.
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    heap.push(Rec{3, 99 - s});
+  }
+  out.clear();
+  EXPECT_EQ(heap.popBatch(out, sameKey), 100u);
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    EXPECT_EQ(out[s].seq, s);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+// --- Engine-level batched dispatch semantics -------------------------------
+
+TEST(BatchedDispatchTest, StormRunsInSchedulingOrderAcrossNestedSchedules) {
+  // An equal-time storm where handlers schedule more equal-time events
+  // mid-batch: the new events have larger seq, so they must run after every
+  // event already in the batch.
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    eng.scheduleAt(1.0, [&eng, &order, i] {
+      order.push_back(i);
+      if (i % 10 == 0) {
+        eng.scheduleAt(1.0, [&order, i] { order.push_back(1000 + i); });
+      }
+    });
+  }
+  eng.run();
+  ASSERT_EQ(order.size(), 110u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+  // The nested events ran after the storm, in their scheduling order.
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(order[static_cast<std::size_t>(100 + k)], 1000 + 10 * k);
+  }
+  const auto stats = eng.stats();
+  EXPECT_EQ(stats.processedEvents, 110u);
+  // One batch for the initial storm; the nested events were scheduled while
+  // it dispatched, so they drained in later batch(es).
+  EXPECT_GE(stats.dispatchBatches, 2u);
+  EXPECT_LE(stats.dispatchBatches, 12u);
+}
+
+TEST(BatchedDispatchTest, ThrowMidBatchPreservesPendingEvents) {
+  // If an event throws mid-storm, the unconsumed tail of the batch must be
+  // back in the queue, and a subsequent run() must dispatch it in order.
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.scheduleAt(2.0, [&order, i] {
+      if (i == 4) {
+        throw std::runtime_error("storm casualty");
+      }
+      order.push_back(i);
+    });
+  }
+  EXPECT_THROW(eng.run(), std::runtime_error);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  // Events 5..9 survived the exception.
+  EXPECT_EQ(eng.pendingEvents(), 5u);
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 5, 6, 7, 8, 9}));
+}
+
+TEST(BatchedDispatchTest, NestedRunMatchesUnbatchedSemantics) {
+  // An event may legally re-enter runUntil() on the same engine (the old
+  // one-event-at-a-time loop supported this). The nested loop must inherit
+  // the outer batch's unconsumed tail: those events are at the head of the
+  // (time, seq) order, so they run *inside* the nested excursion — before
+  // later-time events, with the clock never rewinding. Dropping them, or
+  // dispatching them after the nested run advanced the clock, would
+  // double-integrate every time-integrating component.
+  Engine eng;
+  std::vector<std::string> order;
+  std::vector<Time> clocks;
+  eng.scheduleAt(1.0, [&] {
+    order.push_back("outer-first");
+    clocks.push_back(eng.now());
+    eng.scheduleAt(1.5, [&] {
+      order.push_back("inner");
+      clocks.push_back(eng.now());
+    });
+    eng.runUntil(1.5);  // nested: must dispatch the held t=1.0 event first
+  });
+  eng.scheduleAt(1.0, [&] {
+    order.push_back("outer-second");
+    clocks.push_back(eng.now());
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"outer-first", "outer-second",
+                                             "inner"}));
+  // Clocks are nondecreasing: no rewind at any point.
+  EXPECT_EQ(clocks, (std::vector<Time>{1.0, 1.0, 1.5}));
+  EXPECT_DOUBLE_EQ(eng.now(), 1.5);
+  EXPECT_EQ(eng.processedEvents(), 3u);
+  EXPECT_EQ(eng.pendingEvents(), 0u);
+}
+
+TEST(BatchedDispatchTest, BatchCountersMatchStormShape) {
+  Engine eng;
+  // 5 storms of 200 events at distinct times.
+  for (int s = 0; s < 5; ++s) {
+    for (int i = 0; i < 200; ++i) {
+      eng.scheduleAt(static_cast<Time>(s), [] {});
+    }
+  }
+  eng.run();
+  const auto stats = eng.stats();
+  EXPECT_EQ(stats.processedEvents, 1000u);
+  EXPECT_EQ(stats.dispatchBatches, 5u);
+}
+
+}  // namespace
