@@ -26,9 +26,17 @@
 //    transition-event reschedule hot at thousands of servers? The verdict
 //    is recorded in src/net/README.md.
 //
-// `--smoke` runs a small cluster at 1 and 2 workers and exits non-zero if
-// the fingerprints diverge or the runs do not complete — the CI tripwire
-// for shard determinism.
+//  * cluster_arbiter — 16 shards x 4 coordinated applications each, three
+//    I/O phases per app, arbitrated by a calciom::GlobalArbiter at the
+//    sync-horizon barriers (Dynamic policy). Repeated at 1/2/4/8 workers;
+//    the fingerprint additionally folds every DecisionRecord (time bits,
+//    requester, accessor set, action, metric-cost bits), so a divergence in
+//    *decisions* — not just in shard event streams — fails the bench.
+//
+// `--smoke` runs a small cluster at 1 and 2 workers — once pure flows, once
+// with the global arbiter in the loop — and exits non-zero if fingerprints
+// diverge or the runs do not complete: the CI tripwire for shard and
+// cross-shard-coordination determinism.
 
 #include <chrono>
 #include <cstdint>
@@ -40,6 +48,10 @@
 #include <vector>
 
 #include "bench/flow_scenarios.hpp"
+#include "calciom/global_arbiter.hpp"
+#include "calciom/policy.hpp"
+#include "calciom/session.hpp"
+#include "io/hooks.hpp"
 #include "net/flow_net.hpp"
 #include "platform/cluster.hpp"
 #include "sim/engine.hpp"
@@ -48,6 +60,12 @@
 
 namespace {
 
+using calciom::GlobalArbiter;
+using calciom::core::DecisionRecord;
+using calciom::core::makePolicy;
+using calciom::core::PolicyKind;
+using calciom::core::Session;
+using calciom::core::SessionConfig;
 using calciom::net::FlowNet;
 using calciom::net::ResourceId;
 using calciom::platform::Cluster;
@@ -96,6 +114,33 @@ std::uint64_t clusterFingerprint(Cluster& cl) {
     for (ResourceId r = 0;
          r < static_cast<ResourceId>(net.resourceCount()); ++r) {
       fp.foldBits(net.deliveredThrough(r));
+    }
+  }
+  return fp.value();
+}
+
+/// Folds the global arbiter's whole decision stream on top of the shard
+/// fingerprint: a coordination-layer divergence (different decision time,
+/// requester, accessor set, action or dynamic-policy cost) changes the
+/// fingerprint even when shard event counts happen to agree.
+std::uint64_t arbiterFingerprint(Cluster& cl, const GlobalArbiter& ga) {
+  Fingerprint fp;
+  fp.fold(clusterFingerprint(cl));
+  fp.fold(ga.grantsIssued());
+  fp.fold(ga.pausesIssued());
+  fp.fold(ga.messagesMerged());
+  fp.fold(ga.exchanges());
+  for (const DecisionRecord& d : ga.decisions()) {
+    fp.foldBits(d.time);
+    fp.fold(d.requester);
+    fp.fold(static_cast<std::uint64_t>(d.action));
+    fp.fold(d.accessors.size());
+    for (std::uint32_t a : d.accessors) {
+      fp.fold(a);
+    }
+    for (const auto& c : d.costs) {
+      fp.fold(static_cast<std::uint64_t>(c.action));
+      fp.foldBits(c.metricCost);
     }
   }
   return fp.value();
@@ -251,6 +296,108 @@ StorageResult runStorageTier(const StorageTier& tier, unsigned workers) {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-shard coordination tier: synthetic coordinated applications (delay
+// rounds, real Session/stub/barrier protocol) arbitrated by a
+// GlobalArbiter. Measures the barrier-exchange layer, not the I/O model.
+
+struct ArbiterTier {
+  std::size_t shards = 16;
+  int appsPerShard = 4;
+  int phases = 3;
+  int rounds = 6;
+  double roundSeconds = 0.05;
+};
+
+struct ArbiterResult {
+  RunResult run;
+  std::uint64_t decisions = 0;
+  std::uint64_t merged = 0;
+  std::uint64_t exchanges = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t pauses = 0;
+};
+
+calciom::sim::Task coordinatedApp(Engine& eng, Session& session, int phases,
+                                  int rounds, double roundSeconds,
+                                  double startAt, double idleSeconds) {
+  co_await calciom::sim::Delay{startAt};
+  for (int p = 0; p < phases; ++p) {
+    if (p > 0) {
+      co_await calciom::sim::Delay{idleSeconds};
+    }
+    calciom::io::PhaseInfo info;
+    info.appId = session.config().appId;
+    info.appName = session.config().appName;
+    info.processes = session.config().cores;
+    info.files = 1;
+    info.roundsPerFile = rounds;
+    info.totalBytes = 1000;
+    info.bytesPerRound = 1000 / static_cast<std::uint64_t>(rounds);
+    info.estimatedAloneSeconds = rounds * roundSeconds;
+    co_await eng.spawn(session.beginPhase(info));
+    for (int r = 0; r < rounds; ++r) {
+      co_await calciom::sim::Delay{roundSeconds};
+      if (r + 1 < rounds) {
+        co_await eng.spawn(session.roundBoundary(
+            static_cast<double>(r + 1) / static_cast<double>(rounds)));
+      }
+    }
+    co_await eng.spawn(session.endPhase());
+  }
+}
+
+ArbiterResult runArbiterTier(const ArbiterTier& tier, unsigned workers) {
+  ClusterSpec spec;
+  spec.name = "arbiter-bench";
+  spec.shards = tier.shards;
+  spec.syncHorizonSeconds = 0.25;
+  Cluster cl(spec);
+  GlobalArbiter& ga = GlobalArbiter::install(cl, makePolicy(PolicyKind::Dynamic));
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (std::size_t s = 0; s < tier.shards; ++s) {
+    Engine& eng = cl.engine(s);
+    for (int a = 0; a < tier.appsPerShard; ++a) {
+      const auto id = static_cast<std::uint32_t>(
+          s * static_cast<std::size_t>(tier.appsPerShard) +
+          static_cast<std::size_t>(a) + 1);
+      sessions.push_back(std::make_unique<Session>(
+          eng, cl.machine(s).ports(),
+          SessionConfig{.appId = id,
+                        .appName = "app" + std::to_string(id),
+                        .cores = 32 + 32 * static_cast<int>(id % 4)}));
+      // Staggered arrivals: enough overlap that the arbiter queues and
+      // interrupts across shards every few barriers.
+      const double start = 0.1 * static_cast<double>(id % 23);
+      const double idle = 0.3 + 0.1 * static_cast<double>(id % 3);
+      eng.spawn(coordinatedApp(eng, *sessions.back(), tier.phases,
+                               tier.rounds, tier.roundSeconds, start, idle));
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  cl.run(workers);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto stats = cl.stats();
+  ArbiterResult out;
+  out.run.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+  out.run.events = stats.total.processedEvents;
+  out.run.eventsPerSecond =
+      out.run.wallSeconds > 0.0
+          ? static_cast<double>(out.run.events) / out.run.wallSeconds
+          : 0.0;
+  out.run.dispatchBatches = stats.total.dispatchBatches;
+  out.run.maxQueueDepth = stats.total.maxQueueDepth;
+  out.run.syncRounds = stats.syncRounds;
+  out.run.fingerprint = arbiterFingerprint(cl, ga);
+  out.run.complete = cl.empty();
+  out.decisions = ga.decisions().size();
+  out.merged = ga.messagesMerged();
+  out.exchanges = ga.exchanges();
+  out.grants = ga.grantsIssued();
+  out.pauses = ga.pausesIssued();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 
 void printRun(const char* indent, unsigned workers, const RunResult& r,
               bool last) {
@@ -304,12 +451,37 @@ int main(int argc, char** argv) {
                     tier.flowsPerWorker);
     printRun("      ", 1, r1, false);
     printRun("      ", 2, r2, true);
-    std::printf("    ]\n  }\n}\n");
-    ok = r1.complete && r2.complete && r1.fingerprint == r2.fingerprint;
+    std::printf("    ]\n  },\n");
+    const bool flowsOk =
+        r1.complete && r2.complete && r1.fingerprint == r2.fingerprint;
     std::fprintf(stderr, "smoke: fingerprints %016llx / %016llx -> %s\n",
                  static_cast<unsigned long long>(r1.fingerprint),
                  static_cast<unsigned long long>(r2.fingerprint),
-                 ok ? "OK" : "DETERMINISM REGRESSION");
+                 flowsOk ? "OK" : "DETERMINISM REGRESSION");
+    // Same tripwire with the global arbiter in the loop: the fingerprint
+    // folds every DecisionRecord, so cross-shard coordination must be
+    // worker-count invariant too.
+    const ArbiterTier atier{4, 2, 2, 4, 0.1};
+    const ArbiterResult a1 = runArbiterTier(atier, 1);
+    const ArbiterResult a2 = runArbiterTier(atier, 2);
+    std::printf("  \"smoke_global_arbiter\": {\n    \"apps\": %d, "
+                "\"decisions\": %llu,\n    \"runs\": [\n",
+                static_cast<int>(atier.shards) * atier.appsPerShard,
+                static_cast<unsigned long long>(a1.decisions));
+    printRun("      ", 1, a1.run, false);
+    printRun("      ", 2, a2.run, true);
+    std::printf("    ]\n  }\n}\n");
+    const bool arbiterOk = a1.run.complete && a2.run.complete &&
+                           a1.run.fingerprint == a2.run.fingerprint &&
+                           a1.decisions > 0;
+    std::fprintf(stderr,
+                 "smoke_global_arbiter: fingerprints %016llx / %016llx "
+                 "(%llu decisions) -> %s\n",
+                 static_cast<unsigned long long>(a1.run.fingerprint),
+                 static_cast<unsigned long long>(a2.run.fingerprint),
+                 static_cast<unsigned long long>(a1.decisions),
+                 arbiterOk ? "OK" : "DETERMINISM REGRESSION");
+    ok = flowsOk && arbiterOk;
     return ok ? 0 : 1;
   }
 
@@ -358,6 +530,49 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.syncRounds), r.maxQueueDepth,
           speedup, static_cast<unsigned long long>(r.fingerprint),
           r.complete ? "true" : "false", i + 1 < runs.size() ? "," : "");
+    }
+    std::printf("    ],\n");
+    std::printf("    \"deterministic_across_workers\": %s,\n",
+                deterministic ? "true" : "false");
+    // On a 1-hardware-thread container the speedup column measures
+    // executor overhead, not parallelism (ROADMAP multi-core-baseline
+    // caveat, machine-readable so dashboards cannot misread the curve).
+    std::printf("    \"executor_overhead_only\": %s\n",
+                std::thread::hardware_concurrency() <= 1 ? "true" : "false");
+    std::printf("  },\n");
+    ok = ok && deterministic;
+  }
+
+  // --- cross-shard coordination: GlobalArbiter at the barrier exchange.
+  {
+    const ArbiterTier tier;
+    const std::vector<unsigned> counts = {1, 2, 4, 8};
+    std::vector<ArbiterResult> runs;
+    runs.reserve(counts.size());
+    for (unsigned w : counts) {
+      runs.push_back(runArbiterTier(tier, w));
+    }
+    bool deterministic = true;
+    std::printf("  \"cluster_arbiter\": {\n");
+    std::printf("    \"shards\": %zu, \"apps\": %d, \"phases_per_app\": %d,\n",
+                tier.shards, static_cast<int>(tier.shards) * tier.appsPerShard,
+                tier.phases);
+    std::printf("    \"decisions\": %llu, \"messages_merged\": %llu, "
+                "\"barrier_exchanges\": %llu, \"grants\": %llu, "
+                "\"pauses\": %llu,\n",
+                static_cast<unsigned long long>(runs[0].decisions),
+                static_cast<unsigned long long>(runs[0].merged),
+                static_cast<unsigned long long>(runs[0].exchanges),
+                static_cast<unsigned long long>(runs[0].grants),
+                static_cast<unsigned long long>(runs[0].pauses));
+    std::printf("    \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const ArbiterResult& r = runs[i];
+      ok = ok && r.run.complete;
+      deterministic =
+          deterministic && r.run.fingerprint == runs[0].run.fingerprint &&
+          r.decisions == runs[0].decisions;
+      printRun("      ", counts[i], r.run, i + 1 == runs.size());
     }
     std::printf("    ],\n");
     std::printf("    \"deterministic_across_workers\": %s\n",

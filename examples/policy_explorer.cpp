@@ -1,5 +1,8 @@
 // Interactive delta-graph explorer. Configure a two-application scenario
-// from the command line and print the delta-graph for every policy.
+// from the command line and print the delta-graph for every policy, plus a
+// JSON decision trace (core::toJson) at one representative offset — the
+// full arbiter context per decision, including the dynamic policy's
+// per-action costs.
 //
 // Usage:
 //   policy_explorer [coresA coresB mbPerProc dtMin dtMax points]
@@ -12,6 +15,7 @@
 
 #include "analysis/delta.hpp"
 #include "analysis/table.hpp"
+#include "calciom/arbiter_core.hpp"
 #include "io/pattern.hpp"
 #include "platform/presets.hpp"
 
@@ -77,7 +81,25 @@ int main(int argc, char** argv) {
     std::cout << "policy: " << toString(policy) << " (alone A "
               << analysis::fmt(g.aloneA, 2) << "s, B "
               << analysis::fmt(g.aloneB, 2) << "s)\n"
-              << table.str() << '\n';
+              << table.str();
+
+    // The arbiter's own record of what it decided and why, at one
+    // representative offset (JSON via core::toJson; the dynamic policy
+    // additionally reports the per-action costs it compared).
+    analysis::ScenarioConfig traceCfg = cfg;
+    traceCfg.dt = dts[dts.size() / 2];
+    const analysis::PairResult trace = analysis::runPair(traceCfg);
+    std::cout << "decision trace at dt=" << analysis::fmt(traceCfg.dt, 1)
+              << "s:";
+    if (trace.decisions.empty()) {
+      std::cout << " (no contention observed)\n";
+    } else {
+      std::cout << '\n';
+      for (const auto& d : trace.decisions) {
+        std::cout << "  " << core::toJson(d) << '\n';
+      }
+    }
+    std::cout << '\n';
   }
   return 0;
 }

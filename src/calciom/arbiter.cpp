@@ -1,6 +1,5 @@
 #include "calciom/arbiter.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "sim/contracts.hpp"
@@ -9,8 +8,7 @@ namespace calciom::core {
 
 Arbiter::Arbiter(sim::Engine& engine, mpi::PortRegistry& ports,
                  std::unique_ptr<Policy> policy)
-    : engine_(engine), ports_(ports), policy_(std::move(policy)) {
-  CALCIOM_EXPECTS(policy_ != nullptr);
+    : engine_(engine), ports_(ports), core_(std::move(policy)) {
   ports_.openPort(msg::arbiterPort(),
                   [this](std::uint32_t from, mpi::Info payload) {
                     onMessage(from, std::move(payload));
@@ -20,217 +18,22 @@ Arbiter::Arbiter(sim::Engine& engine, mpi::PortRegistry& ports,
 Arbiter::~Arbiter() { ports_.closePort(msg::arbiterPort()); }
 
 void Arbiter::onMessage(std::uint32_t from, mpi::Info payload) {
-  const auto type = payload.get(msg::kType);
-  CALCIOM_EXPECTS(type.has_value());
-  if (*type == msg::kInform) {
-    handleInform(from, payload);
-  } else if (*type == msg::kRelease) {
-    handleRelease(from, payload);
-  } else if (*type == msg::kComplete) {
-    handleComplete(from);
-  } else if (*type == msg::kPauseAck) {
-    handlePauseAck(from, payload);
-  } else {
-    CALCIOM_ENSURES(false);  // unknown message type
-  }
-}
-
-PolicyContext Arbiter::buildContext(const AppRecord& requester) const {
-  PolicyContext ctx;
-  ctx.requester = requester.desc;
-  ctx.now = engine_.now();
-  ctx.queueLength = waitQueue_.size();
-  for (std::uint32_t id : accessors_) {
-    const AppRecord& rec = apps_.at(id);
-    ctx.accessors.push_back(PolicyContext::AccessorView{
-        rec.desc, rec.progress, rec.grantTime});
-  }
-  return ctx;
-}
-
-void Arbiter::handleInform(std::uint32_t app, const mpi::Info& payload) {
-  AppRecord& rec = apps_[app];
-  rec.desc = IoDescriptor::fromInfo(payload);
-  rec.state = AppState::Waiting;
-  rec.progress = 0.0;
-  rec.requestTime = engine_.now();
-
-  // No one is writing and no interrupt is settling: grant immediately.
-  if (accessors_.empty() && !pendingInterrupter_ && pausedStack_.empty() &&
-      waitQueue_.empty()) {
-    grant(app);
-    return;
-  }
-  // While an interrupt is in flight (or apps are paused), newcomers queue;
-  // re-deciding mid-transition would interleave pause/grant messages.
-  if (pendingInterrupter_ || accessors_.empty()) {
-    waitQueue_.push_back(app);
-    return;
-  }
-
-  const PolicyContext ctx = buildContext(rec);
-  const Action action = policy_->decide(ctx);
-  DecisionRecord record;
-  record.time = engine_.now();
-  record.requester = app;
-  record.accessors = accessors_;
-  record.action = action;
-  if (const auto* dynamic = dynamic_cast<const DynamicPolicy*>(policy_.get())) {
-    record.costs = dynamic->evaluate(ctx);
-  }
-  decisions_.push_back(std::move(record));
-
-  switch (action) {
-    case Action::Interfere:
-      grant(app);
-      break;
-    case Action::Queue:
-      waitQueue_.push_back(app);
-      break;
-    case Action::Interrupt:
-      waitQueue_.insert(waitQueue_.begin(), app);
-      beginInterrupt(app);
-      break;
-  }
-}
-
-void Arbiter::handleRelease(std::uint32_t app, const mpi::Info& payload) {
-  const auto it = apps_.find(app);
-  if (it == apps_.end()) {
-    return;
-  }
-  it->second.progress =
-      std::clamp(payload.getDoubleOr(msg::kProgress, it->second.progress),
-                 0.0, 1.0);
-}
-
-void Arbiter::handleComplete(std::uint32_t app) {
-  const auto it = apps_.find(app);
-  if (it == apps_.end()) {
-    return;
-  }
-  AppRecord& rec = it->second;
-  const bool wasPauseRequested = rec.state == AppState::PauseRequested;
-  rec.state = AppState::Idle;
-  rec.progress = 1.0;
-  removeFrom(accessors_, app);
-  removeFrom(waitQueue_, app);
-  removeFrom(pausedStack_, app);
-
-  // An accessor that finished before acknowledging its pause counts as an
-  // implicit ack: nothing is left to pause.
-  if (wasPauseRequested && pendingInterrupter_) {
-    CALCIOM_ENSURES(pendingAcks_ > 0);
-    if (--pendingAcks_ == 0) {
-      const std::uint32_t next = *pendingInterrupter_;
-      pendingInterrupter_.reset();
-      removeFrom(waitQueue_, next);
-      grant(next);
-    }
-    return;
-  }
-  admitNext();
-}
-
-void Arbiter::handlePauseAck(std::uint32_t app, const mpi::Info& payload) {
-  const auto it = apps_.find(app);
-  if (it == apps_.end() || it->second.state != AppState::PauseRequested) {
-    return;
-  }
-  it->second.progress = std::clamp(
-      payload.getDoubleOr(msg::kProgress, it->second.progress), 0.0, 1.0);
-  it->second.state = AppState::Paused;
-  removeFrom(accessors_, app);
-  pausedStack_.push_back(app);
-  if (pendingInterrupter_) {
-    CALCIOM_ENSURES(pendingAcks_ > 0);
-    if (--pendingAcks_ == 0) {
-      const std::uint32_t next = *pendingInterrupter_;
-      pendingInterrupter_.reset();
-      removeFrom(waitQueue_, next);
-      grant(next);
-    }
-  } else {
-    // The interrupter vanished before this ack arrived (terminated job):
-    // resume whoever just paused for nothing.
-    admitNext();
-  }
+  core_.onMessage(engine_.now(), from, payload, scratch_);
+  dispatchCommands();
 }
 
 void Arbiter::onApplicationTerminated(std::uint32_t appId) {
-  const auto it = apps_.find(appId);
-  if (it == apps_.end()) {
-    return;
-  }
-  // If the dying application was itself waiting for accessors to pause,
-  // abandon the interrupt: acks that still arrive resume immediately via
-  // handlePauseAck's no-interrupter path.
-  if (pendingInterrupter_ && *pendingInterrupter_ == appId) {
-    pendingInterrupter_.reset();
-    pendingAcks_ = 0;
-  }
-  // Equivalent to an implicit Complete: frees access, queue position and
-  // pause state, and lets the schedule make progress.
-  handleComplete(appId);
-  apps_.erase(appId);
+  core_.onApplicationTerminated(engine_.now(), appId, scratch_);
+  dispatchCommands();
 }
 
-void Arbiter::grant(std::uint32_t app) {
-  AppRecord& rec = apps_.at(app);
-  rec.state = AppState::Accessing;
-  rec.grantTime = engine_.now();
-  accessors_.push_back(app);
-  ++grants_;
-  sendToApp(app, msg::kGrant);
-}
-
-void Arbiter::beginInterrupt(std::uint32_t requester) {
-  CALCIOM_EXPECTS(!pendingInterrupter_);
-  CALCIOM_EXPECTS(!accessors_.empty());
-  pendingInterrupter_ = requester;
-  pendingAcks_ = 0;
-  for (std::uint32_t id : accessors_) {
-    AppRecord& rec = apps_.at(id);
-    if (rec.state == AppState::Accessing) {
-      rec.state = AppState::PauseRequested;
-      ++pendingAcks_;
-      ++pauses_;
-      sendToApp(id, msg::kPause);
-    }
+void Arbiter::dispatchCommands() {
+  for (const ArbiterCommand& cmd : scratch_) {
+    mpi::Info payload;
+    payload.set(msg::kType, cmd.type);
+    ports_.send(msg::appPort(cmd.app), /*fromApp=*/0, std::move(payload));
   }
-  CALCIOM_ENSURES(pendingAcks_ > 0);
-}
-
-void Arbiter::admitNext() {
-  if (!accessors_.empty() || pendingInterrupter_) {
-    return;  // the system is still busy (or an interrupt is settling)
-  }
-  // Resume preempted applications before admitting new ones.
-  if (!pausedStack_.empty()) {
-    const std::uint32_t app = pausedStack_.back();
-    pausedStack_.pop_back();
-    AppRecord& rec = apps_.at(app);
-    rec.state = AppState::Accessing;
-    rec.grantTime = engine_.now();
-    accessors_.push_back(app);
-    sendToApp(app, msg::kResume);
-    return;
-  }
-  if (!waitQueue_.empty()) {
-    const std::uint32_t app = waitQueue_.front();
-    waitQueue_.erase(waitQueue_.begin());
-    grant(app);
-  }
-}
-
-void Arbiter::sendToApp(std::uint32_t app, const char* type) {
-  mpi::Info payload;
-  payload.set(msg::kType, type);
-  ports_.send(msg::appPort(app), /*fromApp=*/0, std::move(payload));
-}
-
-void Arbiter::removeFrom(std::vector<std::uint32_t>& v, std::uint32_t app) {
-  v.erase(std::remove(v.begin(), v.end(), app), v.end());
+  scratch_.clear();
 }
 
 }  // namespace calciom::core

@@ -1,63 +1,26 @@
 #pragma once
 
 /// \file arbiter.hpp
-/// The coordination entity. The paper allows the decision to be taken
-/// either by the applications themselves (peer-to-peer, every coordinator
-/// evaluating the same deterministic rule on the same shared state) or by a
-/// system-provided entity (§III-B, §III-D); the prototype here implements
-/// the latter — an arbiter reachable through the cross-application port
-/// registry, with every hop paying the configured message latency.
+/// Same-engine frontend of the CALCioM decision core (arbiter_core.hpp):
+/// the arbiter of a single machine, reachable through the machine's
+/// cross-application port registry. Every inbound message and outbound
+/// command pays the registry's configured message latency, so coordination
+/// cost is fully accounted in simulated time.
 ///
-/// State machine per application: Idle → Waiting → Accessing →
-/// (PauseRequested → Paused → Accessing)* → Idle. Invariants:
-///  * applications in `accessors_` may move data; everyone else may not;
-///  * an interrupt grants the requester only after every accessor has
-///    acknowledged its pause at a hook boundary (or completed);
-///  * on completion, paused applications resume (most recently preempted
-///    first) before queued applications are admitted.
+/// All scheduling behaviour lives in `ArbiterCore`; this class only adapts
+/// the transport — port handler in, port sends out, timestamps from the
+/// owning engine's clock. The cross-shard frontend over the same core is
+/// `GlobalArbiter` (global_arbiter.hpp).
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <optional>
-#include <string>
 #include <vector>
 
-#include "calciom/descriptor.hpp"
-#include "calciom/policy.hpp"
+#include "calciom/arbiter_core.hpp"
 #include "mpi/port.hpp"
 #include "sim/engine.hpp"
 
 namespace calciom::core {
-
-/// Wire message types (Info key "calciom.type").
-namespace msg {
-inline constexpr const char* kType = "calciom.type";
-inline constexpr const char* kProgress = "calciom.progress";
-inline constexpr const char* kInform = "inform";
-inline constexpr const char* kRelease = "release";
-inline constexpr const char* kComplete = "complete";
-inline constexpr const char* kPauseAck = "pause_ack";
-inline constexpr const char* kGrant = "grant";
-inline constexpr const char* kPause = "pause";
-inline constexpr const char* kResume = "resume";
-
-/// Port names.
-[[nodiscard]] inline std::string arbiterPort() { return "calciom/arbiter"; }
-[[nodiscard]] inline std::string appPort(std::uint32_t appId) {
-  return "calciom/app/" + std::to_string(appId);
-}
-}  // namespace msg
-
-/// One scheduling decision, kept for experiment traces (Fig 11 reports the
-/// strategy CALCioM chose at each dt).
-struct DecisionRecord {
-  sim::Time time = 0.0;
-  std::uint32_t requester = 0;
-  std::vector<std::uint32_t> accessors;
-  Action action = Action::Queue;
-  std::vector<ActionCost> costs;  // empty unless the policy exposes them
-};
 
 class Arbiter {
  public:
@@ -67,66 +30,46 @@ class Arbiter {
   Arbiter(const Arbiter&) = delete;
   Arbiter& operator=(const Arbiter&) = delete;
 
-  [[nodiscard]] const Policy& policy() const noexcept { return *policy_; }
-  [[nodiscard]] const std::vector<DecisionRecord>& decisions() const noexcept {
-    return decisions_;
+  [[nodiscard]] const Policy& policy() const noexcept {
+    return core_.policy();
   }
-  [[nodiscard]] std::size_t grantsIssued() const noexcept { return grants_; }
-  [[nodiscard]] std::size_t pausesIssued() const noexcept { return pauses_; }
+  [[nodiscard]] const std::vector<DecisionRecord>& decisions() const noexcept {
+    return core_.decisions();
+  }
+  [[nodiscard]] std::size_t grantsIssued() const noexcept {
+    return core_.grantsIssued();
+  }
+  [[nodiscard]] std::size_t pausesIssued() const noexcept {
+    return core_.pausesIssued();
+  }
 
   /// Introspection for tests.
   [[nodiscard]] std::vector<std::uint32_t> currentAccessors() const {
-    return accessors_;
+    return core_.currentAccessors();
   }
   [[nodiscard]] std::vector<std::uint32_t> waitQueue() const {
-    return waitQueue_;
+    return core_.waitQueue();
   }
   [[nodiscard]] std::vector<std::uint32_t> pausedStack() const {
-    return pausedStack_;
+    return core_.pausedStack();
   }
 
-  /// Job-scheduler integration (paper §III-C: the list of running
-  /// applications comes from the machine's job scheduler). Called when a
-  /// job terminates — normally or not. Releases everything the application
-  /// held: pending grants, queue slots, pause bookkeeping. Without this, a
-  /// crashed accessor would deadlock the queue.
+  /// The shared decision core (read access for replay comparisons).
+  [[nodiscard]] const ArbiterCore& core() const noexcept { return core_; }
+
+  /// Job-scheduler integration; see ArbiterCore::onApplicationTerminated.
   void onApplicationTerminated(std::uint32_t appId);
 
  private:
-  enum class AppState { Idle, Waiting, Accessing, PauseRequested, Paused };
-  struct AppRecord {
-    IoDescriptor desc;
-    AppState state = AppState::Idle;
-    double progress = 0.0;
-    sim::Time requestTime = 0.0;
-    sim::Time grantTime = 0.0;
-  };
-
   void onMessage(std::uint32_t from, mpi::Info payload);
-  void handleInform(std::uint32_t app, const mpi::Info& payload);
-  void handleRelease(std::uint32_t app, const mpi::Info& payload);
-  void handleComplete(std::uint32_t app);
-  void handlePauseAck(std::uint32_t app, const mpi::Info& payload);
-
-  [[nodiscard]] PolicyContext buildContext(const AppRecord& requester) const;
-  void grant(std::uint32_t app);
-  void beginInterrupt(std::uint32_t requester);
-  void admitNext();
-  void sendToApp(std::uint32_t app, const char* type);
-  void removeFrom(std::vector<std::uint32_t>& v, std::uint32_t app);
+  /// Sends and clears every command in `scratch_` through the port
+  /// registry (one latency hop each, like any cross-application message).
+  void dispatchCommands();
 
   sim::Engine& engine_;
   mpi::PortRegistry& ports_;
-  std::unique_ptr<Policy> policy_;
-  std::map<std::uint32_t, AppRecord> apps_;
-  std::vector<std::uint32_t> accessors_;
-  std::vector<std::uint32_t> waitQueue_;    // FIFO
-  std::vector<std::uint32_t> pausedStack_;  // LIFO (resume most recent first)
-  std::optional<std::uint32_t> pendingInterrupter_;
-  int pendingAcks_ = 0;
-  std::vector<DecisionRecord> decisions_;
-  std::size_t grants_ = 0;
-  std::size_t pauses_ = 0;
+  ArbiterCore core_;
+  ArbiterCore::Commands scratch_;
 };
 
 }  // namespace calciom::core

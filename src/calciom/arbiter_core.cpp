@@ -1,0 +1,285 @@
+#include "calciom/arbiter_core.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace calciom::core {
+
+namespace {
+
+void appendJsonNumber(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string toJson(const DecisionRecord& d) {
+  std::string out = "{\"time\": ";
+  appendJsonNumber(out, d.time);
+  out += ", \"requester\": " + std::to_string(d.requester);
+  out += ", \"accessors\": [";
+  for (std::size_t i = 0; i < d.accessors.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(d.accessors[i]);
+  }
+  out += "], \"action\": \"";
+  out += toString(d.action);
+  out += "\"";
+  if (!d.costs.empty()) {
+    out += ", \"costs\": [";
+    for (std::size_t i = 0; i < d.costs.size(); ++i) {
+      const ActionCost& c = d.costs[i];
+      if (i > 0) {
+        out += ", ";
+      }
+      out += "{\"action\": \"";
+      out += toString(c.action);
+      out += "\", \"metric_cost\": ";
+      appendJsonNumber(out, c.metricCost);
+      out += ", \"terms\": [";
+      for (std::size_t j = 0; j < c.terms.size(); ++j) {
+        const AppCost& t = c.terms[j];
+        if (j > 0) {
+          out += ", ";
+        }
+        out += "{\"cores\": " + std::to_string(t.cores) + ", \"io_seconds\": ";
+        appendJsonNumber(out, t.ioSeconds);
+        out += ", \"alone_seconds\": ";
+        appendJsonNumber(out, t.aloneSeconds);
+        out += "}";
+      }
+      out += "]}";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+ArbiterCore::ArbiterCore(std::unique_ptr<Policy> policy)
+    : policy_(std::move(policy)) {
+  CALCIOM_EXPECTS(policy_ != nullptr);
+}
+
+void ArbiterCore::onMessage(sim::Time now, std::uint32_t from,
+                            const mpi::Info& payload, Commands& out) {
+  const auto type = payload.get(msg::kType);
+  CALCIOM_EXPECTS(type.has_value());
+  if (*type == msg::kInform) {
+    onInform(now, from, payload, out);
+  } else if (*type == msg::kRelease) {
+    onRelease(from, payload);
+  } else if (*type == msg::kComplete) {
+    onComplete(now, from, out);
+  } else if (*type == msg::kPauseAck) {
+    onPauseAck(now, from, payload, out);
+  } else {
+    CALCIOM_ENSURES(false);  // unknown message type
+  }
+}
+
+PolicyContext ArbiterCore::buildContext(sim::Time now,
+                                        const AppRecord& requester) const {
+  PolicyContext ctx;
+  ctx.requester = requester.desc;
+  ctx.now = now;
+  ctx.queueLength = waitQueue_.size();
+  for (std::uint32_t id : accessors_) {
+    const AppRecord& rec = apps_.at(id);
+    ctx.accessors.push_back(PolicyContext::AccessorView{
+        rec.desc, rec.progress, rec.grantTime});
+  }
+  return ctx;
+}
+
+void ArbiterCore::onInform(sim::Time now, std::uint32_t app,
+                           const mpi::Info& payload, Commands& out) {
+  AppRecord& rec = apps_[app];
+  rec.desc = IoDescriptor::fromInfo(payload);
+  rec.state = AppState::Waiting;
+  rec.progress = 0.0;
+  rec.requestTime = now;
+
+  // No one is writing and no interrupt is settling: grant immediately.
+  if (accessors_.empty() && !pendingInterrupter_ && pausedStack_.empty() &&
+      waitQueue_.empty()) {
+    grant(now, app, out);
+    return;
+  }
+  // While an interrupt is in flight (or apps are paused), newcomers queue;
+  // re-deciding mid-transition would interleave pause/grant messages.
+  if (pendingInterrupter_ || accessors_.empty()) {
+    waitQueue_.push_back(app);
+    return;
+  }
+
+  const PolicyContext ctx = buildContext(now, rec);
+  const Action action = policy_->decide(ctx);
+  DecisionRecord record;
+  record.time = now;
+  record.requester = app;
+  record.accessors = accessors_;
+  record.action = action;
+  if (const auto* dynamic = dynamic_cast<const DynamicPolicy*>(policy_.get())) {
+    record.costs = dynamic->evaluate(ctx);
+  }
+  decisions_.push_back(std::move(record));
+
+  switch (action) {
+    case Action::Interfere:
+      grant(now, app, out);
+      break;
+    case Action::Queue:
+      waitQueue_.push_back(app);
+      break;
+    case Action::Interrupt:
+      waitQueue_.insert(waitQueue_.begin(), app);
+      beginInterrupt(app, out);
+      break;
+  }
+}
+
+void ArbiterCore::onRelease(std::uint32_t app, const mpi::Info& payload) {
+  const auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return;
+  }
+  it->second.progress =
+      std::clamp(payload.getDoubleOr(msg::kProgress, it->second.progress),
+                 0.0, 1.0);
+}
+
+void ArbiterCore::onComplete(sim::Time now, std::uint32_t app, Commands& out) {
+  const auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return;
+  }
+  AppRecord& rec = it->second;
+  const bool wasPauseRequested = rec.state == AppState::PauseRequested;
+  rec.state = AppState::Idle;
+  rec.progress = 1.0;
+  removeFrom(accessors_, app);
+  removeFrom(waitQueue_, app);
+  removeFrom(pausedStack_, app);
+
+  // An accessor that finished before acknowledging its pause counts as an
+  // implicit ack: nothing is left to pause.
+  if (wasPauseRequested && pendingInterrupter_) {
+    CALCIOM_ENSURES(pendingAcks_ > 0);
+    if (--pendingAcks_ == 0) {
+      const std::uint32_t next = *pendingInterrupter_;
+      pendingInterrupter_.reset();
+      removeFrom(waitQueue_, next);
+      grant(now, next, out);
+    }
+    return;
+  }
+  admitNext(now, out);
+}
+
+void ArbiterCore::onPauseAck(sim::Time now, std::uint32_t app,
+                             const mpi::Info& payload, Commands& out) {
+  const auto it = apps_.find(app);
+  if (it == apps_.end() || it->second.state != AppState::PauseRequested) {
+    return;
+  }
+  it->second.progress = std::clamp(
+      payload.getDoubleOr(msg::kProgress, it->second.progress), 0.0, 1.0);
+  it->second.state = AppState::Paused;
+  removeFrom(accessors_, app);
+  pausedStack_.push_back(app);
+  if (pendingInterrupter_) {
+    CALCIOM_ENSURES(pendingAcks_ > 0);
+    if (--pendingAcks_ == 0) {
+      const std::uint32_t next = *pendingInterrupter_;
+      pendingInterrupter_.reset();
+      removeFrom(waitQueue_, next);
+      grant(now, next, out);
+    }
+  } else {
+    // The interrupter vanished before this ack arrived (terminated job):
+    // resume whoever just paused for nothing.
+    admitNext(now, out);
+  }
+}
+
+void ArbiterCore::onApplicationTerminated(sim::Time now, std::uint32_t appId,
+                                          Commands& out) {
+  const auto it = apps_.find(appId);
+  if (it == apps_.end()) {
+    return;
+  }
+  // If the dying application was itself waiting for accessors to pause,
+  // abandon the interrupt: acks that still arrive resume immediately via
+  // onPauseAck's no-interrupter path.
+  if (pendingInterrupter_ && *pendingInterrupter_ == appId) {
+    pendingInterrupter_.reset();
+    pendingAcks_ = 0;
+  }
+  // Equivalent to an implicit Complete: frees access, queue position and
+  // pause state, and lets the schedule make progress.
+  onComplete(now, appId, out);
+  apps_.erase(appId);
+}
+
+void ArbiterCore::grant(sim::Time now, std::uint32_t app, Commands& out) {
+  AppRecord& rec = apps_.at(app);
+  rec.state = AppState::Accessing;
+  rec.grantTime = now;
+  accessors_.push_back(app);
+  ++grants_;
+  out.push_back(ArbiterCommand{app, msg::kGrant});
+}
+
+void ArbiterCore::beginInterrupt(std::uint32_t requester, Commands& out) {
+  CALCIOM_EXPECTS(!pendingInterrupter_);
+  CALCIOM_EXPECTS(!accessors_.empty());
+  pendingInterrupter_ = requester;
+  pendingAcks_ = 0;
+  for (std::uint32_t id : accessors_) {
+    AppRecord& rec = apps_.at(id);
+    if (rec.state == AppState::Accessing) {
+      rec.state = AppState::PauseRequested;
+      ++pendingAcks_;
+      ++pauses_;
+      out.push_back(ArbiterCommand{id, msg::kPause});
+    }
+  }
+  CALCIOM_ENSURES(pendingAcks_ > 0);
+}
+
+void ArbiterCore::admitNext(sim::Time now, Commands& out) {
+  if (!accessors_.empty() || pendingInterrupter_) {
+    return;  // the system is still busy (or an interrupt is settling)
+  }
+  // Resume preempted applications before admitting new ones.
+  if (!pausedStack_.empty()) {
+    const std::uint32_t app = pausedStack_.back();
+    pausedStack_.pop_back();
+    AppRecord& rec = apps_.at(app);
+    rec.state = AppState::Accessing;
+    rec.grantTime = now;
+    accessors_.push_back(app);
+    out.push_back(ArbiterCommand{app, msg::kResume});
+    return;
+  }
+  if (!waitQueue_.empty()) {
+    const std::uint32_t app = waitQueue_.front();
+    waitQueue_.erase(waitQueue_.begin());
+    grant(now, app, out);
+  }
+}
+
+void ArbiterCore::removeFrom(std::vector<std::uint32_t>& v,
+                             std::uint32_t app) {
+  v.erase(std::remove(v.begin(), v.end(), app), v.end());
+}
+
+}  // namespace calciom::core

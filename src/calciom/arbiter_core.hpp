@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file arbiter_core.hpp
+/// The transport-independent CALCioM decision core. The paper allows the
+/// coordination decision to be taken either by the applications themselves
+/// (peer-to-peer, every coordinator evaluating the same deterministic rule
+/// on the same shared state) or by a system-provided entity (§III-B,
+/// §III-D). Both prototypes here implement the latter, but over different
+/// transports, and this class is the part they share:
+///
+///  * `Arbiter` (arbiter.hpp) — same-engine frontend: messages arrive
+///    through the machine's port registry and commands leave through it,
+///    every hop paying the configured message latency.
+///  * `GlobalArbiter` (global_arbiter.hpp) — cross-shard frontend: per-shard
+///    `ArbiterStub`s absorb traffic during a sync-horizon round and the
+///    merged stream is applied here at each barrier.
+///
+/// The core never touches an engine, a port registry, or a clock: inputs
+/// carry explicit timestamps and outputs are `ArbiterCommand` values the
+/// frontend delivers however its transport requires. That makes the state
+/// machine replayable offline (tests/calciom_replay_test.cpp feeds recorded
+/// traces straight into it) and guarantees the two frontends cannot diverge
+/// in behaviour.
+///
+/// State machine per application: Idle → Waiting → Accessing →
+/// (PauseRequested → Paused → Accessing)* → Idle. Invariants:
+///  * applications in `accessors_` may move data; everyone else may not;
+///  * an interrupt grants the requester only after every accessor has
+///    acknowledged its pause at a hook boundary (or completed);
+///  * on completion, paused applications resume (most recently preempted
+///    first) before queued applications are admitted.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "calciom/descriptor.hpp"
+#include "calciom/policy.hpp"
+#include "mpi/info.hpp"
+#include "sim/time.hpp"
+
+namespace calciom::core {
+
+/// Wire message types (Info key "calciom.type").
+namespace msg {
+inline constexpr const char* kType = "calciom.type";
+inline constexpr const char* kProgress = "calciom.progress";
+inline constexpr const char* kInform = "inform";
+inline constexpr const char* kRelease = "release";
+inline constexpr const char* kComplete = "complete";
+inline constexpr const char* kPauseAck = "pause_ack";
+inline constexpr const char* kGrant = "grant";
+inline constexpr const char* kPause = "pause";
+inline constexpr const char* kResume = "resume";
+
+/// Port names.
+[[nodiscard]] inline std::string arbiterPort() { return "calciom/arbiter"; }
+[[nodiscard]] inline std::string appPort(std::uint32_t appId) {
+  return "calciom/app/" + std::to_string(appId);
+}
+}  // namespace msg
+
+/// One scheduling decision, kept for experiment traces (Fig 11 reports the
+/// strategy CALCioM chose at each dt).
+struct DecisionRecord {
+  sim::Time time = 0.0;
+  std::uint32_t requester = 0;
+  std::vector<std::uint32_t> accessors;
+  Action action = Action::Queue;
+  std::vector<ActionCost> costs;  // empty unless the policy exposes them
+};
+
+/// Single-line JSON dump of one decision (decision traces in
+/// examples/policy_explorer.cpp and the bench fingerprints). `costs` terms
+/// are emitted only when the policy populated them.
+[[nodiscard]] std::string toJson(const DecisionRecord& d);
+
+/// An outbound instruction of the decision core: deliver `type` (one of
+/// msg::kGrant / kPause / kResume) to application `app`. How — and at what
+/// simulated cost — is the frontend's business.
+struct ArbiterCommand {
+  std::uint32_t app = 0;
+  const char* type = msg::kGrant;
+};
+
+class ArbiterCore {
+ public:
+  using Commands = std::vector<ArbiterCommand>;
+
+  explicit ArbiterCore(std::unique_ptr<Policy> policy);
+  ArbiterCore(const ArbiterCore&) = delete;
+  ArbiterCore& operator=(const ArbiterCore&) = delete;
+
+  /// Dispatches a wire message by its msg::kType key. `now` is the
+  /// simulated time the transport assigns to the message (arrival time for
+  /// the same-engine frontend, barrier time for the global one); commands
+  /// produced by the transition are appended to `out`.
+  void onMessage(sim::Time now, std::uint32_t from, const mpi::Info& payload,
+                 Commands& out);
+
+  // Typed entry points (what onMessage fans out to).
+  void onInform(sim::Time now, std::uint32_t app, const mpi::Info& payload,
+                Commands& out);
+  void onRelease(std::uint32_t app, const mpi::Info& payload);
+  void onComplete(sim::Time now, std::uint32_t app, Commands& out);
+  void onPauseAck(sim::Time now, std::uint32_t app, const mpi::Info& payload,
+                  Commands& out);
+
+  /// Job-scheduler integration (paper §III-C: the list of running
+  /// applications comes from the machine's job scheduler). Called when a
+  /// job terminates — normally or not. Releases everything the application
+  /// held: pending grants, queue slots, pause bookkeeping. Without this, a
+  /// crashed accessor would deadlock the queue.
+  void onApplicationTerminated(sim::Time now, std::uint32_t appId,
+                               Commands& out);
+
+  [[nodiscard]] const Policy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] const std::vector<DecisionRecord>& decisions() const noexcept {
+    return decisions_;
+  }
+  [[nodiscard]] std::size_t grantsIssued() const noexcept { return grants_; }
+  [[nodiscard]] std::size_t pausesIssued() const noexcept { return pauses_; }
+
+  /// Introspection for tests.
+  [[nodiscard]] std::vector<std::uint32_t> currentAccessors() const {
+    return accessors_;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> waitQueue() const {
+    return waitQueue_;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> pausedStack() const {
+    return pausedStack_;
+  }
+
+ private:
+  enum class AppState { Idle, Waiting, Accessing, PauseRequested, Paused };
+  struct AppRecord {
+    IoDescriptor desc;
+    AppState state = AppState::Idle;
+    double progress = 0.0;
+    sim::Time requestTime = 0.0;
+    sim::Time grantTime = 0.0;
+  };
+
+  [[nodiscard]] PolicyContext buildContext(sim::Time now,
+                                           const AppRecord& requester) const;
+  void grant(sim::Time now, std::uint32_t app, Commands& out);
+  void beginInterrupt(std::uint32_t requester, Commands& out);
+  void admitNext(sim::Time now, Commands& out);
+  void removeFrom(std::vector<std::uint32_t>& v, std::uint32_t app);
+
+  std::unique_ptr<Policy> policy_;
+  std::map<std::uint32_t, AppRecord> apps_;
+  std::vector<std::uint32_t> accessors_;
+  std::vector<std::uint32_t> waitQueue_;    // FIFO
+  std::vector<std::uint32_t> pausedStack_;  // LIFO (resume most recent first)
+  std::optional<std::uint32_t> pendingInterrupter_;
+  int pendingAcks_ = 0;
+  std::vector<DecisionRecord> decisions_;
+  std::size_t grants_ = 0;
+  std::size_t pauses_ = 0;
+};
+
+}  // namespace calciom::core

@@ -1,0 +1,130 @@
+#include "calciom/global_arbiter.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "platform/cluster.hpp"
+#include "sim/contracts.hpp"
+#include "sim/engine.hpp"
+
+namespace calciom {
+
+ArbiterStub::ArbiterStub(mpi::PortRegistry& ports) : ports_(ports) {
+  CALCIOM_EXPECTS(!ports_.hasPort(core::msg::arbiterPort()));
+  ports_.openPort(core::msg::arbiterPort(),
+                  [this](std::uint32_t from, mpi::Info payload) {
+                    outbox_.push_back(
+                        Message{seq_++, from, std::move(payload)});
+                  });
+}
+
+ArbiterStub::~ArbiterStub() { ports_.closePort(core::msg::arbiterPort()); }
+
+std::vector<ArbiterStub::Message> ArbiterStub::drain() {
+  return std::exchange(outbox_, {});
+}
+
+GlobalArbiter::GlobalArbiter(platform::Cluster& cluster,
+                             std::unique_ptr<core::Policy> policy,
+                             Config config)
+    : cluster_(cluster),
+      latency_(config.crossShardLatencySeconds >= 0.0
+                   ? config.crossShardLatencySeconds
+                   : cluster.spec().crossShardLatencySeconds),
+      core_(std::move(policy)) {
+  stubs_.reserve(cluster_.shardCount());
+  for (std::size_t s = 0; s < cluster_.shardCount(); ++s) {
+    stubs_.push_back(
+        std::make_unique<ArbiterStub>(cluster_.machine(s).ports()));
+  }
+}
+
+GlobalArbiter& GlobalArbiter::install(platform::Cluster& cluster,
+                                      std::unique_ptr<core::Policy> policy,
+                                      Config config) {
+  auto arbiter = std::unique_ptr<GlobalArbiter>(
+      new GlobalArbiter(cluster, std::move(policy), config));
+  GlobalArbiter& ref = *arbiter;
+  cluster.adoptBarrierHook(std::move(arbiter));
+  return ref;
+}
+
+GlobalArbiter& GlobalArbiter::install(platform::Cluster& cluster,
+                                      std::unique_ptr<core::Policy> policy) {
+  return install(cluster, std::move(policy), Config{});
+}
+
+void GlobalArbiter::onApplicationTerminated(std::uint32_t appId) {
+  pendingTerminations_.push_back(appId);
+}
+
+std::size_t GlobalArbiter::shardOf(std::uint32_t appId) const noexcept {
+  const auto it = appShard_.find(appId);
+  return it == appShard_.end() ? static_cast<std::size_t>(-1) : it->second;
+}
+
+bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
+  scratch_.clear();
+  bool mergedAny = false;
+  // Terminations first: a barrier models one sampling instant, and the job
+  // scheduler's view ("these jobs are gone") precedes their stale traffic —
+  // so traffic from a just-terminated id is discarded below rather than
+  // merged (a stale Inform would otherwise re-register the dead job, grant
+  // it, and deadlock the queue behind an accessor that never completes).
+  std::set<std::uint32_t> terminated(pendingTerminations_.begin(),
+                                     pendingTerminations_.end());
+  for (std::uint32_t app : pendingTerminations_) {
+    core_.onApplicationTerminated(barrierTime, app, scratch_);
+    ++merged_;
+    mergedAny = true;
+  }
+  pendingTerminations_.clear();
+  // Merge the round's traffic in (shard, seq) order — deterministic because
+  // each stub's outbox order is its shard's (deterministic) event order.
+  for (std::size_t s = 0; s < stubs_.size(); ++s) {
+    for (ArbiterStub::Message& m : stubs_[s]->drain()) {
+      if (terminated.count(m.fromApp) > 0) {
+        continue;  // crossed the termination at this sampling instant
+      }
+      // Refresh the route on every contact: an app id reused on another
+      // shard (sequential campaigns) must not inherit the old shard.
+      appShard_[m.fromApp] = s;
+      core_.onMessage(barrierTime, m.fromApp, m.payload, scratch_);
+      ++merged_;
+      mergedAny = true;
+    }
+  }
+  if (mergedAny) {
+    ++exchanges_;
+  }
+  if (scratch_.empty()) {
+    return false;
+  }
+  // Deliver commands into their target shards. Scheduling happens on the
+  // barrier thread while no shard loop runs (Engine::current() is null), so
+  // planting events into foreign engines is race-free; commands keep their
+  // decision order because same-timestamp events dispatch in scheduling
+  // order. Delivery lands strictly after the barrier and pays the
+  // cross-shard hop; a shard that skipped rounds may trail the barrier, so
+  // clamp to its own clock.
+  for (const core::ArbiterCommand& cmd : scratch_) {
+    const std::size_t shard = appShard_.at(cmd.app);
+    sim::Engine& eng = cluster_.engine(shard);
+    mpi::PortRegistry& ports = cluster_.machine(shard).ports();
+    const sim::Time at = std::max(barrierTime, eng.now()) + latency_;
+    mpi::Info payload;
+    payload.set(core::msg::kType, cmd.type);
+    eng.scheduleAt(at, [&ports, app = cmd.app,
+                        payload = std::move(payload)]() mutable {
+      // The hop latency is already in the event's timestamp; deliverNow
+      // must not add a second one.
+      ports.deliverNow(core::msg::appPort(app), /*fromApp=*/0,
+                       std::move(payload));
+    });
+  }
+  scratch_.clear();
+  return true;
+}
+
+}  // namespace calciom

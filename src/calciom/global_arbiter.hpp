@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file global_arbiter.hpp
+/// Cross-shard frontend of the CALCioM decision core: one machine-wide
+/// arbiter coordinating applications that live on different shards of a
+/// `platform::Cluster`. This is the paper's actual object of study — a
+/// single coordination layer over a partitioned platform — and it mirrors
+/// how LASSi aggregates per-application telemetry centrally and how
+/// control-theoretic storage congestion management closes a global loop
+/// over distributed clients at a fixed sampling period; the cluster's sync
+/// horizon is exactly that sampling period.
+///
+/// Topology and protocol:
+///
+///   shard 0: Session --> ports --> ArbiterStub ┐ (outbox, round-local)
+///   shard 1: Session --> ports --> ArbiterStub ┤
+///   shard k: Session --> ports --> ArbiterStub ┘
+///                                       │ drained at each sync-horizon
+///                                       ▼ barrier, (shard, seq) order
+///                               ArbiterCore (one global decision state)
+///                                       │ Grant/Pause/Resume commands
+///                                       ▼
+///   target shard engine: scheduleAt(max(barrier, clock) + crossShardLatency)
+///                        --> ports.deliverNow(appPort) --> Session
+///
+/// Each shard's `ArbiterStub` owns msg::arbiterPort() in that shard's port
+/// registry, so sessions are completely unaware whether their arbiter is
+/// local or global: Inform/Release/Complete/PauseAck pay the machine's
+/// coordination latency to reach the stub, sit in its outbox until the
+/// round's barrier, and are applied to the shared `ArbiterCore` in
+/// deterministic (shard, seq) order with the barrier time as their decision
+/// timestamp. Outbound commands pay the cluster's configured cross-shard
+/// message latency and land strictly after the barrier, which keeps every
+/// delivery inside the next round — the determinism argument of
+/// src/sim/README.md ("only barrier-exchanged state crosses shards").
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "calciom/arbiter_core.hpp"
+#include "mpi/info.hpp"
+#include "mpi/port.hpp"
+#include "sim/barrier_hook.hpp"
+#include "sim/time.hpp"
+
+namespace calciom::platform {
+class Cluster;
+}  // namespace calciom::platform
+
+namespace calciom {
+
+/// Shard-local endpoint of the global arbiter: absorbs arbiter-bound
+/// traffic during a round into an outbox the barrier exchange drains.
+class ArbiterStub {
+ public:
+  struct Message {
+    /// Arrival order at this stub (shard-local, deterministic). The merge
+    /// is (shard, seq)-ordered; arrival *times* are deliberately not kept —
+    /// the barrier applies every message at the barrier instant.
+    std::uint64_t seq = 0;
+    std::uint32_t fromApp = 0;
+    mpi::Info payload;
+  };
+
+  /// Claims msg::arbiterPort() in `ports` (the shard must not also run a
+  /// local core::Arbiter).
+  explicit ArbiterStub(mpi::PortRegistry& ports);
+  ~ArbiterStub();
+  ArbiterStub(const ArbiterStub&) = delete;
+  ArbiterStub& operator=(const ArbiterStub&) = delete;
+
+  /// Messages absorbed since the last drain, in arrival (seq) order.
+  [[nodiscard]] std::vector<Message> drain();
+
+  [[nodiscard]] bool outboxEmpty() const noexcept { return outbox_.empty(); }
+  /// Messages absorbed over the stub's lifetime.
+  [[nodiscard]] std::uint64_t absorbed() const noexcept { return seq_; }
+
+ private:
+  mpi::PortRegistry& ports_;
+  std::vector<Message> outbox_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Machine-wide arbiter over a sharded platform; see file comment. Owned by
+/// the cluster it coordinates (install() registers it via adoptBarrierHook).
+class GlobalArbiter final : public sim::BarrierHook {
+ public:
+  struct Config {
+    /// One-way latency of arbiter-to-application deliveries crossing the
+    /// barrier. Negative (the default) means "use the cluster's
+    /// ClusterSpec::crossShardLatencySeconds".
+    double crossShardLatencySeconds = -1.0;
+  };
+
+  /// Creates the global arbiter over every shard of `cluster`: registers an
+  /// ArbiterStub on each shard's port registry, installs the arbiter as a
+  /// barrier hook and hands ownership to the cluster. Call after cluster
+  /// construction, before the first run.
+  static GlobalArbiter& install(platform::Cluster& cluster,
+                                std::unique_ptr<core::Policy> policy,
+                                Config config);
+  static GlobalArbiter& install(platform::Cluster& cluster,
+                                std::unique_ptr<core::Policy> policy);
+
+  /// sim::BarrierHook: merge the round's stub outboxes into the decision
+  /// core and schedule command deliveries. Returns whether any delivery was
+  /// scheduled.
+  bool onBarrier(sim::Time barrierTime) override;
+
+  /// Job-scheduler integration: the termination is applied at the next
+  /// barrier, ordered before that barrier's message traffic.
+  void onApplicationTerminated(std::uint32_t appId);
+
+  [[nodiscard]] const core::ArbiterCore& core() const noexcept {
+    return core_;
+  }
+  [[nodiscard]] const std::vector<core::DecisionRecord>& decisions()
+      const noexcept {
+    return core_.decisions();
+  }
+  [[nodiscard]] std::size_t grantsIssued() const noexcept {
+    return core_.grantsIssued();
+  }
+  [[nodiscard]] std::size_t pausesIssued() const noexcept {
+    return core_.pausesIssued();
+  }
+  /// Shard an application was first heard on (routing table for replies);
+  /// SIZE_MAX if the application never informed.
+  [[nodiscard]] std::size_t shardOf(std::uint32_t appId) const noexcept;
+  /// Barrier exchanges that merged at least one message or termination.
+  [[nodiscard]] std::uint64_t exchanges() const noexcept { return exchanges_; }
+  /// Messages merged into the core over the arbiter's lifetime.
+  [[nodiscard]] std::uint64_t messagesMerged() const noexcept {
+    return merged_;
+  }
+  [[nodiscard]] double crossShardLatency() const noexcept { return latency_; }
+
+ private:
+  GlobalArbiter(platform::Cluster& cluster,
+                std::unique_ptr<core::Policy> policy, Config config);
+
+  platform::Cluster& cluster_;
+  double latency_ = 0.0;
+  core::ArbiterCore core_;
+  std::vector<std::unique_ptr<ArbiterStub>> stubs_;  // one per shard
+  std::map<std::uint32_t, std::size_t> appShard_;
+  std::vector<std::uint32_t> pendingTerminations_;
+  core::ArbiterCore::Commands scratch_;
+  std::uint64_t exchanges_ = 0;
+  std::uint64_t merged_ = 0;
+};
+
+}  // namespace calciom

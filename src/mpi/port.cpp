@@ -7,7 +7,21 @@ namespace calciom::mpi {
 bool PortRegistry::send(const std::string& port, std::uint32_t fromApp,
                         Info payload) {
   if (ports_.count(port) == 0) {
-    return false;
+    if (relay_ == nullptr) {
+      return false;
+    }
+    // Routed at send time: the message belongs to the relay even if the
+    // port opens while it is in flight (a connection is a connection).
+    engine_.scheduleAfter(
+        latency_,
+        [this, port, fromApp, payload = std::move(payload)]() mutable {
+          if (relay_ == nullptr) {
+            return;  // relay removed while the message was in flight
+          }
+          ++relayed_;
+          relay_(port, fromApp, std::move(payload));
+        });
+    return true;
   }
   engine_.scheduleAfter(
       latency_, [this, port, fromApp, payload = std::move(payload)]() mutable {
@@ -18,6 +32,17 @@ bool PortRegistry::send(const std::string& port, std::uint32_t fromApp,
         ++delivered_;
         it->second(fromApp, std::move(payload));
       });
+  return true;
+}
+
+bool PortRegistry::deliverNow(const std::string& port, std::uint32_t fromApp,
+                              Info payload) {
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    return false;
+  }
+  ++delivered_;
+  it->second(fromApp, std::move(payload));
   return true;
 }
 

@@ -8,6 +8,24 @@
 /// the owner's handler after a configurable latency. Coordinators and the
 /// arbiter communicate exclusively through this class, so coordination cost
 /// is accounted in simulated time.
+///
+/// A registry is *shard-local*: it belongs to exactly one machine and
+/// schedules deliveries on that machine's engine, so in a sharded platform
+/// (platform::Cluster) a send can only ever reach ports of the same shard.
+/// Two escape hatches exist for cross-shard coordination, both designed
+/// around sync-horizon barriers where no shard loop is running:
+///  * a *relay*: sends to ports not open locally are handed (after the
+///    usual latency) to a registered relay handler together with the port
+///    name, instead of failing. This is the generic forwarding path for
+///    port names a shard does not host; note that arbiter traffic does NOT
+///    use it today — calciom::ArbiterStub claims msg::arbiterPort()
+///    directly, so the relay currently has no production wiring (covered
+///    by tests/mpi_test.cpp, available for future cross-shard services);
+///  * `deliverNow`: synchronous dispatch into a locally open port, used by
+///    barrier hooks (calciom::GlobalArbiter) to land a cross-shard message
+///    they have already timestamped and scheduled on this shard's engine
+///    (the hop latency was paid by the scheduler, so no second latency is
+///    added here).
 
 #include <cstdint>
 #include <functional>
@@ -22,6 +40,10 @@ namespace calciom::mpi {
 class PortRegistry {
  public:
   using Handler = std::function<void(std::uint32_t fromApp, Info payload)>;
+  /// Relay handler: receives messages addressed to ports that are not open
+  /// locally, together with the target port's name.
+  using RelayHandler = std::function<void(
+      const std::string& port, std::uint32_t fromApp, Info payload)>;
 
   PortRegistry(sim::Engine& engine, double latency)
       : engine_(engine), latency_(latency) {
@@ -42,21 +64,42 @@ class PortRegistry {
     return ports_.count(name) > 0;
   }
 
+  /// Installs (or, with nullptr, removes) the relay for locally unknown
+  /// ports. With a relay set, send() to a port that is not open locally
+  /// succeeds and delivers to the relay after the registry latency; the
+  /// relay sees the port name and decides where the message goes next.
+  void setRelay(RelayHandler relay) { relay_ = std::move(relay); }
+  [[nodiscard]] bool hasRelay() const noexcept { return relay_ != nullptr; }
+
   /// Sends `payload` to `port`. Returns false if the port does not exist at
-  /// send time. Delivery is skipped silently if the port closes in flight
-  /// (like a connection torn down while a message is queued).
+  /// send time and no relay is installed. Delivery is skipped silently if
+  /// the port closes in flight (like a connection torn down while a message
+  /// is queued); a message relayed because the port was unknown at send
+  /// time stays with the relay even if the port opens in flight.
   bool send(const std::string& port, std::uint32_t fromApp, Info payload);
+
+  /// Synchronously invokes `port`'s handler (no latency, no scheduling).
+  /// For barrier-time relays only: the caller has already scheduled this
+  /// delivery on the owning engine at a timestamp that includes the hop
+  /// latency. Returns false if the port is not open.
+  bool deliverNow(const std::string& port, std::uint32_t fromApp,
+                  Info payload);
 
   [[nodiscard]] double latency() const noexcept { return latency_; }
   [[nodiscard]] std::uint64_t messagesDelivered() const noexcept {
     return delivered_;
+  }
+  [[nodiscard]] std::uint64_t messagesRelayed() const noexcept {
+    return relayed_;
   }
 
  private:
   sim::Engine& engine_;
   double latency_;
   std::map<std::string, Handler> ports_;
+  RelayHandler relay_;
   std::uint64_t delivered_ = 0;
+  std::uint64_t relayed_ = 0;
 };
 
 }  // namespace calciom::mpi

@@ -45,6 +45,36 @@ bool Cluster::empty() const noexcept {
                      [](const Shard& s) { return s.engine->empty(); });
 }
 
+sim::Time Cluster::maxShardClock() const noexcept {
+  sim::Time t = 0.0;
+  for (const Shard& s : shards_) {
+    t = std::max(t, s.engine->now());
+  }
+  return t;
+}
+
+void Cluster::addBarrierHook(sim::BarrierHook* hook) {
+  CALCIOM_EXPECTS(hook != nullptr);
+  hooks_.push_back(hook);
+}
+
+sim::BarrierHook& Cluster::adoptBarrierHook(
+    std::unique_ptr<sim::BarrierHook> hook) {
+  CALCIOM_EXPECTS(hook != nullptr);
+  addBarrierHook(hook.get());
+  ownedHooks_.push_back(std::move(hook));
+  return *ownedHooks_.back();
+}
+
+bool Cluster::fireBarrierHooks(sim::Time barrierTime) {
+  bool scheduled = false;
+  for (sim::BarrierHook* hook : hooks_) {
+    // No short-circuit: every hook sees every barrier.
+    scheduled = hook->onBarrier(barrierTime) || scheduled;
+  }
+  return scheduled;
+}
+
 void Cluster::runRounds(sim::Time limit, unsigned workers) {
   sim::ShardExecutor exec(workers);
   for (;;) {
@@ -53,7 +83,19 @@ void Cluster::runRounds(sim::Time limit, unsigned workers) {
     // identical for any worker count.
     const sim::Time next = nextEventTime();
     if (next == sim::kNever || next > limit) {
-      return;
+      // Shard queues are drained (to `limit`), but barrier hooks may hold
+      // undelivered cross-shard state (e.g. arbiter traffic absorbed by
+      // stubs during the last round). Run a drain barrier at the latest
+      // shard clock; if nothing lands at or before `limit`, we are done —
+      // later events stay queued for a future run.
+      if (hooks_.empty() || !fireBarrierHooks(std::min(maxShardClock(), limit))) {
+        return;
+      }
+      const sim::Time injected = nextEventTime();
+      if (injected == sim::kNever || injected > limit) {
+        return;
+      }
+      continue;
     }
     const sim::Time horizon =
         std::min(limit, next + spec_.syncHorizonSeconds);
@@ -66,6 +108,7 @@ void Cluster::runRounds(sim::Time limit, unsigned workers) {
         eng.runUntil(horizon);
       }
     });
+    fireBarrierHooks(horizon);
   }
 }
 

@@ -7,17 +7,19 @@
 ///
 /// Why this is exact, not approximate: every simulated component (FlowNet
 /// resources and flows, storage servers, port registries) belongs to exactly
-/// one shard, and nothing in the model lets components in different shards
-/// interact — a flow's path can only name resources of its shard's FlowNet,
-/// and coordination ports live per machine. Shard state is therefore a
-/// function of the shard's own event sequence, and the conservative clock
-/// barrier (no shard runs past the horizon until every shard reached it)
-/// exists to bound clock skew for future cross-shard couplings and for
-/// observers that sample all shards "at time t", not for correctness of
-/// today's model. Consequently a campaign partitions deterministically:
-/// results are bit-identical for 1, 4, or 16 worker threads (the
-/// thread-count invariance test in tests/platform_cluster_test.cpp holds the
-/// codebase to this).
+/// one shard, and nothing *inside a round* lets components in different
+/// shards interact — a flow's path can only name resources of its shard's
+/// FlowNet, and coordination ports live per machine. Shard state within a
+/// round is therefore a function of the shard's own event sequence. The one
+/// sanctioned coupling is the *barrier hook* (sim/barrier_hook.hpp): between
+/// rounds, when no shard loop is running, registered hooks may read every
+/// shard and schedule events into any shard engine — this is how
+/// calciom::GlobalArbiter coordinates applications living on different
+/// shards. Because hooks run at barriers whose times are pure functions of
+/// simulated state, a campaign still partitions deterministically: results
+/// are bit-identical for 1, 4, or 16 worker threads (the thread-count
+/// invariance tests in tests/platform_cluster_test.cpp and
+/// tests/global_arbiter_test.cpp hold the codebase to this).
 ///
 /// See src/sim/README.md for the determinism model in full.
 
@@ -27,6 +29,7 @@
 #include <vector>
 
 #include "platform/machine.hpp"
+#include "sim/barrier_hook.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 
@@ -47,10 +50,16 @@ struct ClusterSpec {
   /// barriers (less synchronization overhead) but coarser clock alignment
   /// between shards.
   sim::Time syncHorizonSeconds = 0.5;
+  /// One-way latency of coordination messages that cross shards at a
+  /// barrier (machine-to-machine, vs MachineSpec::coordinationLatencySeconds
+  /// for hops within one machine). Paid by barrier hooks when they deliver
+  /// into another shard (e.g. calciom::GlobalArbiter grant/pause/resume).
+  double crossShardLatencySeconds = 1e-3;
 
   void validate() const {
     CALCIOM_EXPECTS(shards >= 1);
     CALCIOM_EXPECTS(syncHorizonSeconds > 0.0);
+    CALCIOM_EXPECTS(crossShardLatencySeconds >= 0.0);
     shard.validate();
   }
 };
@@ -101,17 +110,42 @@ class Cluster {
   [[nodiscard]] bool empty() const noexcept;
   [[nodiscard]] ClusterStats stats() const noexcept;
 
+  /// Latest shard clock — the barrier time used when every queue is
+  /// drained. A pure function of simulated state (each shard's clock ends
+  /// at the last horizon it participated in).
+  [[nodiscard]] sim::Time maxShardClock() const noexcept;
+
+  // ---- Barrier hooks (the only cross-shard coupling; see
+  // ---- sim/barrier_hook.hpp for the determinism contract) ---------------
+
+  /// Registers a non-owning hook, invoked at every barrier in registration
+  /// order. The hook must outlive the cluster's runs.
+  void addBarrierHook(sim::BarrierHook* hook);
+  /// Registers a hook the cluster owns. Owned hooks are destroyed *before*
+  /// the shards (member order below is load-bearing): a hook's destructor
+  /// may still reach into shard machines, e.g. ArbiterStub closing its
+  /// port on a machine's registry. Returns the adopted hook.
+  sim::BarrierHook& adoptBarrierHook(std::unique_ptr<sim::BarrierHook> hook);
+  [[nodiscard]] std::size_t barrierHookCount() const noexcept {
+    return hooks_.size();
+  }
+
  private:
   struct Shard {
     std::unique_ptr<sim::Engine> engine;
     std::unique_ptr<Machine> machine;
   };
 
-  /// Sync-horizon rounds until no event remains at or before `limit`.
+  /// Sync-horizon rounds until no event remains at or before `limit` and no
+  /// barrier hook injects further work.
   void runRounds(sim::Time limit, unsigned workers);
+  /// Invokes every hook; true if any scheduled new events.
+  bool fireBarrierHooks(sim::Time barrierTime);
 
   ClusterSpec spec_;
   std::vector<Shard> shards_;
+  std::vector<sim::BarrierHook*> hooks_;
+  std::vector<std::unique_ptr<sim::BarrierHook>> ownedHooks_;
   std::uint64_t syncRounds_ = 0;
 };
 

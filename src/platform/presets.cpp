@@ -77,4 +77,15 @@ MachineSpec grid5000Nancy(bool withCache) {
   return m;
 }
 
+ClusterSpec shardedCluster(MachineSpec shard, std::size_t shards,
+                           sim::Time syncHorizonSeconds) {
+  ClusterSpec spec;
+  spec.name = shard.name + "-x" + std::to_string(shards);
+  spec.shard = std::move(shard);
+  spec.shards = shards;
+  spec.syncHorizonSeconds = syncHorizonSeconds;
+  spec.crossShardLatencySeconds = 1e-3;  // management-network TCP hop
+  return spec;
+}
+
 }  // namespace calciom::platform

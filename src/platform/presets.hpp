@@ -6,6 +6,7 @@
 /// interference factors); the success criterion of the reproduction is the
 /// qualitative shape, not the absolute seconds (see EXPERIMENTS.md).
 
+#include "platform/cluster.hpp"
 #include "platform/machine.hpp"
 
 namespace calciom::platform {
@@ -29,5 +30,16 @@ namespace calciom::platform {
 /// Figs 2, 3 and 4. Caching disabled except in the Fig 3 experiment, which
 /// enables `withCache`.
 [[nodiscard]] MachineSpec grid5000Nancy(bool withCache = false);
+
+/// A sharded platform of `shards` copies of `shard`, tuned for cross-shard
+/// CALCioM coordination at sync horizons (calciom::GlobalArbiter): the sync
+/// horizon is the global control loop's sampling period, and the
+/// cross-shard latency models an inter-machine management network hop
+/// (ms-scale TCP, vs the sub-ms intra-machine coordination latency).
+/// The default horizon trades barrier frequency against decision staleness;
+/// shrink it when arbitrated phases are shorter than a quarter second.
+[[nodiscard]] ClusterSpec shardedCluster(MachineSpec shard,
+                                         std::size_t shards,
+                                         sim::Time syncHorizonSeconds = 0.25);
 
 }  // namespace calciom::platform

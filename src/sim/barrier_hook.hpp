@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file barrier_hook.hpp
+/// The only sanctioned way for state to cross shard boundaries in a sharded
+/// simulation. `platform::Cluster` invokes every registered hook between
+/// sync-horizon rounds, when no shard event loop is running, so a hook may
+/// read any shard and schedule events into any shard engine without racing
+/// the worker pool.
+///
+/// Determinism contract (see src/sim/README.md, "Barrier hooks"):
+///  * `onBarrier` must depend only on simulated state — shard event streams,
+///    the barrier time, and the hook's own state — never on wall-clock time,
+///    thread identity, or the worker count.
+///  * Events a hook schedules must be timestamped at or after `barrierTime`
+///    (per-shard clocks may trail the barrier when they skipped the round;
+///    schedule at `max(barrierTime, engine.now())` or later).
+///  * The return value must be true iff the hook scheduled at least one new
+///    event. The cluster uses it to keep rounding when every shard queue is
+///    drained but cross-shard state still implies work; a hook that returns
+///    true without scheduling anything livelocks the round loop.
+
+#include "sim/time.hpp"
+
+namespace calciom::sim {
+
+class BarrierHook {
+ public:
+  virtual ~BarrierHook() = default;
+
+  /// Called at every sync-horizon barrier (after the round's shards have
+  /// been advanced and joined) and again, possibly repeatedly, when shard
+  /// queues drain while hooks keep injecting work. `barrierTime` is the
+  /// round's horizon — or, on a drain barrier, the maximum shard clock.
+  /// Returns whether any new event was scheduled.
+  virtual bool onBarrier(Time barrierTime) = 0;
+};
+
+}  // namespace calciom::sim

@@ -324,3 +324,68 @@ TEST(ArbiterTest, TerminatingUnknownAppIsANoop) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// DecisionRecord::costs population and the JSON dump helper.
+
+namespace {
+
+/// Drives one contended inform (A accessing, B arrives) and returns the
+/// single decision it produces.
+calciom::core::DecisionRecord contendedDecision(PolicyKind kind) {
+  Rig rig(kind);
+  FakeApp a(1, rig.ports);
+  FakeApp b(2, rig.ports);
+  a.inform(/*estAlone=*/10.0, /*cores=*/128);
+  rig.eng.run();
+  b.inform(/*estAlone=*/2.0, /*cores=*/32);
+  rig.eng.run();
+  EXPECT_EQ(rig.arbiter.decisions().size(), 1u);
+  return rig.arbiter.decisions().front();
+}
+
+TEST(ArbiterTest, StaticPoliciesLeaveCostsEmpty) {
+  for (PolicyKind kind :
+       {PolicyKind::Interfere, PolicyKind::Fcfs, PolicyKind::Interrupt}) {
+    const auto d = contendedDecision(kind);
+    EXPECT_TRUE(d.costs.empty()) << "policy " << toString(kind);
+  }
+}
+
+TEST(ArbiterTest, DynamicPolicyPopulatesPerActionCosts) {
+  const auto d = contendedDecision(PolicyKind::Dynamic);
+  // Queue and Interrupt both evaluated, cheapest first, chosen = cheapest.
+  ASSERT_EQ(d.costs.size(), 2u);
+  EXPECT_EQ(d.costs.front().action, d.action);
+  EXPECT_LE(d.costs[0].metricCost, d.costs[1].metricCost);
+  for (const auto& c : d.costs) {
+    // One term per involved application: the requester plus one accessor.
+    ASSERT_EQ(c.terms.size(), 2u);
+    EXPECT_GT(c.metricCost, 0.0);
+    for (const auto& t : c.terms) {
+      EXPECT_GT(t.cores, 0);
+      EXPECT_GE(t.ioSeconds, 0.0);
+      EXPECT_GT(t.aloneSeconds, 0.0);
+    }
+  }
+}
+
+TEST(ArbiterTest, DecisionToJsonDumpsContextAndCosts) {
+  const auto dynamic = contendedDecision(PolicyKind::Dynamic);
+  const std::string json = calciom::core::toJson(dynamic);
+  EXPECT_NE(json.find("\"requester\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"accessors\": [1]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"action\": \""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"costs\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"metric_cost\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"alone_seconds\": "), std::string::npos) << json;
+
+  // Static decisions dump without a costs array.
+  const auto fcfs = contendedDecision(PolicyKind::Fcfs);
+  const std::string fcfsJson = calciom::core::toJson(fcfs);
+  EXPECT_EQ(fcfsJson.find("\"costs\""), std::string::npos) << fcfsJson;
+  EXPECT_NE(fcfsJson.find("\"action\": \"queue\""), std::string::npos)
+      << fcfsJson;
+}
+
+}  // namespace

@@ -174,6 +174,63 @@ TEST(PortRegistryTest, MessagesPreserveSendOrderAtEqualLatency) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(PortRegistryTest, RelayCatchesUnknownPorts) {
+  Engine eng;
+  PortRegistry reg(eng, 1e-3);
+  std::vector<std::string> relayedPorts;
+  std::vector<std::uint32_t> relayedFrom;
+  reg.setRelay([&](const std::string& port, std::uint32_t from, Info) {
+    relayedPorts.push_back(port);
+    relayedFrom.push_back(from);
+  });
+  EXPECT_TRUE(reg.hasRelay());
+  // Unknown port: goes to the relay (with the port name) after the latency.
+  Info payload;
+  payload.set("k", "v");
+  EXPECT_TRUE(reg.send("remote/elsewhere", 7, payload));
+  // Known ports still deliver locally, not through the relay.
+  int local = 0;
+  reg.openPort("local", [&](std::uint32_t, Info) { ++local; });
+  EXPECT_TRUE(reg.send("local", 7, payload));
+  eng.run();
+  ASSERT_EQ(relayedPorts.size(), 1u);
+  EXPECT_EQ(relayedPorts[0], "remote/elsewhere");
+  EXPECT_EQ(relayedFrom[0], 7u);
+  EXPECT_EQ(local, 1);
+  EXPECT_EQ(reg.messagesRelayed(), 1u);
+  EXPECT_EQ(reg.messagesDelivered(), 1u);
+}
+
+TEST(PortRegistryTest, RelayRoutingIsFixedAtSendTime) {
+  Engine eng;
+  PortRegistry reg(eng, 1e-3);
+  int relayed = 0;
+  int local = 0;
+  reg.setRelay([&](const std::string&, std::uint32_t, Info) { ++relayed; });
+  EXPECT_TRUE(reg.send("late", 1, Info{}));
+  // The port opens while the message is in flight: the message stays with
+  // the relay (it was routed at send time).
+  reg.openPort("late", [&](std::uint32_t, Info) { ++local; });
+  eng.run();
+  EXPECT_EQ(relayed, 1);
+  EXPECT_EQ(local, 0);
+}
+
+TEST(PortRegistryTest, DeliverNowIsSynchronousAndCounted) {
+  Engine eng;
+  PortRegistry reg(eng, 1e-3);
+  int got = 0;
+  reg.openPort("p", [&](std::uint32_t from, Info) {
+    EXPECT_EQ(from, 3u);
+    ++got;
+  });
+  Info payload;
+  EXPECT_TRUE(reg.deliverNow("p", 3, payload));
+  EXPECT_EQ(got, 1);  // no engine.run() needed: synchronous
+  EXPECT_FALSE(reg.deliverNow("missing", 3, payload));
+  EXPECT_EQ(reg.messagesDelivered(), 1u);
+}
+
 TEST(PortRegistryTest, HandlerCanReplyThroughAnotherPort) {
   Engine eng;
   PortRegistry ports(eng, 0.25);
