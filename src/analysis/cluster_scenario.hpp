@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file cluster_scenario.hpp
+/// The machine-wide experiment runner: builds a sharded cluster with one
+/// storage shard (platform::SharedStorageModel), pins real IOR applications
+/// on compute shards, coordinates them through a calciom::GlobalArbiter at
+/// the sync-horizon barriers, and collects everything the paper's figures
+/// report — the cluster counterpart of scenario.hpp's runPair/runMany. The
+/// single-machine runners stay the oracle: on a collapsed workload the
+/// cluster path must reproduce their decision stream exactly and their
+/// aggregate throughput up to barrier/hop latency (pinned by
+/// tests/cluster_io_test.cpp).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "calciom/metrics.hpp"
+#include "calciom/policy.hpp"
+#include "calciom/session.hpp"
+#include "platform/machine.hpp"
+#include "platform/shared_storage.hpp"
+#include "sim/time.hpp"
+#include "workload/ior.hpp"
+
+namespace calciom::analysis {
+
+/// One application of a machine-wide campaign, pinned to a shard.
+struct ClusterAppPlan {
+  workload::IorConfig app;
+  std::size_t shard = 0;
+};
+
+struct ClusterScenarioConfig {
+  /// Machine spec replicated per shard (the storage shard's file system is
+  /// the only one used).
+  platform::MachineSpec machine;
+  /// Total shards, including the storage shard.
+  std::size_t shards = 2;
+  /// Shard hosting the shared PFS; default (nullopt) is the last shard.
+  std::optional<std::size_t> storageShard;
+  sim::Time syncHorizonSeconds = 0.25;
+  core::PolicyKind policy = core::PolicyKind::Interfere;
+  /// Metric for the dynamic policy (defaults to CpuSecondsWasted).
+  std::shared_ptr<const core::EfficiencyMetric> metric;
+  core::DynamicOptions dynamicOptions;
+  std::vector<ClusterAppPlan> apps;
+  core::HookGranularity granularity = core::HookGranularity::PerRound;
+  /// false runs every app with NoopHooks: no arbiter, no coordination
+  /// traffic — the machine-wide "interfering" baseline.
+  bool coordinated = true;
+  unsigned workers = 1;
+};
+
+struct ClusterRunResult {
+  std::vector<workload::AppStats> apps;
+  std::vector<core::DecisionRecord> decisions;
+  /// Wall-clock span from the earliest start to the latest end.
+  double spanSeconds = 0.0;
+  /// Total bytes landed on the shared file system.
+  double bytesDelivered = 0.0;
+  std::size_t grantsIssued = 0;
+  std::size_t pausesIssued = 0;
+  platform::SharedStorageStats storage;
+  /// Cross-shard write requests in exchange order (empty when every app
+  /// sits on the storage shard).
+  std::vector<platform::RequestTrace> requestLog;
+  /// Deterministic platform state for thread-count-invariance comparisons.
+  std::vector<std::uint64_t> shardEvents;
+  std::vector<double> shardClocks;
+  std::uint64_t syncRounds = 0;
+};
+
+/// Runs the campaign to completion with `cfg.workers` worker threads.
+[[nodiscard]] ClusterRunResult runCluster(const ClusterScenarioConfig& cfg);
+
+}  // namespace calciom::analysis

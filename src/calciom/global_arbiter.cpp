@@ -29,9 +29,8 @@ GlobalArbiter::GlobalArbiter(platform::Cluster& cluster,
                              std::unique_ptr<core::Policy> policy,
                              Config config)
     : cluster_(cluster),
-      latency_(config.crossShardLatencySeconds >= 0.0
-                   ? config.crossShardLatencySeconds
-                   : cluster.spec().crossShardLatencySeconds),
+      latency_(cluster.spec().resolveCrossShardLatency(
+          config.crossShardLatencySeconds)),
       core_(std::move(policy)) {
   stubs_.reserve(cluster_.shardCount());
   for (std::size_t s = 0; s < cluster_.shardCount(); ++s) {
@@ -56,7 +55,11 @@ GlobalArbiter& GlobalArbiter::install(platform::Cluster& cluster,
 }
 
 void GlobalArbiter::onApplicationTerminated(std::uint32_t appId) {
-  pendingTerminations_.push_back(appId);
+  pendingSchedulerEvents_.push_back({appId, /*termination=*/true});
+}
+
+void GlobalArbiter::onApplicationLaunched(std::uint32_t appId) {
+  pendingSchedulerEvents_.push_back({appId, /*termination=*/false});
 }
 
 std::size_t GlobalArbiter::shardOf(std::uint32_t appId) const noexcept {
@@ -67,25 +70,35 @@ std::size_t GlobalArbiter::shardOf(std::uint32_t appId) const noexcept {
 bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
   scratch_.clear();
   bool mergedAny = false;
-  // Terminations first: a barrier models one sampling instant, and the job
-  // scheduler's view ("these jobs are gone") precedes their stale traffic —
-  // so traffic from a just-terminated id is discarded below rather than
-  // merged (a stale Inform would otherwise re-register the dead job, grant
-  // it, and deadlock the queue behind an accessor that never completes).
-  std::set<std::uint32_t> terminated(pendingTerminations_.begin(),
-                                     pendingTerminations_.end());
-  for (std::uint32_t app : pendingTerminations_) {
-    core_.onApplicationTerminated(barrierTime, app, scratch_);
-    ++merged_;
-    mergedAny = true;
+  // Scheduler events first: a barrier models one sampling instant, and the
+  // job scheduler's view ("these jobs are gone") precedes their stale traffic —
+  // so traffic from a terminated id is discarded below rather than merged
+  // (a stale Inform would otherwise re-register the dead job, grant it, and
+  // deadlock the queue behind an accessor that never completes). The id
+  // stays in `dead_` across barriers: a message in latency flight — or
+  // delayed further on a relay/forwarding hop — when the termination lands
+  // reaches its stub only in a later round, and must be discarded then too.
+  // Only an explicit onApplicationLaunched (the scheduler reusing the id)
+  // revives it.
+  for (const SchedulerEvent& ev : pendingSchedulerEvents_) {
+    if (ev.termination) {
+      dead_.insert(ev.app);
+      core_.onApplicationTerminated(barrierTime, ev.app, scratch_);
+      ++merged_;
+      mergedAny = true;
+    } else {
+      // Relaunch of a reused id; call order decides, so a launch queued
+      // after a same-round termination revives the id (and vice versa).
+      dead_.erase(ev.app);
+    }
   }
-  pendingTerminations_.clear();
+  pendingSchedulerEvents_.clear();
   // Merge the round's traffic in (shard, seq) order — deterministic because
   // each stub's outbox order is its shard's (deterministic) event order.
   for (std::size_t s = 0; s < stubs_.size(); ++s) {
     for (ArbiterStub::Message& m : stubs_[s]->drain()) {
-      if (terminated.count(m.fromApp) > 0) {
-        continue;  // crossed the termination at this sampling instant
+      if (dead_.count(m.fromApp) > 0) {
+        continue;  // stale traffic from a terminated application
       }
       // Refresh the route on every contact: an app id reused on another
       // shard (sequential campaigns) must not inherit the old shard.

@@ -37,6 +37,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "calciom/arbiter_core.hpp"
@@ -90,9 +92,11 @@ class GlobalArbiter final : public sim::BarrierHook {
  public:
   struct Config {
     /// One-way latency of arbiter-to-application deliveries crossing the
-    /// barrier. Negative (the default) means "use the cluster's
-    /// ClusterSpec::crossShardLatencySeconds".
-    double crossShardLatencySeconds = -1.0;
+    /// barrier. nullopt (the default) inherits the cluster's
+    /// ClusterSpec::crossShardLatencySeconds. Explicit values must be
+    /// >= 0.0 (rejected otherwise), and an explicit 0.0 is honored — free
+    /// hops — not treated as "inherit".
+    std::optional<double> crossShardLatencySeconds;
   };
 
   /// Creates the global arbiter over every shard of `cluster`: registers an
@@ -111,8 +115,22 @@ class GlobalArbiter final : public sim::BarrierHook {
   bool onBarrier(sim::Time barrierTime) override;
 
   /// Job-scheduler integration: the termination is applied at the next
-  /// barrier, ordered before that barrier's message traffic.
+  /// barrier, ordered before that barrier's message traffic. From that
+  /// barrier on the id is *dead*: traffic from it is discarded at every
+  /// later barrier too, because a message may still be in latency flight
+  /// (or parked on a relay/forwarding hop) when the termination lands and
+  /// only reach a stub one or more rounds later — a stale Inform merged
+  /// then would re-register the dead job, grant it, and deadlock the queue
+  /// behind an accessor that never completes.
   void onApplicationTerminated(std::uint32_t appId);
+
+  /// Job-scheduler integration, the launch side: clears the dead marker for
+  /// an application id the scheduler reuses (sequential campaigns). Only
+  /// after this call is traffic from a previously terminated id merged
+  /// again. Ids never terminated need no launch call. Applied at the next
+  /// barrier in call order relative to terminations, so terminate+relaunch
+  /// within one round revives the id (and launch+terminate kills it).
+  void onApplicationLaunched(std::uint32_t appId);
 
   [[nodiscard]] const core::ArbiterCore& core() const noexcept {
     return core_;
@@ -147,7 +165,15 @@ class GlobalArbiter final : public sim::BarrierHook {
   core::ArbiterCore core_;
   std::vector<std::unique_ptr<ArbiterStub>> stubs_;  // one per shard
   std::map<std::uint32_t, std::size_t> appShard_;
-  std::vector<std::uint32_t> pendingTerminations_;
+  /// Queued job-scheduler notifications, applied at the next barrier in
+  /// call order (so terminate-then-relaunch of a reused id revives it).
+  struct SchedulerEvent {
+    std::uint32_t app = 0;
+    bool termination = true;
+  };
+  std::vector<SchedulerEvent> pendingSchedulerEvents_;
+  /// Ids terminated and not since relaunched; their traffic is discarded.
+  std::set<std::uint32_t> dead_;
   core::ArbiterCore::Commands scratch_;
   std::uint64_t exchanges_ = 0;
   std::uint64_t merged_ = 0;

@@ -129,7 +129,7 @@ PhaseInfo CollectiveWriter::describePhase(const PhaseSpec& spec,
   return info;
 }
 
-sim::Task CollectiveWriter::writeFile(pfs::PfsFile& file,
+sim::Task CollectiveWriter::writeFile(std::string fileName,
                                       AccessPattern pattern,
                                       IoCoordinationHooks& hooks,
                                       WriteResult* out,
@@ -158,7 +158,7 @@ sim::Task CollectiveWriter::writeFile(pfs::PfsFile& file,
     }
     {
       const sim::Time t0 = engine_.now();
-      co_await client_.writeRange(file, offset, rb,
+      co_await client_.writeRange(fileName, offset, rb,
                                   static_cast<double>(cfg_.aggregators));
       out->writeSeconds += engine_.now() - t0;
     }
@@ -200,11 +200,9 @@ sim::Task CollectiveWriter::runPhase(PhaseSpec spec,
                                 static_cast<std::uint64_t>(spec.fileCount);
   out->files.resize(static_cast<std::size_t>(spec.fileCount));
   for (int f = 0; f < spec.fileCount; ++f) {
-    pfs::PfsFile& file =
-        client_.fs().open(spec.fileStem + "." + std::to_string(f));
     co_await engine_.spawn(
-        writeFile(file, spec.pattern, hooks,
-                  &out->files[static_cast<std::size_t>(f)],
+        writeFile(spec.fileStem + "." + std::to_string(f), spec.pattern,
+                  hooks, &out->files[static_cast<std::size_t>(f)],
                   static_cast<std::uint64_t>(f) * perFile, info.totalBytes));
     if (f + 1 < spec.fileCount) {
       const double progress = static_cast<double>(f + 1) / spec.fileCount;

@@ -112,9 +112,13 @@ class CollectiveWriter {
                                         std::uint32_t appId,
                                         const std::string& appName) const;
 
-  /// Writes one file collectively. `phaseBytesDone`/`phaseTotal` position
-  /// this file's progress within the surrounding phase for hook reporting.
-  sim::Task writeFile(pfs::PfsFile& file, AccessPattern pattern,
+  /// Writes one file (named `fileName`, opened on the file system on first
+  /// use) collectively. `phaseBytesDone`/`phaseTotal` position this file's
+  /// progress within the surrounding phase for hook reporting. Files are
+  /// addressed by name, not by PfsFile reference, so the same writer runs
+  /// against a same-shard client or a cross-shard proxy whose file system
+  /// lives on another shard (platform::SharedStorageModel).
+  sim::Task writeFile(std::string fileName, AccessPattern pattern,
                       IoCoordinationHooks& hooks, WriteResult* out,
                       std::uint64_t phaseBytesDone = 0,
                       std::uint64_t phaseTotal = 0);

@@ -74,14 +74,22 @@ class PortRegistry {
   /// Sends `payload` to `port`. Returns false if the port does not exist at
   /// send time and no relay is installed. Delivery is skipped silently if
   /// the port closes in flight (like a connection torn down while a message
-  /// is queued); a message relayed because the port was unknown at send
-  /// time stays with the relay even if the port opens in flight.
+  /// is queued) — even when a relay is installed: routing is fixed at send
+  /// time, so a message addressed to a then-open port never falls back to
+  /// the relay, which would resurrect traffic for an endpoint that is gone
+  /// (e.g. an application terminated between barriers). Symmetrically, a
+  /// message relayed because the port was unknown at send time stays with
+  /// the relay even if the port opens in flight.
   bool send(const std::string& port, std::uint32_t fromApp, Info payload);
 
   /// Synchronously invokes `port`'s handler (no latency, no scheduling).
   /// For barrier-time relays only: the caller has already scheduled this
   /// delivery on the owning engine at a timestamp that includes the hop
-  /// latency. Returns false if the port is not open.
+  /// latency. Returns false if the port is not open. Never consults the
+  /// relay: barrier hooks address concrete endpoints, and a closed port
+  /// means the endpoint died in flight — the message must drop, not detour
+  /// (a forwarded Grant re-entering the system could re-register a dead
+  /// application).
   bool deliverNow(const std::string& port, std::uint32_t fromApp,
                   Info payload);
 

@@ -41,12 +41,13 @@ double PfsClient::clientCap(double streams) const {
   return bw;
 }
 
-std::shared_ptr<sim::Trigger> PfsClient::writeRange(PfsFile& file,
+std::shared_ptr<sim::Trigger> PfsClient::writeRange(const std::string& fileName,
                                                     std::uint64_t offset,
                                                     std::uint64_t len,
                                                     double streams) {
   CALCIOM_EXPECTS(streams > 0.0);
   auto done = std::make_shared<sim::Trigger>();
+  PfsFile& file = fs_.open(fileName);
   if (len == 0) {
     file.recordWrite(0);
     done->fire();

@@ -11,10 +11,25 @@
 /// equivalent to per-stream flows but costs O(servers) instead of
 /// O(processes) — and it preserves the paper's key asymmetry: at a shared
 /// server, application bandwidth is split proportionally to stream counts.
+///
+/// The write path is virtual: `CollectiveWriter` only ever names files and
+/// byte ranges, so the same writer runs against this same-shard client or
+/// against a cross-shard proxy (platform::SharedStorageModel hands out
+/// remote clients whose requests ride sync-horizon barriers to a dedicated
+/// storage shard). Overriders must keep the contract that the returned
+/// trigger fires on the *caller's* engine.
+///
+/// Cross-shard read discipline: a remote client keeps references to the
+/// storage shard's FlowNet and ParallelFileSystem, but while shard loops run
+/// it may only read state that is immutable after construction (striping
+/// layout, PfsConfig, resource capacities set at addResource time). Dynamic
+/// queries (`contended()`) and all mutation (`writeRange`) are virtual so
+/// remote implementations can answer from barrier-exchanged state instead.
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "net/flow_net.hpp"
 #include "pfs/file.hpp"
@@ -42,24 +57,31 @@ class PfsClient {
  public:
   PfsClient(sim::Engine& engine, net::FlowNet& net, ParallelFileSystem& fs,
             ClientContext ctx)
-      : engine_(engine), net_(net), fs_(fs), ctx_(ctx) {}
+      : engine_(engine), net_(net), fs_(fs), ctx_(std::move(ctx)) {}
+  virtual ~PfsClient() = default;
   PfsClient(const PfsClient&) = delete;
   PfsClient& operator=(const PfsClient&) = delete;
 
-  /// Writes `len` bytes at `offset` of `file`, carried by `streams`
-  /// concurrent client streams. Returns a trigger fired when every
-  /// per-server chunk has landed; `file.recordWrite` runs at that moment.
-  std::shared_ptr<sim::Trigger> writeRange(PfsFile& file, std::uint64_t offset,
-                                           std::uint64_t len, double streams);
+  /// Writes `len` bytes at `offset` of the file named `file` (opened or
+  /// created on first use), carried by `streams` concurrent client streams.
+  /// Returns a trigger fired on the caller's engine when every per-server
+  /// chunk has landed; the file's `recordWrite` runs at that moment.
+  virtual std::shared_ptr<sim::Trigger> writeRange(const std::string& file,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len,
+                                                   double streams);
 
   /// True if another application currently has data in flight to the fs.
-  [[nodiscard]] bool contended() const {
+  /// Remote clients answer from the last sync-horizon barrier's snapshot
+  /// (stale by at most one round), keeping the query deterministic.
+  [[nodiscard]] virtual bool contended() const {
     return fs_.anyOtherAppActive(ctx_.appId);
   }
 
   /// Sustained bandwidth this application would get with the file system to
   /// itself: min of its injection cap, its stream caps and the servers'
   /// sustained aggregate. Feeds T_alone estimates in descriptors.
+  /// Immutable-config reads only, so valid cross-shard.
   [[nodiscard]] double aloneBandwidth(double streams) const;
 
   /// Client-side cap only (injection resource and per-stream NICs),
@@ -67,9 +89,12 @@ class PfsClient {
   [[nodiscard]] double clientCap(double streams) const;
 
   [[nodiscard]] const ClientContext& context() const noexcept { return ctx_; }
+  /// The (possibly remote) file system. Cross-shard callers may only use
+  /// immutable state (layout, config, server count); see file comment.
   [[nodiscard]] ParallelFileSystem& fs() noexcept { return fs_; }
+  [[nodiscard]] const ParallelFileSystem& fs() const noexcept { return fs_; }
 
- private:
+ protected:
   sim::Engine& engine_;
   net::FlowNet& net_;
   ParallelFileSystem& fs_;

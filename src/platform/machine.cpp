@@ -13,26 +13,31 @@ Machine::Machine(sim::Engine& engine, MachineSpec spec)
   fs_ = std::make_unique<pfs::ParallelFileSystem>(engine_, net_, spec_.fs);
 }
 
-ProvisionedApp Machine::provisionApp(std::uint32_t appId,
-                                     const std::string& name, int processes) {
+ProvisionedApp provisionAppInto(const MachineSpec& spec,
+                                net::FlowNet& injectionNet,
+                                std::uint32_t appId, const std::string& name,
+                                int processes) {
   CALCIOM_EXPECTS(processes >= 1);
-  CALCIOM_EXPECTS(processes <= spec_.totalCores);
+  CALCIOM_EXPECTS(processes <= spec.totalCores);
   ProvisionedApp app;
   app.clientContext.appId = appId;
   app.clientContext.appName = name;
-  app.clientContext.perStreamCap = spec_.streamNicBandwidth;
-  if (spec_.coresPerIon > 0 && spec_.ionBandwidth > 0.0) {
-    const int ions =
-        (processes + spec_.coresPerIon - 1) / spec_.coresPerIon;
-    app.clientContext.injectionResource = net_.addResource(
-        static_cast<double>(ions) * spec_.ionBandwidth, name + "/ion");
+  app.clientContext.perStreamCap = spec.streamNicBandwidth;
+  if (spec.coresPerIon > 0 && spec.ionBandwidth > 0.0) {
+    const int ions = (processes + spec.coresPerIon - 1) / spec.coresPerIon;
+    app.clientContext.injectionResource = injectionNet.addResource(
+        static_cast<double>(ions) * spec.ionBandwidth, name + "/ion");
   }
   app.writerConfig.processes = processes;
-  app.writerConfig.aggregators =
-      std::max(1, processes / spec_.coresPerNode);
-  app.writerConfig.cbBufferBytes = spec_.cbBufferBytes;
-  app.writerConfig.commCosts = spec_.interconnect;
+  app.writerConfig.aggregators = std::max(1, processes / spec.coresPerNode);
+  app.writerConfig.cbBufferBytes = spec.cbBufferBytes;
+  app.writerConfig.commCosts = spec.interconnect;
   return app;
+}
+
+ProvisionedApp Machine::provisionApp(std::uint32_t appId,
+                                     const std::string& name, int processes) {
+  return provisionAppInto(spec_, net_, appId, name, processes);
 }
 
 }  // namespace calciom::platform

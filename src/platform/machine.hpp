@@ -58,6 +58,20 @@ struct ProvisionedApp {
   io::WriterConfig writerConfig;
 };
 
+/// The provisioning recipe shared by Machine::provisionApp and
+/// platform::SharedStorageModel::provisionApp: an injection resource sized
+/// to the app's I/O-forwarding share — allocated in `injectionNet`, which
+/// in a sharded platform is the *storage* shard's FlowNet — one aggregator
+/// per node, the machine's collective-buffer and interconnect settings.
+/// Single definition on purpose: the cluster path must provision exactly
+/// like the single-machine oracle the collapse-equivalence tests compare
+/// against.
+[[nodiscard]] ProvisionedApp provisionAppInto(const MachineSpec& spec,
+                                              net::FlowNet& injectionNet,
+                                              std::uint32_t appId,
+                                              const std::string& name,
+                                              int processes);
+
 class Machine {
  public:
   Machine(sim::Engine& engine, MachineSpec spec);

@@ -45,15 +45,30 @@ platform::ProvisionedApp provision(platform::Machine& machine,
   cfg.validate();
   return machine.provisionApp(appId, cfg.name, cfg.processes);
 }
+
+pfs::PfsClient& requireClient(const std::unique_ptr<pfs::PfsClient>& client) {
+  CALCIOM_EXPECTS(client != nullptr);
+  return *client;
+}
 }  // namespace
 
 IorApp::IorApp(platform::Machine& machine, std::uint32_t appId, IorConfig cfg)
-    : machine_(machine),
+    : engine_(machine.engine()),
       cfg_(std::move(cfg)),
       provisioned_(provision(machine, appId, cfg_)),
-      client_(machine.engine(), machine.net(), machine.fs(),
-              provisioned_.clientContext),
-      writer_(machine.engine(), client_, provisioned_.writerConfig) {}
+      client_(std::make_unique<pfs::PfsClient>(machine.engine(), machine.net(),
+                                               machine.fs(),
+                                               provisioned_.clientContext)),
+      writer_(machine.engine(), *client_, provisioned_.writerConfig) {}
+
+IorApp::IorApp(sim::Engine& engine, std::unique_ptr<pfs::PfsClient> client,
+               io::WriterConfig writerConfig, IorConfig cfg)
+    : engine_(engine),
+      cfg_(std::move(cfg)),
+      client_(std::move(client)),
+      writer_(engine, requireClient(client_), writerConfig) {
+  cfg_.validate();
+}
 
 io::PhaseSpec IorApp::phaseSpec(int iteration) const {
   io::PhaseSpec spec;
@@ -71,7 +86,7 @@ sim::Task IorApp::run(io::IoCoordinationHooks& hooks, AppStats* out) {
   CALCIOM_EXPECTS(out != nullptr);
   out->name = cfg_.name;
   out->processes = cfg_.processes;
-  sim::Engine& eng = machine_.engine();
+  sim::Engine& eng = engine_;
   co_await sim::Delay{cfg_.startOffset};
   out->firstStart = eng.now();
   double computeCredit = 0.0;

@@ -69,12 +69,20 @@ struct AppStats {
   [[nodiscard]] std::vector<double> iterationThroughputs() const;
 };
 
-/// One application bound to a machine: owns its PFS client and collective
+/// One application bound to a platform: owns its PFS client and collective
 /// writer, runs its iterations against a hook implementation (a CALCioM
-/// Session or NoopHooks for the uncoordinated baseline).
+/// Session or NoopHooks for the uncoordinated baseline). Two bindings:
+/// the machine constructor provisions against a single Machine (the serial
+/// figures); the client constructor takes pre-provisioned plumbing, which
+/// is how cluster campaigns pin an app on a compute shard with a remote
+/// client from platform::SharedStorageModel.
 class IorApp {
  public:
   IorApp(platform::Machine& machine, std::uint32_t appId, IorConfig cfg);
+  /// Cluster binding: `engine` is the shard the app runs on; `client` is
+  /// typically a SharedStorageModel client (remote or storage-shard-local).
+  IorApp(sim::Engine& engine, std::unique_ptr<pfs::PfsClient> client,
+         io::WriterConfig writerConfig, IorConfig cfg);
   IorApp(const IorApp&) = delete;
   IorApp& operator=(const IorApp&) = delete;
 
@@ -88,10 +96,10 @@ class IorApp {
   [[nodiscard]] io::CollectiveWriter& writer() noexcept { return writer_; }
 
  private:
-  platform::Machine& machine_;
+  sim::Engine& engine_;
   IorConfig cfg_;
-  platform::ProvisionedApp provisioned_;
-  pfs::PfsClient client_;
+  platform::ProvisionedApp provisioned_;  // machine binding only
+  std::unique_ptr<pfs::PfsClient> client_;
   io::CollectiveWriter writer_;
 };
 

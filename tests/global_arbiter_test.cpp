@@ -440,6 +440,127 @@ TEST(GlobalArbiterTest, TerminationDiscardsInFlightTrafficFromDeadApp) {
   EXPECT_LT(a.end, 0.0);  // A never got in
 }
 
+TEST(GlobalArbiterTest, ExplicitZeroLatencyHonoredNegativeRejected) {
+  ClusterSpec spec;
+  spec.shards = 2;
+  spec.crossShardLatencySeconds = 2e-3;
+  {
+    Cluster cl(spec);
+    GlobalArbiter& ga = GlobalArbiter::install(
+        cl, makePolicy(PolicyKind::Fcfs),
+        GlobalArbiter::Config{.crossShardLatencySeconds = 0.0});
+    // An explicit 0.0 means free hops; it must not be mistaken for an
+    // "inherit from ClusterSpec" sentinel (the old negative-default bug).
+    EXPECT_DOUBLE_EQ(ga.crossShardLatency(), 0.0);
+  }
+  {
+    Cluster cl(spec);
+    GlobalArbiter& ga = GlobalArbiter::install(cl, makePolicy(PolicyKind::Fcfs));
+    EXPECT_DOUBLE_EQ(ga.crossShardLatency(), 2e-3);  // default: inherit
+  }
+  Cluster cl(spec);
+  EXPECT_THROW(
+      GlobalArbiter::install(
+          cl, makePolicy(PolicyKind::Fcfs),
+          GlobalArbiter::Config{.crossShardLatencySeconds = -1.0}),
+      calciom::PreconditionError);
+}
+
+TEST(GlobalArbiterTest, TerminationDiscardsTrafficArrivingAtLaterBarriers) {
+  // A's Inform is still in latency flight (or delayed on a forwarding hop)
+  // when the termination is applied at a barrier, and only reaches its stub
+  // one or more rounds later. The discard must extend past the termination
+  // barrier: a stale Inform merged later would re-register the dead job,
+  // grant it, and deadlock the queue behind an accessor that never
+  // completes.
+  ClusterSpec spec;
+  spec.shards = 2;
+  spec.syncHorizonSeconds = 0.5;
+  Cluster cl(spec);
+  GlobalArbiter& ga = GlobalArbiter::install(cl, makePolicy(PolicyKind::Fcfs));
+  std::vector<std::unique_ptr<Session>> sessions;
+  sessions.push_back(std::make_unique<Session>(
+      cl.engine(0), cl.machine(0).ports(),
+      SessionConfig{.appId = 1, .appName = "a", .cores = 64}));
+  sessions.push_back(std::make_unique<Session>(
+      cl.engine(1), cl.machine(1).ports(),
+      SessionConfig{.appId = 2, .appName = "b", .cores = 64}));
+  AppResult a;
+  AppResult b;
+  // A informs at t=0.6: early shard-1 activity forces a barrier at ~0.5,
+  // so the termination (applied at that first barrier) predates the
+  // absorption of A's Inform — the cross-barrier case.
+  cl.engine(0).spawn([](Engine& eng, Session& s, AppResult* out) -> Task {
+    co_await Delay{0.6};
+    out->start = eng.now();
+    co_await eng.spawn(s.beginPhase(phaseInfo(1, 100, 1.0)));
+    out->end = eng.now();  // unreachable: dead before the grant
+  }(cl.engine(0), *sessions[0], &a));
+  cl.engine(1).spawn(synthApp(cl.engine(1), *sessions[1], 2, 1.0, 1.0, 1, 1.0,
+                              &b));
+  ga.onApplicationTerminated(1);
+  cl.run(2);
+  EXPECT_EQ(ga.grantsIssued(), 1u);  // only B; the dead A was never granted
+  EXPECT_TRUE(ga.core().currentAccessors().empty());
+  EXPECT_GT(b.end, 0.0);   // B was not stuck behind a zombie accessor
+  EXPECT_LT(a.end, 0.0);   // A never got in
+}
+
+TEST(GlobalArbiterTest, LaunchRevivesATerminatedId) {
+  // Job-scheduler id reuse: after onApplicationLaunched, traffic from a
+  // previously terminated id is merged again (sequential campaigns).
+  ClusterSpec spec;
+  spec.shards = 2;
+  spec.syncHorizonSeconds = 0.5;
+  Cluster cl(spec);
+  GlobalArbiter& ga = GlobalArbiter::install(cl, makePolicy(PolicyKind::Fcfs));
+  {
+    Session dead(cl.engine(0), cl.machine(0).ports(),
+                 SessionConfig{.appId = 1, .appName = "a", .cores = 64});
+    AppResult a;
+    cl.engine(0).spawn([](Engine& eng, Session& s, AppResult* out) -> Task {
+      out->start = eng.now();
+      co_await eng.spawn(s.beginPhase(phaseInfo(1, 100, 1.0)));
+      out->end = eng.now();
+    }(cl.engine(0), dead, &a));
+    ga.onApplicationTerminated(1);
+    cl.run(1);
+    EXPECT_EQ(ga.grantsIssued(), 0u);  // discarded: id 1 is dead
+  }
+  ga.onApplicationLaunched(1);
+  Session fresh(cl.engine(1), cl.machine(1).ports(),
+                SessionConfig{.appId = 1, .appName = "a2", .cores = 32});
+  AppResult a2;
+  cl.engine(1).spawn(synthApp(cl.engine(1), fresh, 1, 1.0, 0.5, 1, 1.0,
+                              &a2));
+  cl.run(1);
+  EXPECT_EQ(ga.grantsIssued(), 1u);  // the relaunched id is served again
+  EXPECT_GT(a2.end, 0.0);
+  EXPECT_EQ(ga.shardOf(1), 1u);  // and routed to its new shard
+}
+
+TEST(GlobalArbiterTest, LaunchQueuedAfterSameRoundTerminationRevives) {
+  // Scheduler kills the previous incarnation of id 1 and relaunches it
+  // within the same round, before any barrier flushed the termination.
+  // Events must apply in call order at the barrier: the relaunched app is
+  // live and gets served, not permanently starved by a dead-set entry
+  // inserted after the launch's (no-op) erase.
+  ClusterSpec spec;
+  spec.shards = 2;
+  spec.syncHorizonSeconds = 0.5;
+  Cluster cl(spec);
+  GlobalArbiter& ga = GlobalArbiter::install(cl, makePolicy(PolicyKind::Fcfs));
+  Session s(cl.engine(0), cl.machine(0).ports(),
+            SessionConfig{.appId = 1, .appName = "a", .cores = 64});
+  AppResult a;
+  cl.engine(0).spawn(synthApp(cl.engine(0), s, 2, 1.0, 0.0, 1, 1.0, &a));
+  ga.onApplicationTerminated(1);
+  ga.onApplicationLaunched(1);
+  cl.run(1);
+  EXPECT_EQ(ga.grantsIssued(), 1u);
+  EXPECT_GT(a.end, 0.0);
+}
+
 TEST(GlobalArbiterTest, StubRejectsSecondArbiterOnSameShard) {
   ClusterSpec spec;
   spec.shards = 1;

@@ -137,10 +137,10 @@ TEST(CollectiveWriterTest, ContiguousWriteTimingMatchesBandwidth) {
   NoopHooks hooks;
   WriteResult result;
   // 8 procs * 500B = 4000B at 400B/s aggregate = 10s; 2 rounds; no shuffle.
-  auto& file = fx.fs.open("f");
   fx.eng.spawn(
-      writer.writeFile(file, contiguousPattern(500), hooks, &result));
+      writer.writeFile("f", contiguousPattern(500), hooks, &result));
   fx.eng.run();
+  auto& file = fx.fs.open("f");
   EXPECT_EQ(result.rounds, 2);
   EXPECT_EQ(result.bytes, 4000u);
   EXPECT_NEAR(result.elapsed(), 10.0, 1e-9);
@@ -156,9 +156,8 @@ TEST(CollectiveWriterTest, StridedWriteChargesShufflePhases) {
   WriteResult result;
   // Strided 8x(500B): same 4000B; per round 2000B. Shuffle aggregate
   // = 8*100/2 = 400B/s -> 5s per round; write 5s per round. Total 20s.
-  auto& file = fx.fs.open("f");
   fx.eng.spawn(
-      writer.writeFile(file, stridedPattern(500, 1), hooks, &result));
+      writer.writeFile("f", stridedPattern(500, 1), hooks, &result));
   fx.eng.run();
   EXPECT_EQ(result.rounds, 2);
   EXPECT_NEAR(result.commSeconds, 10.0, 1e-9);
@@ -226,9 +225,8 @@ TEST(CollectiveWriterTest, PausedRoundBoundaryCountsAsHookTime) {
   CollectiveWriter writer(fx.eng, fx.client, fx.writerConfig());
   GateHooks hooks(gate);
   WriteResult result;
-  auto& file = fx.fs.open("f");
   fx.eng.spawn(
-      writer.writeFile(file, contiguousPattern(500), hooks, &result));
+      writer.writeFile("f", contiguousPattern(500), hooks, &result));
   fx.eng.scheduleAt(30.0, [&] { gate.open(); });
   fx.eng.run();
   // Round 1 finishes at t=5; paused until 30; round 2 takes 5 more.
@@ -253,8 +251,7 @@ TEST(CollectiveWriterTest, QueuePenaltyAppliesOnlyWhenContended) {
   // penalty when re-entering.
   PfsClient other(fx.eng, fx.net, fx.fs,
                   ClientContext{.appId = 2, .appName = "B"});
-  auto& bigFile = fx.fs.open("big");
-  other.writeRange(bigFile, 0, 100000, 4.0);
+  other.writeRange("big", 0, 100000, 4.0);
   PhaseResult contended;
   fx.eng.spawn(writer.runPhase(spec, hooks, &contended));
   fx.eng.run();

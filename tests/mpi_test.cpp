@@ -231,6 +231,42 @@ TEST(PortRegistryTest, DeliverNowIsSynchronousAndCounted) {
   EXPECT_EQ(reg.messagesDelivered(), 1u);
 }
 
+TEST(PortRegistryTest, PortClosedInFlightDoesNotFallBackToRelay) {
+  // Routing is fixed at send time: a message addressed to a then-open port
+  // whose owner dies in flight must be dropped, NOT handed to the relay. A
+  // relay forwarding it onward could re-register a dead application with a
+  // cross-shard service (the GlobalArbiter's stale-Inform discard guards
+  // the same scenario one layer up).
+  Engine eng;
+  PortRegistry reg(eng, 1.0);
+  int relayed = 0;
+  int local = 0;
+  reg.setRelay([&](const std::string&, std::uint32_t, Info) { ++relayed; });
+  reg.openPort("calciom/app/7", [&](std::uint32_t, Info) { ++local; });
+  EXPECT_TRUE(reg.send("calciom/app/7", 1, Info{}));
+  eng.scheduleAt(0.5, [&] { reg.closePort("calciom/app/7"); });  // app dies
+  eng.run();
+  EXPECT_EQ(local, 0);
+  EXPECT_EQ(relayed, 0);
+  EXPECT_EQ(reg.messagesDelivered(), 0u);
+  EXPECT_EQ(reg.messagesRelayed(), 0u);
+}
+
+TEST(PortRegistryTest, DeliverNowNeverConsultsTheRelay) {
+  // Barrier hooks use deliverNow to land messages on concrete endpoints; a
+  // closed port means the endpoint terminated between barriers, and the
+  // message must drop rather than detour through the relay (a relayed
+  // Grant re-entering the system would resurrect the dead app's traffic).
+  Engine eng;
+  PortRegistry reg(eng, 1e-3);
+  int relayed = 0;
+  reg.setRelay([&](const std::string&, std::uint32_t, Info) { ++relayed; });
+  EXPECT_FALSE(reg.deliverNow("calciom/app/9", 0, Info{}));
+  EXPECT_EQ(relayed, 0);
+  EXPECT_EQ(reg.messagesDelivered(), 0u);
+  EXPECT_EQ(reg.messagesRelayed(), 0u);
+}
+
 TEST(PortRegistryTest, HandlerCanReplyThroughAnotherPort) {
   Engine eng;
   PortRegistry ports(eng, 0.25);

@@ -69,7 +69,7 @@ TEST(PfsClientTest, BalancedWriteUsesAllServersAtAggregateRate) {
   PfsFile& f = fs.open("out");
   Time done = -1.0;
   // 4000B striped over 4 servers -> 1000B each at 100B/s = 10s.
-  eng.spawn(waitTrigger(eng, client.writeRange(f, 0, 4000, 4.0), done));
+  eng.spawn(waitTrigger(eng, client.writeRange("out", 0, 4000, 4.0), done));
   eng.run();
   EXPECT_NEAR(done, 10.0, 1e-9);
   EXPECT_EQ(f.bytesWritten(), 4000u);
@@ -84,10 +84,9 @@ TEST(PfsClientTest, InjectionCapLimitsAggregateBandwidth) {
   const ResourceId ion = net.addResource(200.0, "ion");
   PfsClient client(eng, net, fs,
                    ClientContext{.appId = 1, .injectionResource = ion});
-  PfsFile& f = fs.open("out");
   Time done = -1.0;
   // Aggregate server capacity is 400B/s but the app can only inject 200B/s.
-  eng.spawn(waitTrigger(eng, client.writeRange(f, 0, 4000, 4.0), done));
+  eng.spawn(waitTrigger(eng, client.writeRange("out", 0, 4000, 4.0), done));
   eng.run();
   EXPECT_NEAR(done, 20.0, 1e-9);
 }
@@ -100,9 +99,8 @@ TEST(PfsClientTest, PerStreamCapLimitsSmallApps) {
   ctx.appId = 1;
   ctx.perStreamCap = 25.0;  // 2 streams * 25B/s = 50B/s total
   PfsClient client(eng, net, fs, ctx);
-  PfsFile& f = fs.open("out");
   Time done = -1.0;
-  eng.spawn(waitTrigger(eng, client.writeRange(f, 0, 4000, 2.0), done));
+  eng.spawn(waitTrigger(eng, client.writeRange("out", 0, 4000, 2.0), done));
   eng.run();
   EXPECT_NEAR(done, 80.0, 1e-9);  // 4000B / 50B/s
 }
@@ -116,12 +114,10 @@ TEST(PfsClientTest, StreamWeightsSplitServerBandwidthLikeFig6) {
   ParallelFileSystem fs(eng, net, fourServers(100.0));
   PfsClient big(eng, net, fs, ClientContext{.appId = 1});
   PfsClient small(eng, net, fs, ClientContext{.appId = 2});
-  PfsFile& fb = fs.open("big");
-  PfsFile& fsm = fs.open("small");
   Time doneBig = -1.0;
   Time doneSmall = -1.0;
-  eng.spawn(waitTrigger(eng, big.writeRange(fb, 0, 12000, 30.0), doneBig));
-  eng.spawn(waitTrigger(eng, small.writeRange(fsm, 0, 4000, 10.0), doneSmall));
+  eng.spawn(waitTrigger(eng, big.writeRange("big", 0, 12000, 30.0), doneBig));
+  eng.spawn(waitTrigger(eng, small.writeRange("small", 0, 4000, 10.0), doneSmall));
   // Shared 400B/s: big gets 300B/s, small gets 100B/s while both active.
   // Small finishes 4000/100 = 40s; big then speeds to 400: remaining
   // 12000-300*40=0 -> big also exactly 40s.
@@ -136,9 +132,8 @@ TEST(PfsClientTest, ContendedReflectsOtherAppsOnly) {
   ParallelFileSystem fs(eng, net, fourServers(100.0));
   PfsClient a(eng, net, fs, ClientContext{.appId = 1});
   PfsClient b(eng, net, fs, ClientContext{.appId = 2});
-  PfsFile& f = fs.open("x");
   EXPECT_FALSE(a.contended());
-  a.writeRange(f, 0, 4000, 4.0);
+  a.writeRange("x", 0, 4000, 4.0);
   EXPECT_FALSE(a.contended());  // own traffic does not count
   EXPECT_TRUE(b.contended());   // but B sees A's traffic
   eng.run();
@@ -151,7 +146,7 @@ TEST(PfsClientTest, ZeroByteWriteCompletesImmediately) {
   ParallelFileSystem fs(eng, net, fourServers());
   PfsClient client(eng, net, fs, ClientContext{.appId = 1});
   PfsFile& f = fs.open("empty");
-  auto done = client.writeRange(f, 0, 0, 1.0);
+  auto done = client.writeRange("empty", 0, 0, 1.0);
   EXPECT_TRUE(done->fired());
   EXPECT_EQ(f.completedWrites(), 1);
 }
@@ -161,10 +156,9 @@ TEST(PfsClientTest, NarrowRangeTouchesOnlyItsServers) {
   FlowNet net(eng);
   ParallelFileSystem fs(eng, net, fourServers(100.0));
   PfsClient client(eng, net, fs, ClientContext{.appId = 1});
-  PfsFile& f = fs.open("narrow");
   Time done = -1.0;
   // 150B at offset 0: 100B on server0, 50B on server1; bottleneck server0.
-  eng.spawn(waitTrigger(eng, client.writeRange(f, 0, 150, 1.0), done));
+  eng.spawn(waitTrigger(eng, client.writeRange("narrow", 0, 150, 1.0), done));
   eng.run();
   EXPECT_NEAR(done, 1.0, 1e-9);
   EXPECT_NEAR(fs.server(0).delivered(), 100.0, 1e-6);
@@ -179,9 +173,8 @@ TEST(PfsClientTest, SwitchBandwidthCapsEverything) {
   cfg.switchBandwidth = 100.0;  // the fabric itself is the bottleneck
   ParallelFileSystem fs(eng, net, cfg);
   PfsClient client(eng, net, fs, ClientContext{.appId = 1});
-  PfsFile& f = fs.open("out");
   Time done = -1.0;
-  eng.spawn(waitTrigger(eng, client.writeRange(f, 0, 4000, 4.0), done));
+  eng.spawn(waitTrigger(eng, client.writeRange("out", 0, 4000, 4.0), done));
   eng.run();
   EXPECT_NEAR(done, 40.0, 1e-9);
 }

@@ -319,6 +319,68 @@ TEST(StorageAtScaleTest, SynchronizedBurstCampaignDrainsWithoutLivelock) {
   EXPECT_GT(scheduled, 100u);
 }
 
+// Satellite regression (ISSUE 4): the same sub-ulp clamp exercised the way
+// production runs it — a multi-shard Cluster on a worker pool, with batched
+// equal-time dispatch consuming the synchronized burst storms AND a barrier
+// hook active at every sync horizon (the hook path re-enters the engines
+// between rounds, which the 1-shard regression above never covers). Hangs
+// into the ctest timeout if the nextafter clamp in
+// StorageServer::scheduleTransition regresses under this dispatch mode.
+
+TEST(StorageAtScaleTest, LivelockClampHoldsUnderMultiShardBatchedDispatch) {
+  struct CountingHook final : calciom::sim::BarrierHook {
+    std::uint64_t calls = 0;
+    bool onBarrier(Time) override {
+      ++calls;
+      return false;  // observes every barrier, schedules nothing
+    }
+  };
+  ClusterSpec spec;
+  spec.shards = 4;
+  spec.seed = 0x57024A6Eull;  // the livelocking campaign's seed
+  Cluster cl(spec);
+  CountingHook hook;
+  cl.addBarrierHook(&hook);
+  std::vector<std::vector<std::unique_ptr<calciom::storage::StorageServer>>>
+      servers(4);
+  for (std::size_t s = 0; s < 4; ++s) {
+    Engine& eng = cl.engine(s);
+    FlowNet& net = cl.machine(s).net();
+    for (int i = 0; i < 32; ++i) {
+      calciom::storage::StorageServer::Config cfg;
+      cfg.nicBandwidth = 1e9;
+      cfg.diskBandwidth = 50e6;
+      cfg.cacheBytes = 64e6;
+      cfg.localityAlpha = 0.4;
+      servers[s].push_back(std::make_unique<calciom::storage::StorageServer>(
+          eng, net, cfg, "s" + std::to_string(i)));
+      for (int a = 0; a < 2; ++a) {
+        eng.spawn(calciom::scenarios::burstWriter(
+            eng, net, servers[s].back()->ingress(),
+            static_cast<std::uint32_t>(i * 2 + a), 6, 10.0));
+      }
+    }
+  }
+  cl.run(2);
+  EXPECT_TRUE(cl.empty());
+  const auto stats = cl.stats();
+  // The batch path actually engaged: synchronized bursts put several events
+  // on the same timestamp, so batches must be fewer than events.
+  EXPECT_LT(stats.total.dispatchBatches, stats.total.processedEvents);
+  EXPECT_GT(hook.calls, 0u);  // barrier hooks were live during the campaign
+  std::uint64_t scheduled = 0;
+  for (const auto& shard : servers) {
+    for (const auto& srv : shard) {
+      scheduled += srv->transitionProfile().scheduled;
+      EXPECT_FALSE(srv->cacheSaturated());
+    }
+  }
+  EXPECT_GT(scheduled, 400u);  // the transition churn happened on all shards
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(cl.engine(s).liveTasks(), 0u) << "shard " << s;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // ShardExecutor unit coverage (serial path, pool path, error slots).
 
