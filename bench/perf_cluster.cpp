@@ -55,6 +55,7 @@
 // tripwire for shard, cross-shard-coordination and shared-storage
 // determinism.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -477,16 +478,18 @@ std::uint64_t machineWideFingerprint(const ClusterRunResult& r) {
 }
 
 /// Two writers on distinct compute shards (0 and 1), storage on shard 2.
-ClusterRunResult runMachineWidePair(const MachineSpec& machine,
-                                    const IorConfig& a, const IorConfig& b,
-                                    PolicyKind policy, unsigned workers,
-                                    double syncHorizonSeconds = 0.25) {
+ClusterRunResult runMachineWidePair(
+    const MachineSpec& machine, const IorConfig& a, const IorConfig& b,
+    PolicyKind policy, unsigned workers, double syncHorizonSeconds = 0.25,
+    calciom::core::HookGranularity granularity =
+        calciom::core::HookGranularity::PerRound) {
   ClusterScenarioConfig cfg;
   cfg.machine = machine;
   cfg.shards = 3;
   cfg.syncHorizonSeconds = syncHorizonSeconds;
   cfg.policy = policy;
   cfg.workers = workers;
+  cfg.granularity = granularity;
   cfg.apps = {ClusterAppPlan{a, 0}, ClusterAppPlan{b, 1}};
   return calciom::analysis::runCluster(cfg);
 }
@@ -886,6 +889,102 @@ int main(int argc, char** argv) {
                        rows[0].factorB > 2.0;
     std::printf("    \"shape_ok\": %s\n  },\n", shape ? "true" : "false");
     ok = ok && shape;
+  }
+
+  // --- machine-wide Figure 10: interruption granularity, cluster-wide.
+  // --- A writes 4 files, B one file; interruption honoured between files
+  // --- (application level) or between collective-buffering rounds (ADIO
+  // --- level). File-level yields the paper's "saw": B waits out A's
+  // --- current file, so B's time sweeps a file period as dt moves.
+  {
+    MachineSpec machine = calciom::platform::surveyor();
+    // Small collective buffers so one file spans several rounds: this is
+    // what makes the two hook placements differ (same trick as the serial
+    // fig10 bench).
+    machine.cbBufferBytes = 4ull << 20;
+    IorConfig appA;
+    appA.name = "A";
+    appA.processes = 256;
+    appA.pattern = calciom::io::contiguousPattern(4u << 20);
+    appA.filesPerPhase = 4;
+    IorConfig appB;
+    appB.name = "B";
+    appB.processes = 256;
+    appB.pattern = calciom::io::contiguousPattern(4u << 20);
+    appB.filesPerPhase = 1;
+    constexpr double kFigHorizon = 0.02;
+    using calciom::core::HookGranularity;
+
+    const ClusterRunResult aloneA =
+        runMachineWideAlone(machine, appA, 1, kFigHorizon);
+    const ClusterRunResult aloneB =
+        runMachineWideAlone(machine, appB, 1, kFigHorizon);
+    const double aloneASeconds = aloneA.apps[0].totalIoSeconds();
+    const double aloneBSeconds = aloneB.apps[0].totalIoSeconds();
+    const double filePeriod = aloneASeconds / 4.0;
+
+    std::printf("  \"cluster_fig10\": {\n");
+    std::printf("    \"machine\": \"%s\", \"shards\": 3, \"split\": "
+                "\"256/256\", \"a_files\": 4,\n",
+                machine.name.c_str());
+    std::printf("    \"alone_a_s\": %.3f, \"alone_b_s\": %.3f, "
+                "\"file_period_s\": %.3f,\n",
+                aloneASeconds, aloneBSeconds, filePeriod);
+    // Sweep ~1.5 file periods so the file-level saw rises and resets.
+    constexpr int kPoints = 8;
+    double fileB[kPoints];
+    double roundB[kPoints];
+    std::printf("    \"points\": [\n");
+    for (int i = 0; i < kPoints; ++i) {
+      const double dt = 1.5 * filePeriod * static_cast<double>(i) /
+                        static_cast<double>(kPoints - 1);
+      IorConfig b = appB;
+      b.startOffset = dt;
+      const ClusterRunResult file =
+          runMachineWidePair(machine, appA, b, PolicyKind::Interrupt, 1,
+                             kFigHorizon, HookGranularity::PerFile);
+      const ClusterRunResult round =
+          runMachineWidePair(machine, appA, b, PolicyKind::Interrupt, 1,
+                             kFigHorizon, HookGranularity::PerRound);
+      fileB[i] = file.apps[1].totalIoSeconds();
+      roundB[i] = round.apps[1].totalIoSeconds();
+      std::printf("      {\"dt_s\": %.3f, \"b_file_level_s\": %.3f, "
+                  "\"b_round_level_s\": %.3f, \"file_pauses\": %zu, "
+                  "\"round_pauses\": %zu}%s\n",
+                  dt, fileB[i], roundB[i], file.pausesIssued,
+                  round.pausesIssued, i + 1 < kPoints ? "," : "");
+    }
+    std::printf("    ],\n");
+    double fileBMax = fileB[0];
+    double fileBMin = fileB[0];
+    double roundBMax = roundB[0];
+    for (int i = 1; i < kPoints; ++i) {
+      fileBMax = std::max(fileBMax, fileB[i]);
+      fileBMin = std::min(fileBMin, fileB[i]);
+      roundBMax = std::max(roundBMax, roundB[i]);
+    }
+    // Worker-count invariance on the dt=0 file-level pair.
+    const std::uint64_t ffp1 = machineWideFingerprint(
+        runMachineWidePair(machine, appA, appB, PolicyKind::Interrupt, 1,
+                           kFigHorizon, HookGranularity::PerFile));
+    const std::uint64_t ffp2 = machineWideFingerprint(
+        runMachineWidePair(machine, appA, appB, PolicyKind::Interrupt, 2,
+                           kFigHorizon, HookGranularity::PerFile));
+    const bool deterministic = ffp1 == ffp2;
+    // Paper shape (Fig 10a/b): round-level frees B almost immediately at
+    // every dt; file-level makes B wait out A's current file somewhere in
+    // the sweep, with about a file period of amplitude.
+    const bool shape = roundBMax < aloneBSeconds + 0.75 * filePeriod &&
+                       fileBMax > aloneBSeconds + 0.6 * filePeriod &&
+                       fileBMax - fileBMin > 0.5 * filePeriod;
+    std::printf("    \"b_file_level_max_s\": %.3f, "
+                "\"b_file_level_min_s\": %.3f, "
+                "\"b_round_level_max_s\": %.3f,\n",
+                fileBMax, fileBMin, roundBMax);
+    std::printf("    \"deterministic_across_workers\": %s,\n",
+                deterministic ? "true" : "false");
+    std::printf("    \"shape_ok\": %s\n  },\n", shape ? "true" : "false");
+    ok = ok && deterministic && shape;
   }
 
   // --- storage transition-reschedule profile at 2048 servers.

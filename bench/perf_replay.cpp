@@ -1,0 +1,278 @@
+// Benchmark of the full-slice online replay harness (analysis/replay.hpp):
+// an IntrepidModel month streamed through the live coordination layer on
+// both transports, validated against the offline bare-core oracle.
+//
+// Tiers, all JSON on stdout (committed baseline: BENCH_replay.json):
+//
+//  * session_month — the month through per-job calciom::Sessions against
+//    the same-engine Arbiter, once per policy (FCFS / interruption /
+//    dynamic). The run FAILS unless the decision-divergence report against
+//    the offline oracle is *exactly zero* — the PR 3 core/transport
+//    guarantee, held over ~14k jobs and ~5M simulated seconds — and unless
+//    the month replays at interactive speed (sim_speedup =
+//    simulated-seconds per wall-second >= 43200, i.e. a month in under a
+//    minute of wall time; observed ~10^7).
+//
+//  * cluster_month — the same month through the GlobalArbiter of a
+//    4+1-shard cluster (30 s sync horizon) per policy. Here divergence
+//    against the zero-sampling oracle is the *measurement*: grant-time L1
+//    drift per matched grant lands on the order of the sync horizon, and
+//    the CPU-seconds-wasted delta prices the sampling. The dynamic-policy
+//    tier re-runs at 2 workers and fails on any fingerprint divergence
+//    (decision stream + grant schedule + divergence JSON).
+//
+// `--smoke` replays a short slice (2 days): the session path must be
+// exactly zero-divergent and the cluster path bit-identical at 1 and 2
+// workers — the CI tripwire for the replay harness.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "analysis/replay.hpp"
+#include "calciom/policy.hpp"
+
+namespace {
+
+using calciom::core::PolicyKind;
+using namespace calciom::analysis::replay;
+
+class Fingerprint {
+ public:
+  void fold(std::uint64_t v) noexcept {
+    h_ ^= v;
+    h_ *= 0x100000001B3ULL;
+  }
+  void foldBits(double v) noexcept {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    fold(bits);
+  }
+  void foldString(const std::string& s) noexcept {
+    for (char c : s) {
+      fold(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+/// Everything deterministic about a replay: the decision stream (time
+/// bits, requester, accessor set, action, dynamic costs), the grant
+/// schedule, the captured-event count and the divergence JSON.
+std::uint64_t replayFingerprint(const ReplayResult& r) {
+  Fingerprint fp;
+  fp.fold(r.jobs);
+  fp.fold(r.captured.size());
+  for (const calciom::core::DecisionRecord& d : r.decisions) {
+    fp.foldBits(d.time);
+    fp.fold(d.requester);
+    fp.fold(static_cast<std::uint64_t>(d.action));
+    fp.fold(d.accessors.size());
+    for (std::uint32_t a : d.accessors) {
+      fp.fold(a);
+    }
+    for (const auto& c : d.costs) {
+      fp.fold(static_cast<std::uint64_t>(c.action));
+      fp.foldBits(c.metricCost);
+    }
+  }
+  for (const calciom::core::GrantRecord& g : r.grants) {
+    fp.foldBits(g.time);
+    fp.fold(g.app);
+    fp.fold(g.resume ? 1u : 0u);
+  }
+  fp.foldString(toJson(r.divergence));
+  return fp.value();
+}
+
+struct TimedReplay {
+  ReplayResult result;
+  double wallSeconds = 0.0;
+  double eventsPerSecond = 0.0;
+  /// Simulated seconds replayed per wall second.
+  double simSpeedup = 0.0;
+};
+
+template <class Fn>
+TimedReplay timed(Fn&& run) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TimedReplay out;
+  out.result = run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+  if (out.wallSeconds > 0.0) {
+    out.eventsPerSecond =
+        static_cast<double>(out.result.engineEvents) / out.wallSeconds;
+    out.simSpeedup = out.result.traceSpanSeconds / out.wallSeconds;
+  }
+  return out;
+}
+
+constexpr double kInteractiveSpeedup = 43200.0;  // a month in < 1 minute
+
+const char* policyName(PolicyKind k) {
+  return calciom::core::toString(k);
+}
+
+void printReplay(const char* indent, const TimedReplay& t, bool last) {
+  const ReplayResult& r = t.result;
+  std::printf(
+      "%s{\"jobs\": %llu, \"decisions\": %zu, \"grants\": %zu, "
+      "\"captured_events\": %zu, \"engine_events\": %llu, "
+      "\"sync_rounds\": %llu, \"peak_stream_buffered\": %zu,\n"
+      "%s \"trace_span_s\": %.0f, \"wall_s\": %.6f, \"events_per_s\": %.0f, "
+      "\"sim_speedup\": %.0f, \"fingerprint\": \"%016llx\",\n"
+      "%s \"divergence\": %s}%s\n",
+      indent, static_cast<unsigned long long>(r.jobs), r.decisions.size(),
+      r.grants.size(), r.captured.size(),
+      static_cast<unsigned long long>(r.engineEvents),
+      static_cast<unsigned long long>(r.syncRounds), r.peakStreamBuffered,
+      indent, r.traceSpanSeconds, t.wallSeconds, t.eventsPerSecond,
+      t.simSpeedup,
+      static_cast<unsigned long long>(replayFingerprint(r)), indent,
+      toJson(r.divergence).c_str(), last ? "" : ",");
+}
+
+ReplayConfig monthConfig(PolicyKind policy) {
+  ReplayConfig cfg;
+  cfg.model.seed = 2014;  // the paper's year; any fixed seed does
+  cfg.policy = policy;
+  cfg.computeShards = 4;
+  cfg.syncHorizonSeconds = 30.0;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  if (argc > 1) {
+    if (argc == 2 && std::strcmp(argv[1], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke]\n"
+                   "  --smoke  2-day slice; exit 1 unless the session path\n"
+                   "           is exactly zero-divergent and the cluster\n"
+                   "           path is bit-identical at 1/2 workers\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  std::printf("{\n  \"bench\": \"perf_replay\",\n  \"mode\": \"%s\",\n",
+              smoke ? "smoke" : "full");
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+
+  if (smoke) {
+    ReplayConfig cfg = monthConfig(PolicyKind::Dynamic);
+    cfg.model.horizonSeconds = 3600.0 * 24 * 2;  // short slice
+    const TimedReplay session = timed([&] { return replaySession(cfg); });
+    ReplayConfig c1 = cfg;
+    c1.workers = 1;
+    const TimedReplay cluster1 = timed([&] { return replayCluster(c1); });
+    ReplayConfig c2 = cfg;
+    c2.workers = 2;
+    const TimedReplay cluster2 = timed([&] { return replayCluster(c2); });
+    std::printf("  \"smoke_session\":\n");
+    printReplay("    ", session, false);
+    std::printf("  \"smoke_cluster\": [\n");
+    printReplay("    ", cluster1, false);
+    printReplay("    ", cluster2, true);
+    std::printf("  ]\n}\n");
+    const std::uint64_t f1 = replayFingerprint(cluster1.result);
+    const std::uint64_t f2 = replayFingerprint(cluster2.result);
+    const bool sessionOk = session.result.divergence.exactlyZero() &&
+                           !session.result.decisions.empty();
+    const bool clusterOk =
+        f1 == f2 && !cluster1.result.decisions.empty() &&
+        toJson(cluster1.result.divergence) ==
+            toJson(cluster2.result.divergence);
+    std::fprintf(stderr,
+                 "smoke_replay: session zero-divergence %s; cluster "
+                 "fingerprints %016llx / %016llx -> %s\n",
+                 sessionOk ? "OK" : "BROKEN",
+                 static_cast<unsigned long long>(f1),
+                 static_cast<unsigned long long>(f2),
+                 clusterOk ? "OK" : "DETERMINISM REGRESSION");
+    return sessionOk && clusterOk ? 0 : 1;
+  }
+
+  const PolicyKind policies[] = {PolicyKind::Fcfs, PolicyKind::Interrupt,
+                                 PolicyKind::Dynamic};
+
+  // --- session path: the month against the same-engine arbiter.
+  std::printf("  \"session_month\": {\n");
+  for (std::size_t i = 0; i < 3; ++i) {
+    const TimedReplay t =
+        timed([&] { return replaySession(monthConfig(policies[i])); });
+    std::printf("    \"%s\":\n", policyName(policies[i]));
+    printReplay("      ", t, i + 1 == 3);
+    const bool zero = t.result.divergence.exactlyZero();
+    const bool interactive = t.simSpeedup >= kInteractiveSpeedup;
+    if (!zero) {
+      std::fprintf(stderr, "session_month/%s: DIVERGED from the oracle\n",
+                   policyName(policies[i]));
+    }
+    if (!interactive) {
+      std::fprintf(stderr,
+                   "session_month/%s: sim_speedup %.0f below the "
+                   "interactive gate %.0f\n",
+                   policyName(policies[i]), t.simSpeedup,
+                   kInteractiveSpeedup);
+    }
+    ok = ok && zero && interactive && !t.result.decisions.empty();
+  }
+  std::printf("  },\n");
+
+  // --- cluster path: the month through the GlobalArbiter, divergence vs
+  // --- the zero-sampling oracle is the measurement.
+  std::printf("  \"cluster_month\": {\n");
+  for (std::size_t i = 0; i < 3; ++i) {
+    const TimedReplay t =
+        timed([&] { return replayCluster(monthConfig(policies[i])); });
+    std::printf("    \"%s\":\n", policyName(policies[i]));
+    printReplay("      ", t, false);
+    const bool interactive = t.simSpeedup >= kInteractiveSpeedup;
+    if (!interactive) {
+      std::fprintf(stderr,
+                   "cluster_month/%s: sim_speedup %.0f below the "
+                   "interactive gate %.0f\n",
+                   policyName(policies[i]), t.simSpeedup,
+                   kInteractiveSpeedup);
+    }
+    // The cluster path samples at the sync horizon, so it must diverge
+    // (a zero report here would mean the oracle saw the barrier times,
+    // not the emission times) — and every oracle grant must find its
+    // online counterpart app-by-app.
+    const bool measured = !t.result.divergence.exactlyZero() &&
+                          t.result.divergence.matchedGrants > 0;
+    ok = ok && interactive && measured && !t.result.decisions.empty();
+    if (policies[i] == PolicyKind::Dynamic) {
+      ReplayConfig c2 = monthConfig(policies[i]);
+      c2.workers = 2;
+      const TimedReplay t2 = timed([&] { return replayCluster(c2); });
+      std::printf("    \"%s_workers2\":\n", policyName(policies[i]));
+      printReplay("      ", t2, true);
+      const bool deterministic =
+          replayFingerprint(t.result) == replayFingerprint(t2.result);
+      if (!deterministic) {
+        std::fprintf(stderr,
+                     "cluster_month/%s: fingerprint diverged across "
+                     "worker counts\n",
+                     policyName(policies[i]));
+      }
+      ok = ok && deterministic;
+    }
+  }
+  std::printf("  }\n}\n");
+  return ok ? 0 : 1;
+}

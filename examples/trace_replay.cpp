@@ -4,11 +4,20 @@
 // than the two-app scenario helper, and reports machine-wide efficiency
 // metrics for each policy -- the paper's "strategies naturally extend to
 // more than two applications" (Section III-A).
+//
+// The second half scales the same idea to a trace: a week of the synthetic
+// Intrepid workload streamed through the online coordination layer
+// (analysis::replay), with the decision-divergence report against the
+// offline bare-core oracle printed as JSON -- exactly zero on the
+// same-engine path, and a measured sampling drift on the sharded cluster
+// path.
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 #include <vector>
 
+#include "analysis/replay.hpp"
 #include "calciom/arbiter.hpp"
 #include "calciom/metrics.hpp"
 #include "calciom/session.hpp"
@@ -131,5 +140,36 @@ int main() {
             << "\nThe dynamic policy (optimizing the sum of interference "
                "factors) queues or\ninterrupts per arrival, keeping every "
                "application's factor bounded.\n";
+
+  // ---- Full-slice online replay: a week of Intrepid through the arbiter.
+  namespace replay = analysis::replay;
+  replay::ReplayConfig cfg;
+  cfg.model.seed = 2014;
+  cfg.model.horizonSeconds = 3600.0 * 24 * 7;
+  cfg.policy = core::PolicyKind::Dynamic;
+
+  std::cout << "\none week of the synthetic Intrepid trace, dynamic "
+               "policy, online vs offline oracle\n\n";
+  const replay::ReplayResult session = replay::replaySession(cfg);
+  std::cout << "same-engine session path (" << session.jobs << " jobs, "
+            << session.decisions.size() << " decisions):\n  "
+            << replay::toJson(session.divergence) << '\n';
+
+  cfg.computeShards = 4;
+  cfg.syncHorizonSeconds = 30.0;
+  const replay::ReplayResult cluster = replay::replayCluster(cfg);
+  std::cout << "\nglobal arbiter on a 4+1-shard cluster (30 s horizon, "
+            << cluster.syncRounds << " barriers):\n  "
+            << replay::toJson(cluster.divergence) << '\n';
+  if (!cluster.decisions.empty()) {
+    std::cout << "\nfirst cluster decisions (barrier-time stamped):\n";
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, cluster.decisions.size());
+         ++i) {
+      std::cout << "  " << core::toJson(cluster.decisions[i]) << '\n';
+    }
+  }
+  std::cout << "\nThe session path reproduces the oracle exactly; the "
+               "cluster path's grant-time\ndrift is the price of deciding "
+               "at sync-horizon barriers.\n";
   return 0;
 }

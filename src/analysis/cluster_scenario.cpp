@@ -14,7 +14,8 @@
 namespace calciom::analysis {
 
 ClusterRunResult runCluster(const ClusterScenarioConfig& cfg) {
-  CALCIOM_EXPECTS(!cfg.apps.empty());
+  CALCIOM_EXPECTS(!cfg.apps.empty() || cfg.prepare != nullptr ||
+                  !cfg.barrierHooks.empty());
   CALCIOM_EXPECTS(cfg.shards >= 1);
 
   platform::ClusterSpec spec = platform::shardedCluster(
@@ -66,25 +67,36 @@ ClusterRunResult runCluster(const ClusterScenarioConfig& cfg) {
         .spawn(apps[i]->run(*hooks, &out.apps[i]));
   }
 
+  for (sim::BarrierHook* hook : cfg.barrierHooks) {
+    cluster.addBarrierHook(hook);
+  }
+  if (cfg.prepare) {
+    cfg.prepare(cluster, arbiter);
+  }
+
   cluster.run(cfg.workers);
 
-  double firstStart = out.apps.front().firstStart;
-  double lastEnd = out.apps.front().lastEnd;
-  for (std::size_t i = 0; i < out.apps.size(); ++i) {
-    if (cfg.coordinated) {
-      out.apps[i].sessionWaitSeconds = sessions[i]->waitSeconds();
-      out.apps[i].sessionPausedSeconds = sessions[i]->pausedSeconds();
-      out.apps[i].pausesHonored = sessions[i]->pausesHonored();
+  if (!out.apps.empty()) {
+    double firstStart = out.apps.front().firstStart;
+    double lastEnd = out.apps.front().lastEnd;
+    for (std::size_t i = 0; i < out.apps.size(); ++i) {
+      if (cfg.coordinated) {
+        out.apps[i].sessionWaitSeconds = sessions[i]->waitSeconds();
+        out.apps[i].sessionPausedSeconds = sessions[i]->pausedSeconds();
+        out.apps[i].pausesHonored = sessions[i]->pausesHonored();
+      }
+      firstStart = std::min(firstStart, out.apps[i].firstStart);
+      lastEnd = std::max(lastEnd, out.apps[i].lastEnd);
     }
-    firstStart = std::min(firstStart, out.apps[i].firstStart);
-    lastEnd = std::max(lastEnd, out.apps[i].lastEnd);
+    out.spanSeconds = lastEnd - firstStart;
   }
-  out.spanSeconds = lastEnd - firstStart;
   out.bytesDelivered = storage.fs().totalDelivered();
   if (arbiter != nullptr) {
     out.decisions = arbiter->decisions();
     out.grantsIssued = arbiter->grantsIssued();
     out.pausesIssued = arbiter->pausesIssued();
+    out.grantLog = arbiter->core().grantLog();
+    out.cpuSecondsWaited = arbiter->core().cpuSecondsWaited();
   }
   out.storage = storage.stats();
   out.requestLog = storage.requestLog();

@@ -12,6 +12,7 @@
 /// tests/cluster_io_test.cpp).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -21,8 +22,13 @@
 #include "calciom/session.hpp"
 #include "platform/machine.hpp"
 #include "platform/shared_storage.hpp"
+#include "sim/barrier_hook.hpp"
 #include "sim/time.hpp"
 #include "workload/ior.hpp"
+
+namespace calciom {
+class GlobalArbiter;
+}  // namespace calciom
 
 namespace calciom::analysis {
 
@@ -51,6 +57,21 @@ struct ClusterScenarioConfig {
   /// traffic — the machine-wide "interfering" baseline.
   bool coordinated = true;
   unsigned workers = 1;
+
+  // ---- Custom drives (analysis/replay.hpp) -------------------------------
+  // runCluster is the one machine-wide campaign runner; drives that are not
+  // "N pinned IOR apps" plug in here instead of duplicating the
+  // cluster/storage/arbiter assembly. With a drive installed, `apps` may be
+  // empty.
+
+  /// Non-owning barrier hooks, registered (in order) after the arbiter's
+  /// own hook; must outlive the call. The trace-replay harness streams SWF
+  /// jobs into the shards from such a hook.
+  std::vector<sim::BarrierHook*> barrierHooks;
+  /// Invoked after the cluster, storage model and arbiter are built, before
+  /// the run: lets a drive spawn its own workload against the shards.
+  /// `arbiter` is nullptr when `coordinated` is false.
+  std::function<void(platform::Cluster&, GlobalArbiter* arbiter)> prepare;
 };
 
 struct ClusterRunResult {
@@ -62,6 +83,12 @@ struct ClusterRunResult {
   double bytesDelivered = 0.0;
   std::size_t grantsIssued = 0;
   std::size_t pausesIssued = 0;
+  /// Every Grant/Resume the arbiter issued, in order (empty when
+  /// uncoordinated). The replay harness aligns this against its oracle.
+  std::vector<core::GrantRecord> grantLog;
+  /// Core-seconds spent waiting on the arbiter's schedule
+  /// (ArbiterCore::cpuSecondsWaited; 0 when uncoordinated).
+  double cpuSecondsWaited = 0.0;
   platform::SharedStorageStats storage;
   /// Cross-shard write requests in exchange order (empty when every app
   /// sits on the storage shard).

@@ -8,7 +8,7 @@
 
 namespace calciom::core {
 
-namespace {
+namespace detail {
 
 void appendJsonNumber(std::string& out, double v) {
   char buf[32];
@@ -16,7 +16,9 @@ void appendJsonNumber(std::string& out, double v) {
   out += buf;
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::appendJsonNumber;
 
 std::string toJson(const DecisionRecord& d) {
   std::string out = "{\"time\": ";
@@ -169,6 +171,19 @@ void ArbiterCore::onComplete(sim::Time now, std::uint32_t app, Commands& out) {
   removeFrom(waitQueue_, app);
   removeFrom(pausedStack_, app);
 
+  // The completing application may itself be the interrupter whose grant
+  // is still settling: abandon the interrupt, exactly like a terminated
+  // interrupter (acks that still arrive resume via onPauseAck's
+  // no-interrupter path). Unreachable through the live Session protocol (an
+  // interrupter completes only after its grant) but reachable in offline
+  // oracle replays, where the captured stream's completion times come from
+  // a different schedule — without this, the settled interrupt would
+  // re-grant the completed application and stall the queue forever.
+  if (pendingInterrupter_ && *pendingInterrupter_ == app) {
+    pendingInterrupter_.reset();
+    pendingAcks_ = 0;
+  }
+
   // An accessor that finished before acknowledging its pause counts as an
   // implicit ack: nothing is left to pause.
   if (wasPauseRequested && pendingInterrupter_) {
@@ -193,6 +208,7 @@ void ArbiterCore::onPauseAck(sim::Time now, std::uint32_t app,
   it->second.progress = std::clamp(
       payload.getDoubleOr(msg::kProgress, it->second.progress), 0.0, 1.0);
   it->second.state = AppState::Paused;
+  it->second.pausedAt = now;
   removeFrom(accessors_, app);
   pausedStack_.push_back(app);
   if (pendingInterrupter_) {
@@ -216,15 +232,10 @@ void ArbiterCore::onApplicationTerminated(sim::Time now, std::uint32_t appId,
   if (it == apps_.end()) {
     return;
   }
-  // If the dying application was itself waiting for accessors to pause,
-  // abandon the interrupt: acks that still arrive resume immediately via
-  // onPauseAck's no-interrupter path.
-  if (pendingInterrupter_ && *pendingInterrupter_ == appId) {
-    pendingInterrupter_.reset();
-    pendingAcks_ = 0;
-  }
   // Equivalent to an implicit Complete: frees access, queue position and
-  // pause state, and lets the schedule make progress.
+  // pause state, lets the schedule make progress, and — if the dying
+  // application was itself waiting for accessors to pause — abandons the
+  // interrupt (onComplete's pending-interrupter reset).
   onComplete(now, appId, out);
   apps_.erase(appId);
 }
@@ -235,6 +246,9 @@ void ArbiterCore::grant(sim::Time now, std::uint32_t app, Commands& out) {
   rec.grantTime = now;
   accessors_.push_back(app);
   ++grants_;
+  grantLog_.push_back(GrantRecord{now, app, /*resume=*/false});
+  cpuSecondsWaited_ +=
+      (now - rec.requestTime) * static_cast<double>(rec.desc.cores);
   out.push_back(ArbiterCommand{app, msg::kGrant});
 }
 
@@ -250,6 +264,12 @@ void ArbiterCore::beginInterrupt(std::uint32_t requester, Commands& out) {
       ++pendingAcks_;
       ++pauses_;
       out.push_back(ArbiterCommand{id, msg::kPause});
+    } else if (rec.state == AppState::PauseRequested) {
+      // A previous interrupt was abandoned (its requester completed or
+      // terminated before the pause settled) and this accessor's ack is
+      // still owed: it counts toward the new interrupt, without a second
+      // Pause command.
+      ++pendingAcks_;
     }
   }
   CALCIOM_ENSURES(pendingAcks_ > 0);
@@ -267,6 +287,9 @@ void ArbiterCore::admitNext(sim::Time now, Commands& out) {
     rec.state = AppState::Accessing;
     rec.grantTime = now;
     accessors_.push_back(app);
+    grantLog_.push_back(GrantRecord{now, app, /*resume=*/true});
+    cpuSecondsWaited_ +=
+        (now - rec.pausedAt) * static_cast<double>(rec.desc.cores);
     out.push_back(ArbiterCommand{app, msg::kResume});
     return;
   }

@@ -73,10 +73,31 @@ struct DecisionRecord {
   std::vector<ActionCost> costs;  // empty unless the policy exposes them
 };
 
+namespace detail {
+/// Appends `v` as a JSON number (%.9g) — the one formatting rule every
+/// core::toJson-style dump in the codebase shares (decision traces here,
+/// divergence reports in analysis/replay.cpp).
+void appendJsonNumber(std::string& out, double v);
+}  // namespace detail
+
 /// Single-line JSON dump of one decision (decision traces in
 /// examples/policy_explorer.cpp and the bench fingerprints). `costs` terms
 /// are emitted only when the policy populated them.
 [[nodiscard]] std::string toJson(const DecisionRecord& d);
+
+/// One access-granting transition: a Grant (silent, policy-decided or
+/// queue-admitted) or a post-pause Resume. The full grant schedule — what
+/// the replay divergence metrics align between an online run and its
+/// offline-oracle replay (analysis/replay.hpp): decisions alone miss silent
+/// grants and say nothing about *when* access actually started.
+struct GrantRecord {
+  sim::Time time = 0.0;
+  std::uint32_t app = 0;
+  /// true for a Resume after a pause, false for a fresh Grant.
+  bool resume = false;
+
+  bool operator==(const GrantRecord&) const = default;
+};
 
 /// An outbound instruction of the decision core: deliver `type` (one of
 /// msg::kGrant / kPause / kResume) to application `app`. How — and at what
@@ -123,6 +144,18 @@ class ArbiterCore {
   }
   [[nodiscard]] std::size_t grantsIssued() const noexcept { return grants_; }
   [[nodiscard]] std::size_t pausesIssued() const noexcept { return pauses_; }
+  /// Every Grant/Resume in issue order (see GrantRecord).
+  [[nodiscard]] const std::vector<GrantRecord>& grantLog() const noexcept {
+    return grantLog_;
+  }
+  /// Core-seconds applications spent unable to move data because of this
+  /// arbiter's schedule: (grant − inform) · cores summed over grants, plus
+  /// (resume − pause ack) · cores summed over resumes. The schedule-level
+  /// counterpart of the CpuSecondsWasted efficiency metric; the replay
+  /// divergence report deltas it between the online run and the oracle.
+  [[nodiscard]] double cpuSecondsWaited() const noexcept {
+    return cpuSecondsWaited_;
+  }
 
   /// Introspection for tests.
   [[nodiscard]] std::vector<std::uint32_t> currentAccessors() const {
@@ -143,6 +176,7 @@ class ArbiterCore {
     double progress = 0.0;
     sim::Time requestTime = 0.0;
     sim::Time grantTime = 0.0;
+    sim::Time pausedAt = 0.0;
   };
 
   [[nodiscard]] PolicyContext buildContext(sim::Time now,
@@ -160,8 +194,10 @@ class ArbiterCore {
   std::optional<std::uint32_t> pendingInterrupter_;
   int pendingAcks_ = 0;
   std::vector<DecisionRecord> decisions_;
+  std::vector<GrantRecord> grantLog_;
   std::size_t grants_ = 0;
   std::size_t pauses_ = 0;
+  double cpuSecondsWaited_ = 0.0;
 };
 
 }  // namespace calciom::core

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file capture.hpp
+/// Coordination-event capture: the application→arbiter side of a campaign
+/// recorded as it is emitted, with true emission timestamps. This is the
+/// input of the offline oracle (analysis/replay.hpp): a bare `ArbiterCore`
+/// fed a captured stream reproduces what an ideal, zero-sampling arbiter
+/// would have decided for the same workload, and the divergence between
+/// that schedule and the online one quantifies what the transport (message
+/// latency, sync-horizon sampling) cost — the paper's claim that runtime
+/// Inform/Grant/Pause tracks the offline schedule, made measurable.
+///
+/// Capture is shard-local and append-only: each `core::Session` records
+/// into the `EventLog` it was pointed at (`Session::captureTo`), so in a
+/// sharded campaign every log's order is a pure function of its shard's
+/// deterministic event stream. `mergeEventLogs` combines per-shard logs
+/// into one globally ordered stream — ties at equal emission time break by
+/// log (shard) order, then per-log arrival order, so the merge is
+/// bit-identical for any worker-thread count.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "mpi/info.hpp"
+#include "sim/time.hpp"
+
+namespace calciom::core {
+
+/// One application→arbiter message as emitted by a Session: the full wire
+/// payload (msg::kType included) at the session engine's clock.
+struct CapturedEvent {
+  sim::Time time = 0.0;
+  std::uint32_t app = 0;
+  mpi::Info payload;
+};
+
+/// Append-only, shard-local capture log. Not thread-safe by design: one log
+/// belongs to one shard (one engine), like every other shard-owned
+/// component.
+class EventLog {
+ public:
+  void record(sim::Time t, std::uint32_t app, mpi::Info payload) {
+    events_.push_back(CapturedEvent{t, app, std::move(payload)});
+  }
+
+  [[nodiscard]] const std::vector<CapturedEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Moves the log out (month-scale logs are worth not copying); the log
+  /// is empty afterwards.
+  [[nodiscard]] std::vector<CapturedEvent> release() noexcept {
+    return std::move(events_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<CapturedEvent> events_;
+};
+
+/// Deterministic multi-log merge: ascending emission time; ties break by
+/// position in `logs`, then by per-log arrival order. Each log must already
+/// be time-ordered (true for any log filled by one engine's sessions —
+/// engine clocks never run backwards).
+[[nodiscard]] inline std::vector<CapturedEvent> mergeEventLogs(
+    const std::vector<const EventLog*>& logs) {
+  std::vector<CapturedEvent> merged;
+  std::size_t total = 0;
+  for (const EventLog* log : logs) {
+    total += log->size();
+  }
+  merged.reserve(total);
+  for (const EventLog* log : logs) {
+    merged.insert(merged.end(), log->events().begin(), log->events().end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const CapturedEvent& a, const CapturedEvent& b) {
+                     return a.time < b.time;
+                   });
+  return merged;
+}
+
+}  // namespace calciom::core

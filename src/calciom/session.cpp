@@ -39,12 +39,12 @@ void Session::inform(const io::PhaseInfo& phase) {
     desc.appName = cfg_.appName;
   }
   mpi::Info wire = desc.toInfo();
-  wire.set(msg::kType, msg::kInform);
   for (const mpi::Info& extra : preparedStack_) {
     wire.merge(extra);
   }
   ++informsSent_;
-  ports_.send(msg::arbiterPort(), cfg_.appId, std::move(wire));
+  // Through sendToArbiter so the replay capture sees informs too.
+  sendToArbiter(msg::kInform, std::move(wire));
 }
 
 sim::Task Session::wait() {
@@ -112,6 +112,9 @@ void Session::onMessage(std::uint32_t /*from*/, mpi::Info payload) {
 
 void Session::sendToArbiter(const char* type, mpi::Info payload) {
   payload.set(msg::kType, type);
+  if (capture_ != nullptr) {
+    capture_->record(engine_.now(), cfg_.appId, payload);
+  }
   ports_.send(msg::arbiterPort(), cfg_.appId, std::move(payload));
 }
 

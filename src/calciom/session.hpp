@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "calciom/arbiter.hpp"
+#include "calciom/capture.hpp"
 #include "calciom/descriptor.hpp"
 #include "io/hooks.hpp"
 #include "mpi/info.hpp"
@@ -95,6 +96,14 @@ class Session final : public io::IoCoordinationHooks {
   [[nodiscard]] int informsSent() const noexcept { return informsSent_; }
   [[nodiscard]] const SessionConfig& config() const noexcept { return cfg_; }
 
+  // ---- Replay capture (analysis/replay.hpp) ------------------------------
+
+  /// Mirrors every arbiter-bound message (Inform / Release / Complete /
+  /// PauseAck, full wire payload) into `log` at its emission time, before
+  /// any transport latency. nullptr (the default) disables capture. The log
+  /// must belong to this session's shard and outlive the session.
+  void captureTo(EventLog* log) noexcept { capture_ = log; }
+
  private:
   void onMessage(std::uint32_t from, mpi::Info payload);
   void sendToArbiter(const char* type, mpi::Info payload = {});
@@ -111,6 +120,7 @@ class Session final : public io::IoCoordinationHooks {
   double pausedSeconds_ = 0.0;
   int pausesHonored_ = 0;
   int informsSent_ = 0;
+  EventLog* capture_ = nullptr;
 };
 
 }  // namespace calciom::core

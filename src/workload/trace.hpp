@@ -10,8 +10,13 @@
 /// running concurrently), and the same parser/analysis runs on either.
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <istream>
+#include <optional>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -41,7 +46,10 @@ struct SwfJob {
 [[nodiscard]] std::vector<SwfJob> parseSwf(std::istream& in);
 [[nodiscard]] std::vector<SwfJob> parseSwfText(const std::string& text);
 
-/// Serializes jobs back to SWF lines (unused fields written as -1).
+/// Serializes jobs back to SWF lines (unused fields written as -1). Values
+/// are printed with enough digits to round-trip doubles exactly, so
+/// `toSwfText(parseSwfText(x))` is a fixed point and a dumped trace replays
+/// bit-identically (tests/workload_trace_test.cpp pins both).
 [[nodiscard]] std::string toSwfText(const std::vector<SwfJob>& jobs);
 
 /// Synthetic Intrepid-like workload: power-of-two job sizes with the mass
@@ -56,7 +64,58 @@ struct IntrepidModel {
   double runtimeLogMean = 8.0;   // exp(8) ~ 50 min median
   double runtimeLogSigma = 1.2;
 
+  /// The whole schedule materialized (IntrepidStream collected). Fine for
+  /// figure-scale slices; month-scale replays should stream instead.
   [[nodiscard]] std::vector<SwfJob> generate() const;
+};
+
+/// Streams an IntrepidModel schedule one job at a time, in start order,
+/// with bounded memory: only the running set and the FCFS waiting queue are
+/// ever held, never the whole horizon (analysis::replay drives month-scale
+/// online replays from this). Emits exactly the jobs `generate()` returns,
+/// in the same order, with identical fields — `generate()` is implemented
+/// as this stream collected into a vector.
+///
+/// Jobs wider than the whole machine can never start under the FCFS rule;
+/// the stream rejects such a head-of-queue job with a PreconditionError
+/// instead of stalling the schedule forever.
+class IntrepidStream {
+ public:
+  explicit IntrepidStream(IntrepidModel model);
+
+  /// Next scheduled job (waitSeconds resolved), or nullopt when every job
+  /// of the horizon has been emitted.
+  [[nodiscard]] std::optional<SwfJob> next();
+
+  [[nodiscard]] std::uint64_t jobsEmitted() const noexcept {
+    return emitted_;
+  }
+  /// High-water mark of scheduler state held by the stream: waiting jobs
+  /// plus running-set entries — the bounded-memory claim (never the whole
+  /// horizon), pinned by tests and reported by the replay benches.
+  [[nodiscard]] std::size_t peakBuffered() const noexcept {
+    return peakBuffered_;
+  }
+
+ private:
+  /// Submission time of the next arrival, or +inf when the horizon is done.
+  [[nodiscard]] double peekArrivalTime();
+
+  IntrepidModel model_;
+  sim::Xoshiro256 rng_;
+  double arrivalClock_ = 0.0;
+  std::int64_t nextId_ = 1;
+  bool arrivalsDone_ = false;
+  std::optional<SwfJob> pendingArrival_;
+  // FCFS scheduler state (mirrors the original batch scheduler).
+  using EndEvent = std::pair<double, int>;  // (end time, cores)
+  std::priority_queue<EndEvent, std::vector<EndEvent>, std::greater<>>
+      running_;
+  std::deque<SwfJob> waiting_;
+  int freeCores_ = 0;
+  double now_ = 0.0;
+  std::uint64_t emitted_ = 0;
+  std::size_t peakBuffered_ = 0;
 };
 
 /// Time-weighted distribution of the number of concurrently running jobs

@@ -1,5 +1,7 @@
 // Unit tests for SWF parsing/generation, the FCFS scheduler, concurrency
-// analysis and the Section II-B I/O activity probability.
+// analysis and the Section II-B I/O activity probability, plus the
+// serialize/parse round-trip property and the streaming generator
+// (IntrepidStream) the month-scale replays depend on.
 
 #include "workload/trace.hpp"
 
@@ -7,11 +9,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
 
 namespace {
 
 using calciom::workload::concurrencyDistribution;
 using calciom::workload::IntrepidModel;
+using calciom::workload::IntrepidStream;
 using calciom::workload::ioActivityProbability;
 using calciom::workload::parseSwfText;
 using calciom::workload::SwfJob;
@@ -53,6 +60,128 @@ TEST(SwfParseTest, RoundTripThroughText) {
   EXPECT_DOUBLE_EQ(back[0].submitSeconds, 12.5);
   EXPECT_DOUBLE_EQ(back[0].runSeconds, 600.0);
   EXPECT_EQ(back[0].processors, 4096);
+}
+
+// Property: serialization is a fixed point of dump∘parse over randomized
+// IntrepidModel batches — dumped text parses back to the exact same jobs
+// (bit-equal doubles) and re-dumping reproduces the text byte-for-byte, so
+// a captured trace replays identically after a round trip through disk.
+TEST(SwfRoundTripPropertyTest, DumpParseIsAFixedPointOverRandomBatches) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1337ull, 0xC1C10ull}) {
+    IntrepidModel model;
+    model.seed = seed;
+    model.horizonSeconds = 3600.0 * 24;
+    const std::vector<SwfJob> jobs = model.generate();
+    ASSERT_GT(jobs.size(), 100u) << "seed " << seed;
+
+    const std::string text = toSwfText(jobs);
+    const std::vector<SwfJob> back = parseSwfText(text);
+    ASSERT_EQ(back.size(), jobs.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(back[i].jobId, jobs[i].jobId);
+      EXPECT_EQ(back[i].submitSeconds, jobs[i].submitSeconds);
+      EXPECT_EQ(back[i].waitSeconds, jobs[i].waitSeconds);
+      EXPECT_EQ(back[i].runSeconds, jobs[i].runSeconds);
+      EXPECT_EQ(back[i].processors, jobs[i].processors);
+    }
+    EXPECT_EQ(toSwfText(back), text) << "seed " << seed;
+  }
+}
+
+// The header contract for irregular input: `;`/`#` comment lines and
+// malformed records (short lines, non-numeric fields) are skipped;
+// trailing fields beyond the five the parser uses are ignored.
+TEST(SwfRoundTripPropertyTest, MalformedCommentAndShortLinesPerContract) {
+  const std::string text =
+      "; comment\n"
+      "#another\n"
+      "\n"                    // blank line
+      "1 2 3\n"               // short: fewer than five fields
+      "nonsense here too x\n"  // non-numeric
+      "2 0.5 1.5 100 64\n"     // valid
+      "3 1 1 50 32 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n"  // full SWF
+      "4 1 1 50\n";            // short: runtime but no processors
+  const auto jobs = parseSwfText(text);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].jobId, 2);
+  EXPECT_DOUBLE_EQ(jobs[0].submitSeconds, 0.5);
+  EXPECT_EQ(jobs[1].jobId, 3);
+  EXPECT_EQ(jobs[1].processors, 32);
+}
+
+// Independent FCFS oracle: re-derives every job's wait from (submit, run,
+// processors) alone, with a different algorithm than the stream's
+// event-interleaved scheduler — a job starts at the first instant all
+// earlier submissions have started and enough cores are free (no
+// backfilling). Pins the scheduling semantics so a stream regression
+// cannot hide behind generate() (which is the stream collected).
+TEST(IntrepidStreamTest, FcfsWaitsMatchIndependentOracle) {
+  for (std::uint64_t seed : {3ull, 42ull, 0xFCF5ull}) {
+    IntrepidModel model;
+    model.seed = seed;
+    model.horizonSeconds = 3600.0 * 24 * 2;
+    model.meanInterarrivalSeconds = 60.0;  // stress the packing
+    const std::vector<SwfJob> jobs = model.generate();
+    ASSERT_GT(jobs.size(), 1000u);
+
+    using End = std::pair<double, int>;  // (end time, cores)
+    std::priority_queue<End, std::vector<End>, std::greater<>> ends;
+    int freeCores = model.machineCores;
+    double now = 0.0;
+    for (const SwfJob& j : jobs) {
+      now = std::max(now, j.submitSeconds);
+      while (freeCores < j.processors) {
+        ASSERT_FALSE(ends.empty()) << "oracle wedged at job " << j.jobId;
+        now = std::max(now, ends.top().first);
+        freeCores += ends.top().second;
+        ends.pop();
+      }
+      EXPECT_EQ(j.waitSeconds, now - j.submitSeconds)
+          << "seed " << seed << " job " << j.jobId;
+      freeCores -= j.processors;
+      ends.push({now + j.runSeconds, j.processors});
+    }
+  }
+}
+
+// API contract: generate() is the stream collected — same jobs, same
+// order, same fields (the semantics themselves are pinned by the
+// independent oracle above).
+TEST(IntrepidStreamTest, StreamMatchesGenerateExactly) {
+  for (std::uint64_t seed : {5ull, 42ull, 99ull}) {
+    IntrepidModel model;
+    model.seed = seed;
+    model.horizonSeconds = 3600.0 * 24 * 2;
+    const std::vector<SwfJob> batch = model.generate();
+    IntrepidStream stream(model);
+    std::size_t i = 0;
+    while (std::optional<SwfJob> job = stream.next()) {
+      ASSERT_LT(i, batch.size());
+      EXPECT_EQ(job->jobId, batch[i].jobId);
+      EXPECT_EQ(job->submitSeconds, batch[i].submitSeconds);
+      EXPECT_EQ(job->waitSeconds, batch[i].waitSeconds);
+      EXPECT_EQ(job->runSeconds, batch[i].runSeconds);
+      EXPECT_EQ(job->processors, batch[i].processors);
+      ++i;
+    }
+    EXPECT_EQ(i, batch.size());
+    EXPECT_EQ(stream.jobsEmitted(), batch.size());
+    EXPECT_EQ(stream.next(), std::nullopt);  // stays drained
+  }
+}
+
+TEST(IntrepidStreamTest, PeakBufferedStaysBelowTheHorizonTotal) {
+  IntrepidModel model;
+  model.seed = 2014;
+  // A full month: the stream must never hold the whole horizon.
+  IntrepidStream stream(model);
+  std::uint64_t jobs = 0;
+  while (stream.next().has_value()) {
+    ++jobs;
+  }
+  ASSERT_GT(jobs, 10000u);
+  EXPECT_GT(stream.peakBuffered(), 0u);
+  EXPECT_LT(stream.peakBuffered(), jobs);
 }
 
 TEST(IntrepidModelTest, AboutHalfTheJobsAreAtMost2048Cores) {
