@@ -7,11 +7,34 @@
 /// crossovers, rough factors) and exits non-zero on a violation, so the
 /// bench suite doubles as a regression harness for the reproduction.
 
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
 
 namespace benchutil {
+
+/// Hardware concurrency as the benches report it (0 is normalized to 1, so
+/// "executor_overhead_only" style caveats can divide by it).
+inline unsigned hardwareThreads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+/// Opening lines of a perf bench's JSON object: bench name, mode, the host's
+/// hardware_threads (machine-readable form of the ROADMAP
+/// "executor_overhead_only" caveat — on a 1-thread container a speedup
+/// column measures scheduling overhead, not parallelism), and the fault-plan
+/// seed the run was driven by (0 = fault-free), so a degradation curve can
+/// be replayed bit-exactly from the header alone.
+inline void jsonHeader(const char* bench, const char* mode,
+                       std::uint64_t faultSeed = 0) {
+  std::printf("{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n", bench, mode);
+  std::printf("  \"hardware_threads\": %u,\n", hardwareThreads());
+  std::printf("  \"fault_seed\": %llu,\n",
+              static_cast<unsigned long long>(faultSeed));
+}
 
 inline void header(const std::string& figure, const std::string& title,
                    const std::string& setup) {

@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "analysis/cluster_scenario.hpp"
+#include "bench/bench_util.hpp"
 #include "bench/flow_scenarios.hpp"
 #include "calciom/global_arbiter.hpp"
 #include "calciom/policy.hpp"
@@ -554,10 +555,7 @@ int main(int argc, char** argv) {
   constexpr double kWarmup = 2.05;
 
   bool ok = true;
-  std::printf("{\n  \"bench\": \"perf_cluster\",\n  \"mode\": \"%s\",\n",
-              smoke ? "smoke" : "full");
-  std::printf("  \"hardware_threads\": %u,\n",
-              std::thread::hardware_concurrency());
+  benchutil::jsonHeader("perf_cluster", smoke ? "smoke" : "full");
 
   if (smoke) {
     const FlowTier tier{4, 64, 1000, 2, 0xC1C10ull};

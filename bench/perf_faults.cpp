@@ -1,0 +1,282 @@
+// Degradation curve of the chaos-hardened coordination stack (fault::Plan +
+// fault::Injector + leases/heartbeats/degradation in the protocol), JSON on
+// stdout (committed baseline: BENCH_faults.json).
+//
+// Full mode, three sweeps over the synthetic contended campaign of
+// src/fault/chaos.hpp (hardened protocol, Fcfs policy unless noted):
+//
+//  * loss_sweep — message-loss probability in {0, 1, 5, 10, 20}%, both
+//    transports. Records aggregate throughput (rounds / simulated second),
+//    cpuSecondsWaited, lease reclaims, Inform retries observed as arbiter
+//    decisions, and how many sessions fell back to uncoordinated I/O. The
+//    paper's "graceful" claim, quantified: the gate fails the bench if
+//    throughput at 10% loss drops below half of fault-free, if any run
+//    fails to complete, or if a degraded session does not finish its I/O.
+//
+//  * crash_sweep — 0..3 of 4 applications crash mid-campaign (alternating
+//    reported-to-the-scheduler and silent, so both the discard path and the
+//    lease-expiry path are exercised). Gate: every surviving app completes
+//    and the arbiter drains to Idle — a crash may slow the others down but
+//    never wedges them.
+//
+//  * chaos_mix — a few chaosPlan() seeds (full drop/delay/duplicate/reorder
+//    /blackout/crash mix) on the Cluster transport at 1 and 2 workers; the
+//    fingerprints must agree pairwise (fault schedules are derived by pure
+//    hashing, so determinism is worker-count invariant even mid-chaos).
+//
+// `--smoke` runs the CI tripwire: the zero-fault bit-identity gate (same
+// campaign with the injector installed-but-disabled vs not installed at all
+// must produce identical decision-stream/grant-log fingerprints, wait times
+// and grant counts, on both transports) plus one fixed chaos seed that must
+// terminate with all survivors complete. Exits non-zero on any violation.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "calciom/policy.hpp"
+#include "fault/chaos.hpp"
+#include "fault/injector.hpp"
+
+namespace {
+
+using calciom::core::PolicyKind;
+using calciom::fault::ChaosConfig;
+using calciom::fault::ChaosResult;
+using calciom::fault::chaosPlan;
+using calciom::fault::ChaosTransport;
+using calciom::fault::CrashSpec;
+using calciom::fault::Plan;
+using calciom::fault::runChaos;
+
+/// The sweep campaign: enough apps and rounds that serialization, pauses
+/// and retries all happen, small enough that a 5-point sweep is cheap.
+ChaosConfig sweepConfig(ChaosTransport transport) {
+  ChaosConfig cfg;
+  cfg.transport = transport;
+  cfg.policy = PolicyKind::Fcfs;
+  cfg.apps = 4;
+  cfg.phases = 3;
+  cfg.roundsPerPhase = 4;
+  cfg.roundSeconds = 0.4;
+  cfg.startStaggerSeconds = 0.3;
+  cfg.idleSeconds = 0.6;
+  return cfg;
+}
+
+const char* transportName(ChaosTransport t) {
+  return t == ChaosTransport::SameEngine ? "same_engine" : "cluster";
+}
+
+bool runCompleted(const ChaosResult& r) {
+  return r.survivorsCompleted == r.survivors && r.arbiterIdle &&
+         r.degradedAllCompleted;
+}
+
+/// One JSON object per run; `extra` is spliced in as the leading fields
+/// (e.g. "\"loss\": 0.10, ") so sweep points stay a single flat object.
+void printChaosRun(const char* indent, const std::string& extra,
+                   const ChaosResult& r, bool last) {
+  std::printf(
+      "%s{%s\"survivors\": %d, \"completed\": %d, \"degraded\": %d, "
+      "\"rounds\": %llu, \"sim_s\": %.3f, \"tput_rounds_per_s\": %.3f, "
+      "\"cpu_s_waited\": %.3f, \"lease_reclaims\": %zu, "
+      "\"msgs_seen\": %llu, \"msgs_dropped\": %llu, "
+      "\"blackout_discarded\": %llu, \"fingerprint\": \"%016llx\", "
+      "\"complete\": %s}%s\n",
+      indent, extra.c_str(), r.survivors, r.survivorsCompleted,
+      r.degradedSessions,
+      static_cast<unsigned long long>(r.roundsCompleted), r.simSeconds,
+      r.throughputRoundsPerSecond, r.cpuSecondsWaited, r.leaseReclaims,
+      static_cast<unsigned long long>(r.messagesSeen),
+      static_cast<unsigned long long>(r.messagesDropped),
+      static_cast<unsigned long long>(r.blackoutDiscarded),
+      static_cast<unsigned long long>(r.fingerprint),
+      runCompleted(r) ? "true" : "false", last ? "" : ",");
+}
+
+/// Zero-fault bit-identity on one transport: installed-but-disabled
+/// injector vs no injector at all. Everything deterministic must agree.
+bool zeroFaultGate(ChaosTransport transport) {
+  ChaosConfig with = sweepConfig(transport);
+  with.installInjector = true;  // Plan{} is disabled: a pure pass-through
+  ChaosConfig without = with;
+  without.installInjector = false;
+  const ChaosResult a = runChaos(with);
+  const ChaosResult b = runChaos(without);
+  const bool ok = a.fingerprint == b.fingerprint && a.grants == b.grants &&
+                  a.decisionCount == b.decisionCount &&
+                  a.cpuSecondsWaited == b.cpuSecondsWaited &&
+                  a.messagesDropped == 0 && runCompleted(a) &&
+                  runCompleted(b);
+  std::printf(
+      "    {\"transport\": \"%s\", \"fingerprints\": [\"%016llx\", "
+      "\"%016llx\"], \"grants\": [%zu, %zu], \"bit_identical\": %s}%s\n",
+      transportName(transport), static_cast<unsigned long long>(a.fingerprint),
+      static_cast<unsigned long long>(b.fingerprint), a.grants, b.grants,
+      ok ? "true" : "false",
+      transport == ChaosTransport::SameEngine ? "," : "");
+  std::fprintf(stderr, "zero_fault[%s]: %016llx / %016llx -> %s\n",
+               transportName(transport),
+               static_cast<unsigned long long>(a.fingerprint),
+               static_cast<unsigned long long>(b.fingerprint),
+               ok ? "OK" : "BIT-IDENTITY REGRESSION");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  if (argc > 1) {
+    if (argc == 2 && std::strcmp(argv[1], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke]\n"
+                   "  --smoke  zero-fault bit-identity gate + one fixed\n"
+                   "           chaos seed; exit 1 on any violation\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // The fixed seed every smoke run replays; full mode sweeps more.
+  constexpr std::uint64_t kSmokeSeed = 0xC4A05011ull;
+
+  bool ok = true;
+  benchutil::jsonHeader("perf_faults", smoke ? "smoke" : "full", kSmokeSeed);
+
+  if (smoke) {
+    std::printf("  \"zero_fault_gate\": [\n");
+    const bool zfSame = zeroFaultGate(ChaosTransport::SameEngine);
+    const bool zfCluster = zeroFaultGate(ChaosTransport::Cluster);
+    std::printf("  ],\n");
+    // One fixed chaos seed on each transport: liveness + safety sanity.
+    ChaosConfig cfg = sweepConfig(ChaosTransport::SameEngine);
+    cfg.plan = chaosPlan(kSmokeSeed, cfg.apps);
+    const ChaosResult same = runChaos(cfg);
+    cfg = sweepConfig(ChaosTransport::Cluster);
+    cfg.plan = chaosPlan(kSmokeSeed, cfg.apps);
+    const ChaosResult clus = runChaos(cfg);
+    std::printf("  \"chaos_seed\": {\n    \"seed\": %llu,\n    \"runs\": [\n",
+                static_cast<unsigned long long>(kSmokeSeed));
+    printChaosRun("      ", "\"transport\": \"same_engine\", ", same, false);
+    printChaosRun("      ", "\"transport\": \"cluster\", ", clus, true);
+    std::printf("    ]\n  }\n}\n");
+    const bool chaosOk = runCompleted(same) && runCompleted(clus);
+    std::fprintf(stderr, "chaos_seed %llx: %s\n",
+                 static_cast<unsigned long long>(kSmokeSeed),
+                 chaosOk ? "OK" : "LIVENESS REGRESSION");
+    ok = zfSame && zfCluster && chaosOk;
+    return ok ? 0 : 1;
+  }
+
+  // --- loss sweep: throughput and wasted CPU vs message-loss probability.
+  const double lossPoints[] = {0.0, 0.01, 0.05, 0.10, 0.20};
+  for (const ChaosTransport transport :
+       {ChaosTransport::SameEngine, ChaosTransport::Cluster}) {
+    std::printf("  \"loss_sweep_%s\": {\n    \"points\": [\n",
+                transportName(transport));
+    double tputFree = 0.0;
+    double tputAt10 = 0.0;
+    bool complete = true;
+    for (std::size_t i = 0; i < 5; ++i) {
+      ChaosConfig cfg = sweepConfig(transport);
+      cfg.plan.seed = kSmokeSeed + i;
+      cfg.plan.dropProbability = lossPoints[i];
+      // A little delay jitter rides along so loss is not the only fault.
+      cfg.plan.delayProbability = lossPoints[i] > 0.0 ? 0.1 : 0.0;
+      cfg.plan.maxDelaySeconds = 0.25;
+      const ChaosResult r = runChaos(cfg);
+      char extra[32];
+      std::snprintf(extra, sizeof extra, "\"loss\": %.2f, ", lossPoints[i]);
+      printChaosRun("      ", extra, r, i + 1 == 5);
+      if (lossPoints[i] == 0.0) {
+        tputFree = r.throughputRoundsPerSecond;
+      }
+      if (lossPoints[i] == 0.10) {
+        tputAt10 = r.throughputRoundsPerSecond;
+      }
+      complete = complete && runCompleted(r);
+    }
+    // The "graceful, no cliff-to-deadlock" gate: 10% loss costs at most
+    // half the fault-free throughput, and everything still completes.
+    const bool graceful = tputAt10 >= 0.5 * tputFree;
+    std::printf("    ],\n    \"tput_free\": %.3f, \"tput_at_10pct\": %.3f,\n",
+                tputFree, tputAt10);
+    std::printf("    \"graceful\": %s, \"all_complete\": %s\n  },\n",
+                graceful ? "true" : "false", complete ? "true" : "false");
+    std::fprintf(stderr, "loss_sweep[%s]: tput %.3f -> %.3f @10%% loss -> %s\n",
+                 transportName(transport), tputFree, tputAt10,
+                 graceful && complete ? "OK" : "DEGRADATION CLIFF");
+    ok = ok && graceful && complete;
+  }
+
+  // --- crash sweep: 0..3 of 4 apps die mid-campaign, reported / silent
+  // --- alternating. Survivors must always finish; the arbiter must drain.
+  {
+    std::printf("  \"crash_sweep\": {\n    \"points\": [\n");
+    bool complete = true;
+    for (int crashes = 0; crashes <= 3; ++crashes) {
+      ChaosConfig cfg = sweepConfig(ChaosTransport::SameEngine);
+      cfg.plan.seed = kSmokeSeed ^ static_cast<std::uint64_t>(crashes);
+      for (int c = 0; c < crashes; ++c) {
+        // App ids are 1-based in the harness; stagger the deaths across
+        // the campaign so crashes land in different protocol states.
+        cfg.plan.crashes.push_back(
+            CrashSpec{static_cast<std::uint32_t>(c + 1),
+                      0.9 + 1.1 * static_cast<double>(c), c % 2 == 0});
+      }
+      const ChaosResult r = runChaos(cfg);
+      char extra[32];
+      std::snprintf(extra, sizeof extra, "\"crashes\": %d, ", crashes);
+      printChaosRun("      ", extra, r, crashes == 3);
+      complete = complete && runCompleted(r);
+    }
+    std::printf("    ],\n    \"all_survivors_complete\": %s\n  },\n",
+                complete ? "true" : "false");
+    std::fprintf(stderr, "crash_sweep: %s\n",
+                 complete ? "OK" : "SURVIVOR STALLED");
+    ok = ok && complete;
+  }
+
+  // --- chaos mix: full fault cocktail on the Cluster transport, worker-
+  // --- count invariance of the decision-stream fingerprint under faults.
+  {
+    std::printf("  \"chaos_mix\": {\n    \"seeds\": [\n");
+    bool deterministic = true;
+    bool complete = true;
+    const std::uint64_t seeds[] = {kSmokeSeed, kSmokeSeed + 17,
+                                   kSmokeSeed + 34};
+    for (std::size_t i = 0; i < 3; ++i) {
+      ChaosConfig cfg = sweepConfig(ChaosTransport::Cluster);
+      cfg.plan = chaosPlan(seeds[i], cfg.apps);
+      cfg.workers = 1;
+      const ChaosResult r1 = runChaos(cfg);
+      cfg.workers = 2;
+      const ChaosResult r2 = runChaos(cfg);
+      const bool agree = r1.fingerprint == r2.fingerprint;
+      char extra[96];
+      std::snprintf(extra, sizeof extra,
+                    "\"seed\": %llu, \"workers_agree\": %s, ",
+                    static_cast<unsigned long long>(seeds[i]),
+                    agree ? "true" : "false");
+      printChaosRun("      ", extra, r1, i + 1 == 3);
+      deterministic = deterministic && agree;
+      complete = complete && runCompleted(r1) && runCompleted(r2);
+    }
+    std::printf("    ],\n    \"deterministic_across_workers\": %s, "
+                "\"all_complete\": %s\n  }\n",
+                deterministic ? "true" : "false",
+                complete ? "true" : "false");
+    std::fprintf(stderr, "chaos_mix: %s\n",
+                 deterministic && complete ? "OK" : "DETERMINISM REGRESSION");
+    ok = ok && deterministic && complete;
+  }
+
+  std::printf("}\n");
+  return ok ? 0 : 1;
+}

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "bench/flow_scenarios.hpp"
 #include "net/flow_net.hpp"
 #include "net/flow_net_reference.hpp"
@@ -133,8 +134,7 @@ int main(int argc, char** argv) {
   }
 
   double smokeSpeedup = -1.0;
-  std::printf("{\n  \"bench\": \"perf_flownet\",\n  \"mode\": \"%s\",\n",
-              smoke ? "smoke" : "full");
+  benchutil::jsonHeader("perf_flownet", smoke ? "smoke" : "full");
   std::printf("  \"cases\": [\n");
   for (std::size_t t = 0; t < tiers.size(); ++t) {
     const Tier& tier = tiers[t];

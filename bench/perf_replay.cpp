@@ -33,6 +33,7 @@
 #include <thread>
 
 #include "analysis/replay.hpp"
+#include "bench/bench_util.hpp"
 #include "calciom/policy.hpp"
 
 namespace {
@@ -167,10 +168,7 @@ int main(int argc, char** argv) {
   }
 
   bool ok = true;
-  std::printf("{\n  \"bench\": \"perf_replay\",\n  \"mode\": \"%s\",\n",
-              smoke ? "smoke" : "full");
-  std::printf("  \"hardware_threads\": %u,\n",
-              std::thread::hardware_concurrency());
+  benchutil::jsonHeader("perf_replay", smoke ? "smoke" : "full");
 
   if (smoke) {
     ReplayConfig cfg = monthConfig(PolicyKind::Dynamic);

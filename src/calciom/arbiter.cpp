@@ -8,32 +8,73 @@ namespace calciom::core {
 
 Arbiter::Arbiter(sim::Engine& engine, mpi::PortRegistry& ports,
                  std::unique_ptr<Policy> policy)
-    : engine_(engine), ports_(ports), core_(std::move(policy)) {
+    : Arbiter(engine, ports, std::move(policy), ArbiterOptions{}) {}
+
+Arbiter::Arbiter(sim::Engine& engine, mpi::PortRegistry& ports,
+                 std::unique_ptr<Policy> policy,
+                 const ArbiterOptions& options)
+    : engine_(engine),
+      ports_(ports),
+      core_(std::move(policy)),
+      options_(options) {
+  core_.configureLeases(options_.leases);
+  core_.setAudit(options_.auditInvariants);
   ports_.openPort(msg::arbiterPort(),
                   [this](std::uint32_t from, mpi::Info payload) {
                     onMessage(from, std::move(payload));
                   });
 }
 
-Arbiter::~Arbiter() { ports_.closePort(msg::arbiterPort()); }
+Arbiter::~Arbiter() {
+  *alive_ = false;
+  ports_.closePort(msg::arbiterPort());
+}
 
 void Arbiter::onMessage(std::uint32_t from, mpi::Info payload) {
   core_.onMessage(engine_.now(), from, payload, scratch_);
   dispatchCommands();
+  maybeArmTick();
 }
 
 void Arbiter::onApplicationTerminated(std::uint32_t appId) {
   core_.onApplicationTerminated(engine_.now(), appId, scratch_);
   dispatchCommands();
+  maybeArmTick();
 }
 
 void Arbiter::dispatchCommands() {
   for (const ArbiterCommand& cmd : scratch_) {
     mpi::Info payload;
-    payload.set(msg::kType, cmd.type);
+    payload.set(msg::kType, toWire(cmd.type));
+    // cmdSeq is always stamped (emit() starts it at 1); epoch/incarnation
+    // only when meaningful, so unsequenced receivers see legacy payloads.
+    payload.setInt(msg::kCmdSeq, static_cast<long long>(cmd.cmdSeq));
+    if (cmd.epoch != 0) {
+      payload.setInt(msg::kEpoch, static_cast<long long>(cmd.epoch));
+    }
+    if (cmd.incarnation != 0) {
+      payload.setInt(msg::kIncarnation,
+                     static_cast<long long>(cmd.incarnation));
+    }
     ports_.send(msg::appPort(cmd.app), /*fromApp=*/0, std::move(payload));
   }
   scratch_.clear();
+}
+
+void Arbiter::maybeArmTick() {
+  if (options_.tickSeconds <= 0.0 || tickArmed_ || core_.idle()) {
+    return;
+  }
+  tickArmed_ = true;
+  engine_.scheduleAfter(options_.tickSeconds, [this, alive = alive_] {
+    if (!*alive) {
+      return;
+    }
+    tickArmed_ = false;
+    core_.onTick(engine_.now(), scratch_);
+    dispatchCommands();
+    maybeArmTick();
+  });
 }
 
 }  // namespace calciom::core

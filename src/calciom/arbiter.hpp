@@ -22,10 +22,25 @@
 
 namespace calciom::core {
 
+/// Frontend hardening knobs (all off by default — a default-constructed
+/// options value gives exactly the pre-hardening arbiter).
+struct ArbiterOptions {
+  /// Dead-accessor reclamation; forwarded to ArbiterCore::configureLeases.
+  LeaseConfig leases;
+  /// Period of the lease sweep timer (ArbiterCore::onTick). Armed only
+  /// while the core is non-idle so a drained simulation still terminates;
+  /// 0 disables the timer (leases then only expire on message arrival).
+  double tickSeconds = 0.0;
+  /// Forwarded to ArbiterCore::setAudit.
+  bool auditInvariants = false;
+};
+
 class Arbiter {
  public:
   Arbiter(sim::Engine& engine, mpi::PortRegistry& ports,
           std::unique_ptr<Policy> policy);
+  Arbiter(sim::Engine& engine, mpi::PortRegistry& ports,
+          std::unique_ptr<Policy> policy, const ArbiterOptions& options);
   ~Arbiter();
   Arbiter(const Arbiter&) = delete;
   Arbiter& operator=(const Arbiter&) = delete;
@@ -65,11 +80,21 @@ class Arbiter {
   /// Sends and clears every command in `scratch_` through the port
   /// registry (one latency hop each, like any cross-application message).
   void dispatchCommands();
+  /// (Re)arms the lease-sweep timer iff ticking is configured, the core is
+  /// non-idle, and no tick is already pending. Conditional re-arming is
+  /// what lets the engine drain: an idle core stops the timer chain.
+  void maybeArmTick();
 
   sim::Engine& engine_;
   mpi::PortRegistry& ports_;
   ArbiterCore core_;
   ArbiterCore::Commands scratch_;
+  ArbiterOptions options_;
+  bool tickArmed_ = false;
+  /// Outlives `this` in the tick events' captures: the timer chain has no
+  /// cancellation (sim/engine.hpp), so a tick firing after destruction
+  /// must see the tombstone instead of touching freed state.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace calciom::core

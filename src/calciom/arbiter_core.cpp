@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 #include <utility>
 
 #include "sim/contracts.hpp"
@@ -74,6 +75,42 @@ void ArbiterCore::onMessage(sim::Time now, std::uint32_t from,
                             const mpi::Info& payload, Commands& out) {
   const auto type = payload.get(msg::kType);
   CALCIOM_EXPECTS(type.has_value());
+  // Admission filters. Both are opt-in by key presence: messages without
+  // kSeq / kIncarnation (legacy senders, hand-crafted test traffic) skip
+  // them entirely, which is what keeps the hardened core's behavior
+  // bit-identical on pre-hardening streams.
+  const auto inc =
+      static_cast<std::uint64_t>(payload.getIntOr(msg::kIncarnation, 0));
+  const auto seq = static_cast<std::uint64_t>(payload.getIntOr(msg::kSeq, 0));
+  const auto it = apps_.find(from);
+  if (it != apps_.end()) {
+    AppRecord& rec = it->second;
+    if (inc < rec.incarnation) {
+      // In-flight leftover of a dead predecessor that shared this reused
+      // id. Without the fence a delayed predecessor Inform would
+      // re-register the dead job and poison the successor's state.
+      return;
+    }
+    if (inc > rec.incarnation) {
+      // First contact from a new incarnation: the predecessor is gone even
+      // if no scheduler event said so. Reclaim its state, then let the
+      // message register the successor fresh (non-Inform messages from an
+      // unregistered app are no-ops, exactly right for a successor whose
+      // Inform is still in flight).
+      onApplicationTerminated(now, from, out);
+    } else {
+      if (seq != 0) {
+        if (seq <= rec.lastSeq) {
+          if (audit_) {
+            auditInvariants();
+          }
+          return;  // duplicate, or reordered behind a later-applied message
+        }
+        rec.lastSeq = seq;
+      }
+      rec.lastHeard = now;
+    }
+  }
   if (*type == msg::kInform) {
     onInform(now, from, payload, out);
   } else if (*type == msg::kRelease) {
@@ -82,8 +119,13 @@ void ArbiterCore::onMessage(sim::Time now, std::uint32_t from,
     onComplete(now, from, out);
   } else if (*type == msg::kPauseAck) {
     onPauseAck(now, from, payload, out);
+  } else if (*type == msg::kHeartbeat) {
+    onHeartbeat(now, from, payload, out);
   } else {
     CALCIOM_ENSURES(false);  // unknown message type
+  }
+  if (audit_) {
+    auditInvariants();
   }
 }
 
@@ -103,11 +145,41 @@ PolicyContext ArbiterCore::buildContext(sim::Time now,
 
 void ArbiterCore::onInform(sim::Time now, std::uint32_t app,
                            const mpi::Info& payload, Commands& out) {
+  const auto epoch =
+      static_cast<std::uint64_t>(payload.getIntOr(msg::kEpoch, 0));
+  const auto existing = apps_.find(app);
+  if (existing != apps_.end() && existing->second.state != AppState::Idle &&
+      epoch != 0) {
+    AppRecord& known = existing->second;
+    if (epoch == known.epoch) {
+      // Retransmission of an Inform already admitted (the session's retry
+      // timer fired because either its Inform or our Grant was lost). The
+      // request must not be re-queued — that would double-book the app.
+      // Refresh the descriptor; if access was already granted, the Grant is
+      // what got lost: say it again (cmdSeq-filtered at the session).
+      known.desc = IoDescriptor::fromInfo(payload);
+      if (known.state == AppState::Accessing) {
+        emit(now, app, CommandType::Grant, out);
+      }
+      return;
+    }
+    // A new phase announced while the previous one never closed: the
+    // Complete was lost in flight. Close the old phase first (resuming the
+    // paused, admitting the queue), then register the new request below.
+    onComplete(now, app, out);
+  }
+
   AppRecord& rec = apps_[app];
   rec.desc = IoDescriptor::fromInfo(payload);
   rec.state = AppState::Waiting;
   rec.progress = 0.0;
   rec.requestTime = now;
+  rec.epoch = epoch;
+  rec.incarnation =
+      static_cast<std::uint64_t>(payload.getIntOr(msg::kIncarnation, 0));
+  rec.lastSeq = std::max(
+      rec.lastSeq, static_cast<std::uint64_t>(payload.getIntOr(msg::kSeq, 0)));
+  rec.lastHeard = now;
 
   // No one is writing and no interrupt is settling: grant immediately.
   if (accessors_.empty() && !pendingInterrupter_ && pausedStack_.empty() &&
@@ -143,7 +215,7 @@ void ArbiterCore::onInform(sim::Time now, std::uint32_t app,
       break;
     case Action::Interrupt:
       waitQueue_.insert(waitQueue_.begin(), app);
-      beginInterrupt(app, out);
+      beginInterrupt(now, app, out);
       break;
   }
 }
@@ -203,12 +275,21 @@ void ArbiterCore::onPauseAck(sim::Time now, std::uint32_t app,
                              const mpi::Info& payload, Commands& out) {
   const auto it = apps_.find(app);
   if (it == apps_.end() || it->second.state != AppState::PauseRequested) {
+    // Unknown app, or a replayed/reordered ack for a pause that already
+    // settled (the app has since resumed or completed): a no-op.
     return;
   }
   it->second.progress = std::clamp(
       payload.getDoubleOr(msg::kProgress, it->second.progress), 0.0, 1.0);
-  it->second.state = AppState::Paused;
-  it->second.pausedAt = now;
+  applyPauseAck(now, app, out);
+}
+
+void ArbiterCore::applyPauseAck(sim::Time now, std::uint32_t app,
+                                Commands& out) {
+  AppRecord& rec = apps_.at(app);
+  CALCIOM_EXPECTS(rec.state == AppState::PauseRequested);
+  rec.state = AppState::Paused;
+  rec.pausedAt = now;
   removeFrom(accessors_, app);
   pausedStack_.push_back(app);
   if (pendingInterrupter_) {
@@ -226,6 +307,96 @@ void ArbiterCore::onPauseAck(sim::Time now, std::uint32_t app,
   }
 }
 
+void ArbiterCore::onHeartbeat(sim::Time now, std::uint32_t app,
+                              const mpi::Info& payload, Commands& out) {
+  const auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return;  // never informed, or already reclaimed — Inform retry re-admits
+  }
+  AppRecord& rec = it->second;
+  rec.lastHeard = now;  // the renewal (idempotent with onMessage's update)
+  rec.progress =
+      std::clamp(payload.getDoubleOr(msg::kProgress, rec.progress), 0.0, 1.0);
+  const auto epoch =
+      static_cast<std::uint64_t>(payload.getIntOr(msg::kEpoch, 0));
+  const auto state = payload.get(msg::kSessionState);
+  if (!state.has_value() || epoch == 0) {
+    return;  // plain keepalive: renewal only
+  }
+  if (epoch > rec.epoch || *state == "idle") {
+    // The session is already past the phase we still hold open: its
+    // Complete was lost. Close the phase; a next-phase Inform (possibly a
+    // retry) re-registers it.
+    if (rec.state != AppState::Idle) {
+      onComplete(now, app, out);
+    }
+    return;
+  }
+  if (epoch < rec.epoch) {
+    return;  // stale heartbeat from an earlier phase
+  }
+  switch (rec.state) {
+    case AppState::Accessing:
+      // The session missed the message that made it an accessor.
+      if (*state == "waiting" && canRepair(now, rec)) {
+        emit(now, app, CommandType::Grant, out);
+      } else if (*state == "paused" && canRepair(now, rec)) {
+        emit(now, app, CommandType::Resume, out);
+      }
+      break;
+    case AppState::PauseRequested:
+      if (*state == "paused") {
+        // The PauseAck was lost; the heartbeat is as good as the ack.
+        applyPauseAck(now, app, out);
+      } else if (*state == "accessing" && canRepair(now, rec)) {
+        emit(now, app, CommandType::Pause, out);  // the Pause was lost
+      } else if (*state == "waiting" && canRepair(now, rec)) {
+        emit(now, app, CommandType::Grant, out);  // it missed the Grant too
+      }
+      break;
+    case AppState::Waiting:
+    case AppState::Paused:
+    case AppState::Idle:
+      // Nothing to reconcile: a Waiting session is where we think it is, a
+      // Paused one reporting "accessing" is impossible through filtered
+      // commands, and Idle records carry no obligations.
+      break;
+  }
+}
+
+void ArbiterCore::onTick(sim::Time now, Commands& out) {
+  if (!leases_.enabled()) {
+    return;
+  }
+  // Expire leases of silent non-Idle applications. Two passes because the
+  // reclamation mutates apps_; std::map iteration keeps this deterministic.
+  std::vector<std::uint32_t> expired;
+  for (const auto& [id, rec] : apps_) {
+    if (rec.state != AppState::Idle &&
+        now - rec.lastHeard > leases_.leaseSeconds) {
+      expired.push_back(id);
+    }
+  }
+  for (const std::uint32_t id : expired) {
+    ++leaseReclaims_;
+    onApplicationTerminated(now, id, out);
+  }
+  // Retransmit Pause to accessors that never acknowledged — a lost Pause
+  // would otherwise park the interrupter forever (the accessor keeps
+  // writing, oblivious).
+  if (pendingInterrupter_) {
+    for (const std::uint32_t id : accessors_) {
+      AppRecord& rec = apps_.at(id);
+      if (rec.state == AppState::PauseRequested && canRepair(now, rec)) {
+        emit(now, id, CommandType::Pause, out);
+      }
+    }
+  }
+  if (audit_) {
+    auditInvariants();
+  }
+}
+
 void ArbiterCore::onApplicationTerminated(sim::Time now, std::uint32_t appId,
                                           Commands& out) {
   const auto it = apps_.find(appId);
@@ -240,30 +411,57 @@ void ArbiterCore::onApplicationTerminated(sim::Time now, std::uint32_t appId,
   apps_.erase(appId);
 }
 
+void ArbiterCore::configureLeases(const LeaseConfig& leases) {
+  CALCIOM_EXPECTS(leases.leaseSeconds >= 0.0);
+  CALCIOM_EXPECTS(leases.commandRetrySeconds >= 0.0);
+  leases_ = leases;
+}
+
+std::optional<double> ArbiterCore::appProgress(std::uint32_t app) const {
+  const auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return std::nullopt;
+  }
+  return it->second.progress;
+}
+
+void ArbiterCore::emit(sim::Time now, std::uint32_t app, CommandType type,
+                       Commands& out) {
+  AppRecord& rec = apps_.at(app);
+  rec.lastCommandAt = now;
+  out.push_back(ArbiterCommand{app, type, rec.epoch, ++rec.cmdSeq,
+                               rec.incarnation});
+}
+
 void ArbiterCore::grant(sim::Time now, std::uint32_t app, Commands& out) {
   AppRecord& rec = apps_.at(app);
   rec.state = AppState::Accessing;
   rec.grantTime = now;
   accessors_.push_back(app);
+  maxAccessors_ = std::max(maxAccessors_, accessors_.size());
   ++grants_;
   grantLog_.push_back(GrantRecord{now, app, /*resume=*/false});
   cpuSecondsWaited_ +=
       (now - rec.requestTime) * static_cast<double>(rec.desc.cores);
-  out.push_back(ArbiterCommand{app, msg::kGrant});
+  emit(now, app, CommandType::Grant, out);
 }
 
-void ArbiterCore::beginInterrupt(std::uint32_t requester, Commands& out) {
+void ArbiterCore::beginInterrupt(sim::Time now, std::uint32_t requester,
+                                 Commands& out) {
   CALCIOM_EXPECTS(!pendingInterrupter_);
   CALCIOM_EXPECTS(!accessors_.empty());
   pendingInterrupter_ = requester;
   pendingAcks_ = 0;
-  for (std::uint32_t id : accessors_) {
+  // Iterate a copy: emit() touches the record, and accessors_ must not be
+  // mutated mid-walk if a future transition ever folds into emit.
+  const std::vector<std::uint32_t> current = accessors_;
+  for (std::uint32_t id : current) {
     AppRecord& rec = apps_.at(id);
     if (rec.state == AppState::Accessing) {
       rec.state = AppState::PauseRequested;
       ++pendingAcks_;
       ++pauses_;
-      out.push_back(ArbiterCommand{id, msg::kPause});
+      emit(now, id, CommandType::Pause, out);
     } else if (rec.state == AppState::PauseRequested) {
       // A previous interrupt was abandoned (its requester completed or
       // terminated before the pause settled) and this accessor's ack is
@@ -287,10 +485,11 @@ void ArbiterCore::admitNext(sim::Time now, Commands& out) {
     rec.state = AppState::Accessing;
     rec.grantTime = now;
     accessors_.push_back(app);
+    maxAccessors_ = std::max(maxAccessors_, accessors_.size());
     grantLog_.push_back(GrantRecord{now, app, /*resume=*/true});
     cpuSecondsWaited_ +=
         (now - rec.pausedAt) * static_cast<double>(rec.desc.cores);
-    out.push_back(ArbiterCommand{app, msg::kResume});
+    emit(now, app, CommandType::Resume, out);
     return;
   }
   if (!waitQueue_.empty()) {
@@ -303,6 +502,34 @@ void ArbiterCore::admitNext(sim::Time now, Commands& out) {
 void ArbiterCore::removeFrom(std::vector<std::uint32_t>& v,
                              std::uint32_t app) {
   v.erase(std::remove(v.begin(), v.end(), app), v.end());
+}
+
+void ArbiterCore::auditInvariants() const {
+  std::set<std::uint32_t> seen;
+  for (const std::uint32_t id : accessors_) {
+    const AppRecord& rec = apps_.at(id);
+    CALCIOM_ENSURES(seen.insert(id).second);
+    CALCIOM_ENSURES(rec.state == AppState::Accessing ||
+                    rec.state == AppState::PauseRequested);
+  }
+  for (const std::uint32_t id : waitQueue_) {
+    CALCIOM_ENSURES(seen.insert(id).second);
+    CALCIOM_ENSURES(apps_.at(id).state == AppState::Waiting);
+  }
+  for (const std::uint32_t id : pausedStack_) {
+    CALCIOM_ENSURES(seen.insert(id).second);
+    CALCIOM_ENSURES(apps_.at(id).state == AppState::Paused);
+  }
+  if (pendingInterrupter_) {
+    CALCIOM_ENSURES(pendingAcks_ > 0);
+    int owed = 0;
+    for (const std::uint32_t id : accessors_) {
+      if (apps_.at(id).state == AppState::PauseRequested) {
+        ++owed;
+      }
+    }
+    CALCIOM_ENSURES(owed == pendingAcks_);
+  }
 }
 
 }  // namespace calciom::core

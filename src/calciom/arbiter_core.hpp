@@ -29,6 +29,21 @@
 ///    acknowledged its pause at a hook boundary (or completed);
 ///  * on completion, paused applications resume (most recently preempted
 ///    first) before queued applications are admitted.
+///
+/// Failure hardening (src/calciom/README.md, "Failure semantics"): the core
+/// tolerates duplicated, reordered and lost messages and silently dead
+/// applications. Sessions stamp every message with a monotone sequence
+/// number, a per-phase epoch, and (when the job scheduler reuses ids) an
+/// incarnation tag; onMessage() discards duplicates, stale reorders, and
+/// traffic from dead predecessor incarnations. Commands carry a per-app
+/// command sequence so the session can discard replays symmetrically. With
+/// leases configured, onTick() reclaims access from applications that
+/// stopped heartbeating and onHeartbeat() reconciles divergent views
+/// (resending lost Grant/Pause/Resume, accepting a "paused" heartbeat as an
+/// implicit PauseAck, a next-epoch heartbeat as an implicit Complete). All
+/// of it is inert by default: messages without the new keys skip every
+/// filter, and a zero LeaseConfig disables the timers, so pre-hardening
+/// traffic drives the exact pre-hardening state machine.
 
 #include <cstdint>
 #include <map>
@@ -55,6 +70,21 @@ inline constexpr const char* kPauseAck = "pause_ack";
 inline constexpr const char* kGrant = "grant";
 inline constexpr const char* kPause = "pause";
 inline constexpr const char* kResume = "resume";
+/// Lease renewal + state report, sent periodically by hardened sessions.
+inline constexpr const char* kHeartbeat = "heartbeat";
+
+// Hardening keys (all optional; absent = filters skipped, legacy behavior).
+/// Per-session monotone message sequence (duplicate/reorder suppression).
+inline constexpr const char* kSeq = "calciom.seq";
+/// Per-session phase counter; commands echo the epoch they belong to.
+inline constexpr const char* kEpoch = "calciom.epoch";
+/// Per-app monotone command sequence (session-side replay suppression).
+inline constexpr const char* kCmdSeq = "calciom.cmd_seq";
+/// Scheduler-assigned incarnation of a (possibly reused) application id.
+inline constexpr const char* kIncarnation = "calciom.incarnation";
+/// Session's own protocol state in a heartbeat: "waiting" | "accessing" |
+/// "paused" | "idle" — the arbiter reconciles its record against it.
+inline constexpr const char* kSessionState = "calciom.session_state";
 
 /// Port names.
 [[nodiscard]] inline std::string arbiterPort() { return "calciom/arbiter"; }
@@ -99,12 +129,51 @@ struct GrantRecord {
   bool operator==(const GrantRecord&) const = default;
 };
 
-/// An outbound instruction of the decision core: deliver `type` (one of
-/// msg::kGrant / kPause / kResume) to application `app`. How — and at what
-/// simulated cost — is the frontend's business.
+/// The three instructions an arbiter can give an application. A closed enum
+/// rather than a wire string: commands can now be delayed and replayed by
+/// the fault injector, and an enum cannot dangle or alias the way the
+/// previous `const char*` (compared by pointer identity in places) could.
+enum class CommandType { Grant, Pause, Resume };
+
+/// Wire form of a command type (the msg::kGrant / kPause / kResume value
+/// carried under msg::kType).
+[[nodiscard]] constexpr const char* toWire(CommandType t) noexcept {
+  switch (t) {
+    case CommandType::Grant:
+      return msg::kGrant;
+    case CommandType::Pause:
+      return msg::kPause;
+    case CommandType::Resume:
+      return msg::kResume;
+  }
+  return "?";
+}
+
+/// An outbound instruction of the decision core: deliver `type` to
+/// application `app`. How — and at what simulated cost — is the frontend's
+/// business. `epoch`/`cmdSeq`/`incarnation` echo the target record so the
+/// session can discard stale or replayed commands; frontends serialize the
+/// nonzero ones (msg::kEpoch / kCmdSeq / kIncarnation).
 struct ArbiterCommand {
   std::uint32_t app = 0;
-  const char* type = msg::kGrant;
+  CommandType type = CommandType::Grant;
+  std::uint64_t epoch = 0;
+  std::uint64_t cmdSeq = 0;
+  std::uint64_t incarnation = 0;
+};
+
+/// Dead-accessor reclamation knobs; zero (the default) disables each timer
+/// so an unconfigured core behaves exactly like the pre-lease protocol.
+struct LeaseConfig {
+  /// An application not heard from (any message or heartbeat) for longer
+  /// than this while non-Idle is presumed dead: its access, queue slot and
+  /// pause state are reclaimed as if the scheduler reported termination.
+  double leaseSeconds = 0.0;
+  /// Minimum spacing between repair retransmissions (re-sent Grant / Pause
+  /// / Resume) per application; 0 = retransmit at every opportunity.
+  double commandRetrySeconds = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return leaseSeconds > 0.0; }
 };
 
 class ArbiterCore {
@@ -122,13 +191,26 @@ class ArbiterCore {
   void onMessage(sim::Time now, std::uint32_t from, const mpi::Info& payload,
                  Commands& out);
 
-  // Typed entry points (what onMessage fans out to).
+  // Typed entry points (what onMessage fans out to). The admission filters
+  // — sequence, incarnation — live in onMessage only; calling a typed entry
+  // directly bypasses them (unit tests and replay oracles rely on that).
   void onInform(sim::Time now, std::uint32_t app, const mpi::Info& payload,
                 Commands& out);
   void onRelease(std::uint32_t app, const mpi::Info& payload);
   void onComplete(sim::Time now, std::uint32_t app, Commands& out);
   void onPauseAck(sim::Time now, std::uint32_t app, const mpi::Info& payload,
                   Commands& out);
+  /// Lease renewal + state reconciliation; see LeaseConfig and the file
+  /// comment. Heartbeats from unknown apps are ignored (the app either
+  /// never informed or was already reclaimed — its Inform retry re-admits).
+  void onHeartbeat(sim::Time now, std::uint32_t app, const mpi::Info& payload,
+                   Commands& out);
+
+  /// Periodic lease sweep, called by the frontend's timer (same-engine
+  /// Arbiter) or at every barrier (GlobalArbiter): expires leases of silent
+  /// non-Idle applications and retransmits unacknowledged Pause commands.
+  /// A no-op unless configureLeases() enabled leasing.
+  void onTick(sim::Time now, Commands& out);
 
   /// Job-scheduler integration (paper §III-C: the list of running
   /// applications comes from the machine's job scheduler). Called when a
@@ -137,6 +219,18 @@ class ArbiterCore {
   /// crashed accessor would deadlock the queue.
   void onApplicationTerminated(sim::Time now, std::uint32_t appId,
                                Commands& out);
+
+  /// Enables dead-accessor reclamation and command retransmission; see
+  /// LeaseConfig. Call before the first message for coherent lease clocks.
+  void configureLeases(const LeaseConfig& leases);
+  [[nodiscard]] const LeaseConfig& leases() const noexcept { return leases_; }
+
+  /// Turns on the internal container-consistency audit after every
+  /// transition (no app in two containers, states match containers,
+  /// pending acks match owed pauses). Off by default — it is O(apps) per
+  /// message; the chaos harness runs with it on so corruption surfaces as
+  /// an InvariantError at the faulty transition, not as a downstream stall.
+  void setAudit(bool on) noexcept { audit_ = on; }
 
   [[nodiscard]] const Policy& policy() const noexcept { return *policy_; }
   [[nodiscard]] const std::vector<DecisionRecord>& decisions() const noexcept {
@@ -167,6 +261,25 @@ class ArbiterCore {
   [[nodiscard]] std::vector<std::uint32_t> pausedStack() const {
     return pausedStack_;
   }
+  /// True when no application holds, waits for, or is paused around the
+  /// resource — the drained state every chaos schedule must end in.
+  [[nodiscard]] bool idle() const noexcept {
+    return accessors_.empty() && waitQueue_.empty() && pausedStack_.empty() &&
+           !pendingInterrupter_.has_value();
+  }
+  /// Leases expired over the core's lifetime (dead-accessor reclamations).
+  [[nodiscard]] std::size_t leaseReclaims() const noexcept {
+    return leaseReclaims_;
+  }
+  /// High-water mark of simultaneous accessors. Exclusive policies (Fcfs,
+  /// Interrupt) must keep this at 1 under every fault schedule — the
+  /// "no double-grant" safety invariant of the chaos suite.
+  [[nodiscard]] std::size_t maxConcurrentAccessors() const noexcept {
+    return maxAccessors_;
+  }
+  /// Latest reported progress of an app, if it ever informed (idempotency
+  /// tests observe that replayed Releases do not rewind it).
+  [[nodiscard]] std::optional<double> appProgress(std::uint32_t app) const;
 
  private:
   enum class AppState { Idle, Waiting, Accessing, PauseRequested, Paused };
@@ -177,14 +290,39 @@ class ArbiterCore {
     sim::Time requestTime = 0.0;
     sim::Time grantTime = 0.0;
     sim::Time pausedAt = 0.0;
+    // -- hardening bookkeeping (see file comment) --
+    /// Scheduler incarnation the record belongs to; lower = dead
+    /// predecessor whose traffic is discarded.
+    std::uint64_t incarnation = 0;
+    /// Highest session sequence number applied (0 = unsequenced sender).
+    std::uint64_t lastSeq = 0;
+    /// Phase epoch of the current request.
+    std::uint64_t epoch = 0;
+    /// Monotone command counter echoed on every command to this app.
+    std::uint64_t cmdSeq = 0;
+    /// Lease clock: last time any message/heartbeat arrived from the app.
+    sim::Time lastHeard = 0.0;
+    /// Retransmission throttle: when the last command was emitted.
+    sim::Time lastCommandAt = 0.0;
   };
 
   [[nodiscard]] PolicyContext buildContext(sim::Time now,
                                            const AppRecord& requester) const;
+  /// Appends one command for `app`, stamping epoch/cmdSeq/incarnation from
+  /// its record and updating the retransmission throttle.
+  void emit(sim::Time now, std::uint32_t app, CommandType type, Commands& out);
+  [[nodiscard]] bool canRepair(sim::Time now, const AppRecord& rec) const {
+    return leases_.commandRetrySeconds <= 0.0 ||
+           now - rec.lastCommandAt >= leases_.commandRetrySeconds;
+  }
   void grant(sim::Time now, std::uint32_t app, Commands& out);
-  void beginInterrupt(std::uint32_t requester, Commands& out);
+  void beginInterrupt(sim::Time now, std::uint32_t requester, Commands& out);
+  /// The PauseRequested → Paused transition shared by onPauseAck and the
+  /// heartbeat reconciliation ("paused" report = the ack was lost).
+  void applyPauseAck(sim::Time now, std::uint32_t app, Commands& out);
   void admitNext(sim::Time now, Commands& out);
   void removeFrom(std::vector<std::uint32_t>& v, std::uint32_t app);
+  void auditInvariants() const;
 
   std::unique_ptr<Policy> policy_;
   std::map<std::uint32_t, AppRecord> apps_;
@@ -198,6 +336,10 @@ class ArbiterCore {
   std::size_t grants_ = 0;
   std::size_t pauses_ = 0;
   double cpuSecondsWaited_ = 0.0;
+  LeaseConfig leases_;
+  std::size_t leaseReclaims_ = 0;
+  std::size_t maxAccessors_ = 0;
+  bool audit_ = false;
 };
 
 }  // namespace calciom::core

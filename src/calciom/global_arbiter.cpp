@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "fault/injector.hpp"
 #include "platform/cluster.hpp"
 #include "sim/contracts.hpp"
 #include "sim/engine.hpp"
@@ -32,6 +33,8 @@ GlobalArbiter::GlobalArbiter(platform::Cluster& cluster,
       latency_(cluster.spec().resolveCrossShardLatency(
           config.crossShardLatencySeconds)),
       core_(std::move(policy)) {
+  core_.configureLeases(config.leases);
+  core_.setAudit(config.auditInvariants);
   stubs_.reserve(cluster_.shardCount());
   for (std::size_t s = 0; s < cluster_.shardCount(); ++s) {
     stubs_.push_back(
@@ -58,6 +61,11 @@ void GlobalArbiter::onApplicationTerminated(std::uint32_t appId) {
   pendingSchedulerEvents_.push_back({appId, /*termination=*/true});
 }
 
+void GlobalArbiter::setStubInjectors(std::vector<fault::Injector*> injectors) {
+  CALCIOM_EXPECTS(injectors.empty() || injectors.size() == stubs_.size());
+  injectors_ = std::move(injectors);
+}
+
 void GlobalArbiter::onApplicationLaunched(std::uint32_t appId) {
   pendingSchedulerEvents_.push_back({appId, /*termination=*/false});
 }
@@ -68,6 +76,7 @@ std::size_t GlobalArbiter::shardOf(std::uint32_t appId) const noexcept {
 }
 
 bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
+  ++rounds_;
   scratch_.clear();
   bool mergedAny = false;
   // Scheduler events first: a barrier models one sampling instant, and the
@@ -96,7 +105,17 @@ bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
   // Merge the round's traffic in (shard, seq) order — deterministic because
   // each stub's outbox order is its shard's (deterministic) event order.
   for (std::size_t s = 0; s < stubs_.size(); ++s) {
+    // An injected stub blackout loses the whole round for this shard —
+    // everything the stub absorbed is discarded, never merged. Sessions
+    // recover through retries / heartbeats like after any message loss.
+    const bool blackedOut = s < injectors_.size() &&
+                            injectors_[s] != nullptr &&
+                            injectors_[s]->stubBlackedOut(rounds_);
     for (ArbiterStub::Message& m : stubs_[s]->drain()) {
+      if (blackedOut) {
+        ++blackoutDiscarded_;
+        continue;
+      }
       if (dead_.count(m.fromApp) > 0) {
         continue;  // stale traffic from a terminated application
       }
@@ -111,6 +130,9 @@ bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
   if (mergedAny) {
     ++exchanges_;
   }
+  // With leases configured the barrier doubles as the lease sweep: the
+  // sync-horizon period is the global arbiter's natural tick.
+  core_.onTick(barrierTime, scratch_);
   if (scratch_.empty()) {
     return false;
   }
@@ -121,20 +143,56 @@ bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
   // order. Delivery lands strictly after the barrier and pays the
   // cross-shard hop; a shard that skipped rounds may trail the barrier, so
   // clamp to its own clock.
-  for (const core::ArbiterCommand& cmd : scratch_) {
-    const std::size_t shard = appShard_.at(cmd.app);
-    sim::Engine& eng = cluster_.engine(shard);
-    mpi::PortRegistry& ports = cluster_.machine(shard).ports();
-    const sim::Time at = std::max(barrierTime, eng.now()) + latency_;
-    mpi::Info payload;
-    payload.set(core::msg::kType, cmd.type);
-    eng.scheduleAt(at, [&ports, app = cmd.app,
-                        payload = std::move(payload)]() mutable {
+  const auto scheduleDelivery = [](sim::Engine& eng, mpi::PortRegistry& ports,
+                                   std::uint32_t app, sim::Time at,
+                                   mpi::Info payload) {
+    eng.scheduleAt(at, [&ports, app, payload = std::move(payload)]() mutable {
       // The hop latency is already in the event's timestamp; deliverNow
       // must not add a second one.
       ports.deliverNow(core::msg::appPort(app), /*fromApp=*/0,
                        std::move(payload));
     });
+  };
+  for (const core::ArbiterCommand& cmd : scratch_) {
+    const std::size_t shard = appShard_.at(cmd.app);
+    sim::Engine& eng = cluster_.engine(shard);
+    mpi::PortRegistry& ports = cluster_.machine(shard).ports();
+    sim::Time at = std::max(barrierTime, eng.now()) + latency_;
+    mpi::Info payload;
+    payload.set(core::msg::kType, toWire(cmd.type));
+    payload.setInt(core::msg::kCmdSeq, static_cast<std::int64_t>(cmd.cmdSeq));
+    if (cmd.epoch != 0) {
+      payload.setInt(core::msg::kEpoch, static_cast<std::int64_t>(cmd.epoch));
+    }
+    if (cmd.incarnation != 0) {
+      payload.setInt(core::msg::kIncarnation,
+                     static_cast<std::int64_t>(cmd.incarnation));
+    }
+    // Commands cross into the shard through the same faulty medium the
+    // shard's sessions send through: ask its injector. deliverNow bypasses
+    // the registry's DeliveryFilter by design (it is the barrier path), so
+    // the consultation happens here, where the scheduled time can absorb
+    // the injected delay.
+    fault::Injector* injector =
+        shard < injectors_.size() ? injectors_[shard] : nullptr;
+    if (injector != nullptr) {
+      if (injector->stubBlackedOut(rounds_)) {
+        ++blackoutDiscarded_;  // the shard is unreachable both ways
+        continue;
+      }
+      const mpi::DeliveryFilter::Verdict v =
+          injector->onSend(core::msg::appPort(cmd.app), 0, payload);
+      if (v.duplicate) {
+        scheduleDelivery(eng, ports, cmd.app,
+                         at + std::max(v.duplicateExtraDelaySeconds, 0.0),
+                         payload);
+      }
+      if (v.drop) {
+        continue;
+      }
+      at += std::max(v.extraDelaySeconds, 0.0);
+    }
+    scheduleDelivery(eng, ports, cmd.app, at, std::move(payload));
   }
   scratch_.clear();
   return true;

@@ -51,6 +51,10 @@ namespace calciom::platform {
 class Cluster;
 }  // namespace calciom::platform
 
+namespace calciom::fault {
+class Injector;
+}  // namespace calciom::fault
+
 namespace calciom {
 
 /// Shard-local endpoint of the global arbiter: absorbs arbiter-bound
@@ -97,6 +101,12 @@ class GlobalArbiter final : public sim::BarrierHook {
     /// >= 0.0 (rejected otherwise), and an explicit 0.0 is honored — free
     /// hops — not treated as "inherit".
     std::optional<double> crossShardLatencySeconds;
+    /// Dead-accessor reclamation (ArbiterCore::configureLeases). When
+    /// enabled, the core's lease sweep runs at every barrier — the barrier
+    /// period is the arbiter's tick, no separate timer needed.
+    core::LeaseConfig leases;
+    /// Forwarded to ArbiterCore::setAudit.
+    bool auditInvariants = false;
   };
 
   /// Creates the global arbiter over every shard of `cluster`: registers an
@@ -132,6 +142,15 @@ class GlobalArbiter final : public sim::BarrierHook {
   /// within one round revives the id (and launch+terminate kills it).
   void onApplicationLaunched(std::uint32_t appId);
 
+  /// Wires the per-shard fault injectors (fault/injector.hpp) into the
+  /// barrier exchange: `injectors[s]` decides shard s's stub blackouts and
+  /// the fate of commands delivered into shard s (the same drop / delay /
+  /// duplicate draws the message path uses). Non-owning; pass one pointer
+  /// per shard (nullptr = no faults on that shard), or an empty vector to
+  /// detach. The stubs themselves stay fault-free — faults happen on the
+  /// wire (PortRegistry) and at the barrier, never inside the outbox.
+  void setStubInjectors(std::vector<fault::Injector*> injectors);
+
   [[nodiscard]] const core::ArbiterCore& core() const noexcept {
     return core_;
   }
@@ -155,6 +174,13 @@ class GlobalArbiter final : public sim::BarrierHook {
     return merged_;
   }
   [[nodiscard]] double crossShardLatency() const noexcept { return latency_; }
+  /// Barrier exchanges seen so far (the blackout round number: 1-based).
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  /// Stub messages discarded because their shard was blacked out, plus
+  /// commands dropped on delivery into a blacked-out shard.
+  [[nodiscard]] std::uint64_t blackoutDiscarded() const noexcept {
+    return blackoutDiscarded_;
+  }
 
  private:
   GlobalArbiter(platform::Cluster& cluster,
@@ -173,10 +199,23 @@ class GlobalArbiter final : public sim::BarrierHook {
   };
   std::vector<SchedulerEvent> pendingSchedulerEvents_;
   /// Ids terminated and not since relaunched; their traffic is discarded.
+  /// Capacity note: entries are only removed by onApplicationLaunched, so
+  /// the set grows with the number of distinct ids terminated and never
+  /// relaunched — bounded by the campaign's application count (thousands at
+  /// most on the machines the paper studies), not by simulated time or
+  /// message volume. That unbounded-in-principle retention is deliberate: a
+  /// fault-delayed message from a dead predecessor can surface arbitrarily
+  /// many rounds late, and discarding it is only possible while the id is
+  /// still remembered as dead (regression: "IdReuseRacesDelayed
+  /// PredecessorInform" in tests/global_arbiter_test.cpp).
   std::set<std::uint32_t> dead_;
+  /// Per-shard fault deciders (non-owning, may be empty / hold nullptrs).
+  std::vector<fault::Injector*> injectors_;
   core::ArbiterCore::Commands scratch_;
   std::uint64_t exchanges_ = 0;
   std::uint64_t merged_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t blackoutDiscarded_ = 0;
 };
 
 }  // namespace calciom

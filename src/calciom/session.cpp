@@ -10,13 +10,22 @@ Session::Session(sim::Engine& engine, mpi::PortRegistry& ports,
                  SessionConfig cfg)
     : engine_(engine), ports_(ports), cfg_(std::move(cfg)) {
   CALCIOM_EXPECTS(cfg_.cores >= 1);
+  CALCIOM_EXPECTS(cfg_.heartbeatSeconds >= 0.0);
+  CALCIOM_EXPECTS(cfg_.informRetrySeconds >= 0.0);
+  CALCIOM_EXPECTS(cfg_.degradeAfterSeconds >= 0.0);
   ports_.openPort(msg::appPort(cfg_.appId),
                   [this](std::uint32_t from, mpi::Info payload) {
                     onMessage(from, std::move(payload));
                   });
+  portOpen_ = true;
 }
 
-Session::~Session() { ports_.closePort(msg::appPort(cfg_.appId)); }
+Session::~Session() {
+  *alive_ = false;
+  if (portOpen_) {
+    ports_.closePort(msg::appPort(cfg_.appId));
+  }
+}
 
 void Session::prepare(const mpi::Info& info) {
   preparedStack_.push_back(info);
@@ -28,10 +37,23 @@ void Session::complete() {
 }
 
 void Session::inform(const io::PhaseInfo& phase) {
+  if (killed_) {
+    return;
+  }
   // A pause that raced with the end of the previous phase is stale now.
   pauseRequested_ = false;
   authorized_ = false;
   authGate_.close();
+  // A new phase rejoins the coordination layer even after a degraded one,
+  // and starts fresh epoch-scoped command filtering (the arbiter's command
+  // counter restarts with the record, e.g. after a lease reclaim).
+  degraded_ = false;
+  phaseActive_ = true;
+  ++epoch_;
+  lastCmdSeq_ = 0;
+  lastProgress_ = 0.0;
+  informTime_ = engine_.now();
+  ++retryGen_;
 
   IoDescriptor desc = IoDescriptor::fromPhase(phase, cfg_.cores);
   desc.appId = cfg_.appId;
@@ -42,9 +64,12 @@ void Session::inform(const io::PhaseInfo& phase) {
   for (const mpi::Info& extra : preparedStack_) {
     wire.merge(extra);
   }
+  informWire_ = wire;  // kept unstamped: each retransmission gets fresh kSeq
   ++informsSent_;
   // Through sendToArbiter so the replay capture sees informs too.
   sendToArbiter(msg::kInform, std::move(wire));
+  armInformTimer();
+  armHeartbeat();
 }
 
 sim::Task Session::wait() {
@@ -54,6 +79,12 @@ sim::Task Session::wait() {
 }
 
 sim::Task Session::release(double progress, bool pausableBoundary) {
+  lastProgress_ = progress;
+  if (killed_ || degraded_) {
+    // A dead process sends nothing; a degraded one is outside the
+    // coordination loop until its next phase (no acks, no progress).
+    co_return;
+  }
   if (pausableBoundary && pauseRequested_) {
     pauseRequested_ = false;
     resumeGate_.close();
@@ -61,6 +92,7 @@ sim::Task Session::release(double progress, bool pausableBoundary) {
     ack.setDouble(msg::kProgress, progress);
     sendToArbiter(msg::kPauseAck, std::move(ack));
     ++pausesHonored_;
+    armPauseDeadline(++pauseGen_);
     const sim::Time t0 = engine_.now();
     co_await resumeGate_;
     pausedSeconds_ += engine_.now() - t0;
@@ -90,17 +122,90 @@ sim::Task Session::fileBoundary(double progress) {
 }
 
 sim::Task Session::endPhase() {
+  phaseActive_ = false;
+  ++retryGen_;
+  if (killed_) {
+    co_return;
+  }
   authorized_ = false;
   authGate_.close();
+  // Sent even after a degraded phase: it is the cheap half of rejoining
+  // (if the lease already reclaimed the record, the arbiter ignores it).
   sendToArbiter(msg::kComplete);
   co_return;
 }
 
+void Session::kill() {
+  if (killed_) {
+    return;
+  }
+  killed_ = true;
+  phaseActive_ = false;
+  ++retryGen_;
+  ++pauseGen_;
+  if (portOpen_) {
+    ports_.closePort(msg::appPort(cfg_.appId));
+    portOpen_ = false;
+  }
+  // Wake anything suspended so the owning coroutine can observe killed()
+  // and unwind instead of leaking a frame until engine teardown.
+  pauseRequested_ = false;
+  authGate_.open();
+  resumeGate_.open();
+}
+
+void Session::degrade() {
+  if (degraded_ || killed_ || !phaseActive_) {
+    return;
+  }
+  degraded_ = true;
+  ++degradedPhases_;
+  ++retryGen_;
+  ++pauseGen_;
+  // Free-for-all: authorize ourselves, drop any pending pause, resume if
+  // paused. Heartbeats stop (armHeartbeat's chain checks degraded_), so the
+  // arbiter's lease reclaims whatever we held and the others make progress.
+  pauseRequested_ = false;
+  authGate_.open();
+  resumeGate_.open();
+}
+
 void Session::onMessage(std::uint32_t /*from*/, mpi::Info payload) {
+  if (killed_) {
+    return;  // a closed port should make this unreachable, but be explicit
+  }
   const auto type = payload.get(msg::kType);
   CALCIOM_EXPECTS(type.has_value());
+  // Command admission filters, all opt-in by key presence (legacy arbiters
+  // send none of these keys and every filter passes).
+  const auto inc =
+      static_cast<std::uint64_t>(payload.getIntOr(msg::kIncarnation, 0));
+  if (cfg_.incarnation != 0 && inc != 0 && inc != cfg_.incarnation) {
+    return;  // addressed to another incarnation of this (reused) id
+  }
+  const auto cmdEpoch =
+      static_cast<std::uint64_t>(payload.getIntOr(msg::kEpoch, 0));
+  if (cmdEpoch != 0 && epoch_ != 0 && cmdEpoch != epoch_) {
+    return;  // stale command from an earlier phase (or a stale record)
+  }
+  const auto cmdSeq =
+      static_cast<std::uint64_t>(payload.getIntOr(msg::kCmdSeq, 0));
+  if (cmdSeq != 0) {
+    if (cmdSeq <= lastCmdSeq_) {
+      return;  // duplicate or reordered-behind command
+    }
+    lastCmdSeq_ = cmdSeq;
+  }
+  if (degraded_) {
+    return;  // uncoordinated until the next phase; late commands are moot
+  }
   if (*type == msg::kGrant || *type == msg::kResume) {
     authorized_ = true;
+    // A pause pending from before this command is obsolete: the arbiter
+    // (re)authorized us afterwards. Only reachable with retransmissions —
+    // in-order fault-free delivery never has a pause pending here.
+    pauseRequested_ = false;
+    ++pauseGen_;
     authGate_.open();
     resumeGate_.open();
   } else if (*type == msg::kPause) {
@@ -112,10 +217,88 @@ void Session::onMessage(std::uint32_t /*from*/, mpi::Info payload) {
 
 void Session::sendToArbiter(const char* type, mpi::Info payload) {
   payload.set(msg::kType, type);
+  payload.setInt(msg::kSeq, static_cast<std::int64_t>(++seq_));
+  if (epoch_ != 0) {
+    payload.setInt(msg::kEpoch, static_cast<std::int64_t>(epoch_));
+  }
+  if (cfg_.incarnation != 0) {
+    payload.setInt(msg::kIncarnation,
+                   static_cast<std::int64_t>(cfg_.incarnation));
+  }
   if (capture_ != nullptr) {
     capture_->record(engine_.now(), cfg_.appId, payload);
   }
   ports_.send(msg::arbiterPort(), cfg_.appId, std::move(payload));
+}
+
+void Session::armHeartbeat() {
+  if (cfg_.heartbeatSeconds <= 0.0 || heartbeatArmed_) {
+    return;
+  }
+  heartbeatArmed_ = true;
+  engine_.scheduleAfter(cfg_.heartbeatSeconds, [this, alive = alive_] {
+    if (!*alive) {
+      return;
+    }
+    heartbeatArmed_ = false;
+    if (killed_ || degraded_ || !phaseActive_) {
+      return;  // the chain dies; the next inform() restarts it
+    }
+    mpi::Info hb;
+    hb.setDouble(msg::kProgress, lastProgress_);
+    hb.set(msg::kSessionState, protocolStateString());
+    ++heartbeatsSent_;
+    sendToArbiter(msg::kHeartbeat, std::move(hb));
+    armHeartbeat();
+  });
+}
+
+void Session::armInformTimer() {
+  if (cfg_.informRetrySeconds <= 0.0) {
+    return;
+  }
+  engine_.scheduleAfter(
+      cfg_.informRetrySeconds, [this, alive = alive_, gen = retryGen_] {
+        if (!*alive || gen != retryGen_) {
+          return;  // authorized, new phase, degraded, or dead meanwhile
+        }
+        if (authorized_ || !phaseActive_ || killed_ || degraded_) {
+          return;
+        }
+        if (cfg_.degradeAfterSeconds > 0.0 &&
+            engine_.now() - informTime_ >= cfg_.degradeAfterSeconds) {
+          degrade();
+          return;
+        }
+        ++retriesSent_;
+        sendToArbiter(msg::kInform, informWire_);
+        armInformTimer();
+      });
+}
+
+void Session::armPauseDeadline(std::uint64_t gen) {
+  if (cfg_.degradeAfterSeconds <= 0.0) {
+    return;
+  }
+  engine_.scheduleAfter(cfg_.degradeAfterSeconds, [this, alive = alive_,
+                                                   gen] {
+    if (!*alive || gen != pauseGen_ || killed_) {
+      return;  // resumed (or re-paused, or dead) meanwhile
+    }
+    // Paused longer than the degradation deadline: the Resume is lost or
+    // the arbiter has forgotten us. Stop waiting for it.
+    degrade();
+  });
+}
+
+const char* Session::protocolStateString() const noexcept {
+  if (!phaseActive_) {
+    return "idle";
+  }
+  if (paused()) {
+    return "paused";
+  }
+  return authorized_ ? "accessing" : "waiting";
 }
 
 }  // namespace calciom::core

@@ -15,8 +15,23 @@
 /// application must finish its current file before yielding), while
 /// round-level granularity interrupts within ~one collective-buffering
 /// round.
+///
+/// Failure hardening (src/calciom/README.md, "Failure semantics"): every
+/// arbiter-bound message is stamped with a monotone sequence number, the
+/// phase epoch and (when configured) a scheduler incarnation, so the
+/// hardened core can discard duplicates, reorders and dead-predecessor
+/// traffic; commands are filtered symmetrically by epoch / command-sequence
+/// / incarnation. Three optional timers (all off by default) complete the
+/// loop: a heartbeat renews the arbiter's lease and reports the session's
+/// protocol state for reconciliation, an Inform retry re-announces a phase
+/// whose Inform or Grant was lost, and a degradation deadline gives up on
+/// the coordination layer entirely — the session proceeds uncoordinated
+/// (the paper's free-for-all baseline: correct, just slower under
+/// contention) and rejoins at its next phase. kill() simulates a process
+/// crash: the session goes silent in whatever protocol state it is in.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,6 +65,20 @@ struct SessionConfig {
   /// Send progress in Release() at each boundary so the arbiter's dynamic
   /// policy can estimate remaining work.
   bool sendProgressUpdates = true;
+
+  // ---- Hardening knobs; all zero = the pre-hardening protocol ----------
+  /// Scheduler incarnation of this (possibly reused) application id.
+  /// 0 = the id is never reused; incarnation filtering is off.
+  std::uint64_t incarnation = 0;
+  /// Period of the lease-renewal heartbeat while a phase is active.
+  double heartbeatSeconds = 0.0;
+  /// Retransmit the phase's Inform while still unauthorized after this
+  /// long (covers a lost Inform or a lost Grant).
+  double informRetrySeconds = 0.0;
+  /// Give up on the coordination layer after waiting (or staying paused)
+  /// this long: proceed uncoordinated for the rest of the phase, rejoin at
+  /// the next. 0 = wait forever (a session never degrades).
+  double degradeAfterSeconds = 0.0;
 };
 
 class Session final : public io::IoCoordinationHooks {
@@ -67,9 +96,12 @@ class Session final : public io::IoCoordinationHooks {
   void complete();
   /// Announces the upcoming phase to the coordination layer.
   void inform(const io::PhaseInfo& phase);
-  /// Non-blocking authorization check.
-  [[nodiscard]] bool check() const noexcept { return authorized_; }
-  /// Suspends until the access is authorized.
+  /// Non-blocking authorization check (true also while degraded: an
+  /// uncoordinated session authorizes itself).
+  [[nodiscard]] bool check() const noexcept {
+    return authorized_ || degraded_;
+  }
+  /// Suspends until the access is authorized (or the session degrades).
   sim::Task wait();
   /// Ends a step: reports progress, honours a pending pause request if the
   /// boundary's granularity allows it.
@@ -81,6 +113,19 @@ class Session final : public io::IoCoordinationHooks {
   sim::Task roundBoundary(double progress) override;
   sim::Task fileBoundary(double progress) override;
   sim::Task endPhase() override;
+
+  // ---- Fault-injection surface -------------------------------------------
+
+  /// Simulates a process crash at the current instant: the session stops
+  /// sending (heartbeats included), stops receiving (its port closes), and
+  /// wakes any suspended coroutine so the caller can observe killed() and
+  /// unwind. Idempotent. The arbiter learns of the death only through the
+  /// job scheduler (onApplicationTerminated) or its lease expiry.
+  void kill();
+  [[nodiscard]] bool killed() const noexcept { return killed_; }
+  /// True while the session has given up on coordination for the current
+  /// phase (degradeAfterSeconds elapsed unauthorized or paused).
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
 
   // ---- Introspection / statistics ----------------------------------------
 
@@ -94,6 +139,15 @@ class Session final : public io::IoCoordinationHooks {
   }
   [[nodiscard]] int pausesHonored() const noexcept { return pausesHonored_; }
   [[nodiscard]] int informsSent() const noexcept { return informsSent_; }
+  [[nodiscard]] int retriesSent() const noexcept { return retriesSent_; }
+  [[nodiscard]] int heartbeatsSent() const noexcept {
+    return heartbeatsSent_;
+  }
+  /// Phases this session completed uncoordinated.
+  [[nodiscard]] int degradedPhases() const noexcept {
+    return degradedPhases_;
+  }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
   [[nodiscard]] const SessionConfig& config() const noexcept { return cfg_; }
 
   // ---- Replay capture (analysis/replay.hpp) ------------------------------
@@ -107,6 +161,20 @@ class Session final : public io::IoCoordinationHooks {
  private:
   void onMessage(std::uint32_t from, mpi::Info payload);
   void sendToArbiter(const char* type, mpi::Info payload = {});
+  /// Arms (once) the self-rescheduling heartbeat; the chain dies on its own
+  /// when the phase ends, the session degrades, or it is killed — the
+  /// conditional re-arming is what lets the engine drain.
+  void armHeartbeat();
+  /// Arms one Inform-retry / degradation-deadline step for the current
+  /// epoch; invalidated by authorization, a new phase, or death.
+  void armInformTimer();
+  /// Schedules the paused-too-long deadline for the pause generation
+  /// `gen`; a Resume (or anything else bumping pauseGen_) invalidates it.
+  void armPauseDeadline(std::uint64_t gen);
+  /// Gives up on coordination for the rest of this phase; see file comment.
+  void degrade();
+  /// The kSessionState value heartbeats report.
+  [[nodiscard]] const char* protocolStateString() const noexcept;
 
   sim::Engine& engine_;
   mpi::PortRegistry& ports_;
@@ -116,11 +184,32 @@ class Session final : public io::IoCoordinationHooks {
   sim::Gate resumeGate_{true};
   bool authorized_ = false;
   bool pauseRequested_ = false;
+  bool portOpen_ = false;
   double waitSeconds_ = 0.0;
   double pausedSeconds_ = 0.0;
   int pausesHonored_ = 0;
   int informsSent_ = 0;
   EventLog* capture_ = nullptr;
+
+  // -- hardening state (see file comment) --
+  bool phaseActive_ = false;
+  bool degraded_ = false;
+  bool killed_ = false;
+  std::uint64_t seq_ = 0;        ///< monotone message stamp (kSeq)
+  std::uint64_t epoch_ = 0;      ///< current phase number (kEpoch)
+  std::uint64_t lastCmdSeq_ = 0; ///< highest command sequence applied
+  std::uint64_t retryGen_ = 0;   ///< invalidates pending Inform timers
+  std::uint64_t pauseGen_ = 0;   ///< invalidates pending pause deadlines
+  bool heartbeatArmed_ = false;
+  sim::Time informTime_ = 0.0;
+  double lastProgress_ = 0.0;
+  mpi::Info informWire_;  ///< last Inform payload, for retransmission
+  int retriesSent_ = 0;
+  int heartbeatsSent_ = 0;
+  int degradedPhases_ = 0;
+  /// Tombstone for timer events in flight at destruction (the engine has
+  /// no cancellation; see sim/engine.hpp).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace calciom::core

@@ -1,0 +1,385 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "calciom/arbiter.hpp"
+#include "calciom/global_arbiter.hpp"
+#include "calciom/session.hpp"
+#include "io/hooks.hpp"
+#include "mpi/port.hpp"
+#include "platform/cluster.hpp"
+#include "sim/barrier_hook.hpp"
+#include "sim/contracts.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace calciom::fault {
+
+namespace {
+
+using core::Session;
+using core::SessionConfig;
+using sim::Delay;
+using sim::Engine;
+using sim::Task;
+
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Hash-indexed draw for plan derivation (distinct stream from the
+/// injector's own decision hashes: different constant).
+[[nodiscard]] std::uint64_t draw(std::uint64_t seed, std::uint64_t i) {
+  return mix64(mix64(seed ^ 0xC4A05EEDull) ^ i);
+}
+
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const unsigned char c : s) {
+    h = (h ^ c) * 1099511628211ull;
+  }
+  return h;
+}
+
+io::PhaseInfo chaosPhase(std::uint32_t appId, const ChaosConfig& cfg) {
+  io::PhaseInfo info;
+  info.appId = appId;
+  info.appName = "chaos" + std::to_string(appId);
+  info.processes = 64;
+  info.files = 1;
+  info.roundsPerFile = cfg.roundsPerPhase;
+  info.totalBytes = 1000;
+  info.bytesPerRound =
+      1000 / static_cast<std::uint64_t>(std::max(cfg.roundsPerPhase, 1));
+  info.estimatedAloneSeconds = cfg.roundsPerPhase * cfg.roundSeconds;
+  return info;
+}
+
+/// One synthetic application: staggered start, `phases` phases of
+/// `roundsPerPhase` rounds, hooks driven like the real writer drives them.
+/// Checks killed() after every suspension — a crash can land anywhere.
+Task chaosApp(Engine& eng, Session& s, const ChaosConfig& cfg, int index,
+              ChaosAppOutcome* out) {
+  co_await Delay{cfg.startStaggerSeconds * index};
+  for (int p = 0; p < cfg.phases; ++p) {
+    if (s.killed()) {
+      co_return;
+    }
+    if (p > 0) {
+      co_await Delay{cfg.idleSeconds};
+      if (s.killed()) {
+        co_return;
+      }
+    }
+    co_await eng.spawn(s.beginPhase(chaosPhase(s.config().appId, cfg)));
+    if (s.killed()) {
+      co_return;
+    }
+    for (int r = 0; r < cfg.roundsPerPhase; ++r) {
+      co_await Delay{cfg.roundSeconds};
+      if (s.killed()) {
+        co_return;
+      }
+      ++out->roundsCompleted;
+      if (r + 1 < cfg.roundsPerPhase) {
+        co_await eng.spawn(s.roundBoundary(
+            static_cast<double>(r + 1) /
+            static_cast<double>(cfg.roundsPerPhase)));
+        if (s.killed()) {
+          co_return;
+        }
+      }
+    }
+    co_await eng.spawn(s.endPhase());
+    ++out->phasesCompleted;
+  }
+  out->completed = true;
+}
+
+SessionConfig sessionConfig(std::uint32_t appId, int index,
+                            const ChaosConfig& cfg) {
+  SessionConfig sc;
+  sc.appId = appId;
+  sc.appName = "chaos" + std::to_string(appId);
+  sc.cores = 32 + 32 * (index % 4);
+  sc.granularity = core::HookGranularity::PerRound;
+  if (cfg.hardened) {
+    sc.heartbeatSeconds = cfg.heartbeatSeconds;
+    sc.informRetrySeconds = cfg.informRetrySeconds;
+    sc.degradeAfterSeconds = cfg.degradeAfterSeconds;
+  }
+  return sc;
+}
+
+void summarize(const ChaosConfig& cfg, const core::ArbiterCore& core,
+               const std::vector<std::unique_ptr<Session>>& sessions,
+               double simSeconds, ChaosResult& out) {
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    ChaosAppOutcome& a = out.apps[i];
+    a.killed = sessions[i]->killed();
+    a.degradedPhases = sessions[i]->degradedPhases();
+    if (!a.killed) {
+      ++out.survivors;
+      if (a.completed) {
+        ++out.survivorsCompleted;
+      }
+    }
+    if (a.degradedPhases > 0) {
+      ++out.degradedSessions;
+      if (!a.killed && !a.completed) {
+        out.degradedAllCompleted = false;
+      }
+    }
+    out.roundsCompleted += a.roundsCompleted;
+  }
+  out.arbiterIdle = core.idle();
+  out.simSeconds = simSeconds;
+  out.cpuSecondsWaited = core.cpuSecondsWaited();
+  out.decisionCount = core.decisions().size();
+  out.grants = core.grantsIssued();
+  out.pauses = core.pausesIssued();
+  out.leaseReclaims = core.leaseReclaims();
+  out.maxConcurrentAccessors = core.maxConcurrentAccessors();
+  out.grantLog = core.grantLog();
+  out.throughputRoundsPerSecond =
+      simSeconds > 0.0 ? static_cast<double>(out.roundsCompleted) / simSeconds
+                       : 0.0;
+  std::uint64_t h = 14695981039346656037ull;
+  for (const core::DecisionRecord& d : core.decisions()) {
+    h = fnv1a(h, core::toJson(d));
+  }
+  for (const core::GrantRecord& g : core.grantLog()) {
+    std::string line = "g ";
+    core::detail::appendJsonNumber(line, g.time);
+    line += ' ' + std::to_string(g.app) + (g.resume ? " r" : " g");
+    h = fnv1a(h, line);
+  }
+  out.fingerprint = h;
+  (void)cfg;
+}
+
+ChaosResult runSameEngine(const ChaosConfig& cfg) {
+  Engine eng;
+  mpi::PortRegistry ports(eng, cfg.messageLatencySeconds);
+  Injector injector(cfg.plan, /*shard=*/0);
+  if (cfg.installInjector) {
+    ports.setDeliveryFilter(&injector);
+  }
+  core::ArbiterOptions opts;
+  if (cfg.hardened) {
+    opts.leases = core::LeaseConfig{cfg.leaseSeconds, cfg.commandRetrySeconds};
+    opts.tickSeconds = cfg.arbiterTickSeconds;
+    opts.auditInvariants = true;
+  }
+  core::Arbiter arbiter(eng, ports, core::makePolicy(cfg.policy), opts);
+
+  ChaosResult out;
+  out.apps.resize(static_cast<std::size_t>(cfg.apps));
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int i = 0; i < cfg.apps; ++i) {
+    const auto appId = static_cast<std::uint32_t>(i + 1);
+    sessions.push_back(
+        std::make_unique<Session>(eng, ports, sessionConfig(appId, i, cfg)));
+    eng.spawn(chaosApp(eng, *sessions.back(), cfg, i,
+                       &out.apps[static_cast<std::size_t>(i)]));
+  }
+  for (const CrashSpec& c : cfg.plan.crashes) {
+    if (c.app == 0 || c.app > static_cast<std::uint32_t>(cfg.apps)) {
+      continue;
+    }
+    Session* victim = sessions[c.app - 1].get();
+    eng.scheduleAt(c.at, [victim] { victim->kill(); });
+    if (c.reported) {
+      // Scheduled second at the same timestamp: the scheduler notices the
+      // death after the process is gone, never before.
+      eng.scheduleAt(c.at, [&arbiter, app = c.app] {
+        arbiter.onApplicationTerminated(app);
+      });
+    }
+  }
+  eng.run();
+  summarize(cfg, arbiter.core(), sessions, eng.now(), out);
+  out.messagesSeen = injector.messagesSeen();
+  out.messagesDropped = injector.messagesDropped();
+  out.messagesDelayed = injector.messagesDelayed();
+  out.messagesDuplicated = injector.messagesDuplicated();
+  return out;
+}
+
+/// Barrier hook driving the cluster-side chaos plumbing:
+///  * applies *reported* crashes to the global arbiter's job-scheduler
+///    interface once their crash time has passed (at a barrier, the only
+///    race-free place to touch the arbiter from outside shard loops);
+///  * keeps the cluster's rounds alive while the core still holds state —
+///    dead-silent apps produce no events, and the lease sweep only runs at
+///    barriers — bounded by maxSimSeconds as a liveness-bug backstop.
+class ChaosDriver final : public sim::BarrierHook {
+ public:
+  ChaosDriver(platform::Cluster& cluster, GlobalArbiter& arbiter,
+              std::vector<CrashSpec> reported, double maxSimSeconds,
+              double stepSeconds)
+      : cluster_(cluster),
+        arbiter_(arbiter),
+        reported_(std::move(reported)),
+        maxSimSeconds_(maxSimSeconds),
+        stepSeconds_(stepSeconds) {}
+
+  bool onBarrier(sim::Time barrierTime) override {
+    bool scheduled = false;
+    for (CrashSpec& c : reported_) {
+      if (c.app != 0 && c.at <= barrierTime) {
+        arbiter_.onApplicationTerminated(c.app);
+        c.app = 0;  // applied
+        scheduled = true;
+      }
+    }
+    const bool pendingReports = std::any_of(
+        reported_.begin(), reported_.end(),
+        [&](const CrashSpec& c) { return c.app != 0; });
+    if ((pendingReports || !arbiter_.core().idle()) &&
+        barrierTime < maxSimSeconds_) {
+      // A no-op heartbeat event: forces another round so queued scheduler
+      // events and the lease sweep keep executing on a drained cluster.
+      cluster_.engine(0).scheduleAt(barrierTime + stepSeconds_, [] {});
+      scheduled = true;
+    }
+    return scheduled;
+  }
+
+ private:
+  platform::Cluster& cluster_;
+  GlobalArbiter& arbiter_;
+  std::vector<CrashSpec> reported_;
+  double maxSimSeconds_;
+  double stepSeconds_;
+};
+
+ChaosResult runCluster(const ChaosConfig& cfg) {
+  CALCIOM_EXPECTS(cfg.shards >= 1);
+  platform::ClusterSpec spec;
+  spec.name = "chaos";
+  spec.shards = cfg.shards;
+  spec.syncHorizonSeconds = cfg.syncHorizonSeconds;
+  platform::Cluster cl(spec);
+
+  std::vector<std::unique_ptr<Injector>> injectors;
+  std::vector<Injector*> injectorPtrs;
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    injectors.push_back(std::make_unique<Injector>(cfg.plan, s));
+    injectorPtrs.push_back(injectors.back().get());
+    if (cfg.installInjector) {
+      cl.machine(s).ports().setDeliveryFilter(injectors.back().get());
+    }
+  }
+
+  GlobalArbiter::Config gcfg;
+  if (cfg.hardened) {
+    gcfg.leases = core::LeaseConfig{cfg.leaseSeconds, cfg.commandRetrySeconds};
+    gcfg.auditInvariants = true;
+  }
+  GlobalArbiter& ga =
+      GlobalArbiter::install(cl, core::makePolicy(cfg.policy), gcfg);
+  if (cfg.installInjector) {
+    ga.setStubInjectors(injectorPtrs);
+  }
+
+  ChaosResult out;
+  out.apps.resize(static_cast<std::size_t>(cfg.apps));
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int i = 0; i < cfg.apps; ++i) {
+    const auto appId = static_cast<std::uint32_t>(i + 1);
+    const std::size_t shard = static_cast<std::size_t>(i) % cfg.shards;
+    Engine& eng = cl.engine(shard);
+    sessions.push_back(std::make_unique<Session>(
+        eng, cl.machine(shard).ports(), sessionConfig(appId, i, cfg)));
+    eng.spawn(chaosApp(eng, *sessions.back(), cfg, i,
+                       &out.apps[static_cast<std::size_t>(i)]));
+  }
+  std::vector<CrashSpec> reported;
+  for (const CrashSpec& c : cfg.plan.crashes) {
+    if (c.app == 0 || c.app > static_cast<std::uint32_t>(cfg.apps)) {
+      continue;
+    }
+    const std::size_t shard =
+        static_cast<std::size_t>(c.app - 1) % cfg.shards;
+    Session* victim = sessions[c.app - 1].get();
+    cl.engine(shard).scheduleAt(c.at, [victim] { victim->kill(); });
+    if (c.reported) {
+      reported.push_back(c);
+    }
+  }
+  ChaosDriver driver(cl, ga, std::move(reported), cfg.maxSimSeconds,
+                     cfg.syncHorizonSeconds);
+  cl.addBarrierHook(&driver);
+
+  cl.run(cfg.workers);
+  summarize(cfg, ga.core(), sessions, cl.maxShardClock(), out);
+  for (const auto& inj : injectors) {
+    out.messagesSeen += inj->messagesSeen();
+    out.messagesDropped += inj->messagesDropped();
+    out.messagesDelayed += inj->messagesDelayed();
+    out.messagesDuplicated += inj->messagesDuplicated();
+  }
+  out.blackoutDiscarded = ga.blackoutDiscarded();
+  return out;
+}
+
+}  // namespace
+
+Plan chaosPlan(std::uint64_t seed, int apps) {
+  CALCIOM_EXPECTS(apps >= 1);
+  Plan plan;
+  plan.seed = seed;
+  // Shape draws; each index is an independent stream off the seed.
+  constexpr double kDrop[] = {0.0, 0.02, 0.05, 0.10, 0.25};
+  constexpr double kDelayP[] = {0.0, 0.10, 0.25};
+  constexpr double kDelayMax[] = {0.05, 0.5, 2.0};
+  constexpr double kDup[] = {0.0, 0.05, 0.15};
+  constexpr double kReorder[] = {0.0, 0.10};
+  constexpr double kBlackout[] = {0.0, 0.05, 0.15};
+  plan.dropProbability = kDrop[draw(seed, 1) % 5];
+  plan.delayProbability = kDelayP[draw(seed, 2) % 3];
+  plan.maxDelaySeconds = kDelayMax[draw(seed, 3) % 3];
+  plan.duplicateProbability = kDup[draw(seed, 4) % 3];
+  plan.reorderProbability = kReorder[draw(seed, 5) % 2];
+  plan.reorderDelaySeconds = 1.5e-3;  // ~1.5 message latencies: a real swap
+  plan.blackoutProbability = kBlackout[draw(seed, 6) % 3];
+  plan.blackoutRounds = 1 + static_cast<int>(draw(seed, 7) % 3);
+  // Up to apps-1 crashes (at least one app always survives), spread over
+  // the campaign's active window, each reported or silent.
+  const int crashes = static_cast<int>(
+      draw(seed, 8) % static_cast<std::uint64_t>(apps));
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < apps; ++i) {
+    ids.push_back(static_cast<std::uint32_t>(i + 1));
+  }
+  for (int c = 0; c < crashes; ++c) {
+    const std::uint64_t pick =
+        draw(seed, 16 + static_cast<std::uint64_t>(c) * 3) % ids.size();
+    CrashSpec spec;
+    spec.app = ids[pick];
+    ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    const std::uint64_t tBits =
+        draw(seed, 17 + static_cast<std::uint64_t>(c) * 3);
+    spec.at = 0.25 + static_cast<double>(tBits % 1000) / 1000.0 * 6.0;
+    spec.reported =
+        (draw(seed, 18 + static_cast<std::uint64_t>(c) * 3) & 1) != 0;
+    plan.crashes.push_back(spec);
+  }
+  return plan;
+}
+
+ChaosResult runChaos(const ChaosConfig& cfg) {
+  CALCIOM_EXPECTS(cfg.apps >= 1);
+  CALCIOM_EXPECTS(cfg.phases >= 1);
+  CALCIOM_EXPECTS(cfg.roundsPerPhase >= 1);
+  return cfg.transport == ChaosTransport::SameEngine ? runSameEngine(cfg)
+                                                     : runCluster(cfg);
+}
+
+}  // namespace calciom::fault

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file chaos.hpp
+/// Randomized chaos harness over the CALCioM coordination stack: one seeded
+/// fault schedule (fault/injector.hpp), one synthetic contended campaign,
+/// both transports (same-engine Arbiter or GlobalArbiter over a sharded
+/// Cluster), and a result summary carrying exactly the invariants the chaos
+/// suite asserts (tests/fault_chaos_test.cpp):
+///
+///  * liveness — the run terminates, every surviving application finishes
+///    all its phases (coordinated or degraded), the arbiter drains to Idle;
+///  * safety — the arbiter never has two concurrent accessors under an
+///    exclusive policy (Fcfs / Interrupt), and the core's container
+///    invariants hold after every transition (audit mode).
+///
+/// Determinism: the campaign shape and the fault schedule are pure
+/// functions of the config (chaosPlan() derives the plan from a seed by
+/// hashing, never from an engine RNG), so any failing seed replays exactly
+/// — on any worker count.
+
+#include <cstdint>
+#include <vector>
+
+#include "calciom/arbiter_core.hpp"
+#include "calciom/policy.hpp"
+#include "fault/injector.hpp"
+
+namespace calciom::fault {
+
+enum class ChaosTransport {
+  /// Sessions + core::Arbiter on one engine; message faults on the
+  /// PortRegistry send path.
+  SameEngine,
+  /// Sessions across a platform::Cluster under a GlobalArbiter; adds stub
+  /// blackouts and command-path faults at the barrier.
+  Cluster,
+};
+
+struct ChaosConfig {
+  ChaosTransport transport = ChaosTransport::SameEngine;
+  core::PolicyKind policy = core::PolicyKind::Fcfs;
+  int apps = 4;
+  int phases = 2;
+  int roundsPerPhase = 3;
+  double roundSeconds = 0.4;
+  /// App i starts at i * startStaggerSeconds.
+  double startStaggerSeconds = 0.3;
+  /// Compute time between phases.
+  double idleSeconds = 0.6;
+  double messageLatencySeconds = 1e-3;  // SameEngine registry latency
+  std::size_t shards = 2;               // Cluster only
+  unsigned workers = 1;                 // Cluster only
+  double syncHorizonSeconds = 0.5;      // Cluster only
+
+  /// The fault schedule; a default Plan is fault-free.
+  Plan plan;
+  /// Install the Injector even when the plan is disabled (the zero-fault
+  /// bit-identity gate: a disabled injector must change nothing).
+  bool installInjector = true;
+  /// Protocol hardening on/off: leases + audit at the arbiter, stamps +
+  /// heartbeat / retry / degradation timers at the sessions. Off = the
+  /// pre-hardening protocol (faults then cost liveness, not correctness —
+  /// the engine still drains, apps just finish incomplete).
+  bool hardened = true;
+
+  // -- hardening knobs (used when hardened) --
+  double heartbeatSeconds = 0.2;
+  double informRetrySeconds = 0.5;
+  /// Per-phase give-up deadline. Must exceed the worst *legitimate* wait
+  /// (a fully serialized campaign), or fault-free runs would degrade too.
+  double degradeAfterSeconds = 30.0;
+  double leaseSeconds = 1.5;
+  double commandRetrySeconds = 0.4;
+  double arbiterTickSeconds = 0.25;  // SameEngine (Cluster ticks at barriers)
+
+  /// Hard wall for the cluster keepalive: past this simulated time the
+  /// harness stops forcing barrier rounds (a liveness-bug backstop; healthy
+  /// runs drain far earlier).
+  double maxSimSeconds = 300.0;
+};
+
+struct ChaosAppOutcome {
+  bool killed = false;
+  bool completed = false;  ///< ran every phase to the end
+  int phasesCompleted = 0;
+  int degradedPhases = 0;
+  std::uint64_t roundsCompleted = 0;
+};
+
+struct ChaosResult {
+  std::vector<ChaosAppOutcome> apps;
+  int survivors = 0;           ///< apps not killed by the plan
+  int survivorsCompleted = 0;  ///< liveness: must equal survivors
+  int degradedSessions = 0;    ///< sessions with >= 1 degraded phase
+  bool degradedAllCompleted = true;
+  bool arbiterIdle = false;  ///< core drained to Idle at the end
+  double simSeconds = 0.0;
+  double cpuSecondsWaited = 0.0;
+  std::size_t decisionCount = 0;
+  std::size_t grants = 0;
+  std::size_t pauses = 0;
+  std::size_t leaseReclaims = 0;
+  std::size_t maxConcurrentAccessors = 0;
+  std::uint64_t messagesSeen = 0;
+  std::uint64_t messagesDropped = 0;
+  std::uint64_t messagesDelayed = 0;
+  std::uint64_t messagesDuplicated = 0;
+  std::uint64_t blackoutDiscarded = 0;  // Cluster only
+  std::uint64_t roundsCompleted = 0;
+  double throughputRoundsPerSecond = 0.0;
+  /// FNV-1a over the decision stream's JSON and the grant log — the
+  /// bit-identity probe of the zero-fault and worker-invariance gates.
+  std::uint64_t fingerprint = 0;
+  std::vector<core::GrantRecord> grantLog;
+};
+
+/// Derives a diverse fault schedule from `seed` for a campaign of `apps`
+/// applications: drop / delay / duplicate / reorder mixes, stub blackouts,
+/// and up to apps-1 crashes (reported or silent) — always leaving at least
+/// one survivor. Pure hash; the same seed always yields the same plan.
+[[nodiscard]] Plan chaosPlan(std::uint64_t seed, int apps);
+
+/// Runs one seeded chaos campaign; see file comment.
+[[nodiscard]] ChaosResult runChaos(const ChaosConfig& cfg);
+
+}  // namespace calciom::fault

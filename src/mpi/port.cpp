@@ -1,11 +1,34 @@
 #include "mpi/port.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace calciom::mpi {
 
 bool PortRegistry::send(const std::string& port, std::uint32_t fromApp,
                         Info payload) {
+  if (filter_ == nullptr) {
+    return scheduleDelivery(port, fromApp, std::move(payload), latency_);
+  }
+  const DeliveryFilter::Verdict v = filter_->onSend(port, fromApp, payload);
+  if (v.duplicate) {
+    // The copy first: with equal extra delays it lands before the original
+    // ((time, seq) order), which is the adversarial case for idempotency —
+    // the receiver applies the copy and must treat the original as stale.
+    scheduleDelivery(port, fromApp, payload,
+                     latency_ + std::max(v.duplicateExtraDelaySeconds, 0.0));
+  }
+  if (v.drop) {
+    // Lost in the network: the sender saw a successful send.
+    return true;
+  }
+  return scheduleDelivery(port, fromApp, std::move(payload),
+                          latency_ + std::max(v.extraDelaySeconds, 0.0));
+}
+
+bool PortRegistry::scheduleDelivery(const std::string& port,
+                                    std::uint32_t fromApp, Info payload,
+                                    double delaySeconds) {
   if (ports_.count(port) == 0) {
     if (relay_ == nullptr) {
       return false;
@@ -13,7 +36,7 @@ bool PortRegistry::send(const std::string& port, std::uint32_t fromApp,
     // Routed at send time: the message belongs to the relay even if the
     // port opens while it is in flight (a connection is a connection).
     engine_.scheduleAfter(
-        latency_,
+        delaySeconds,
         [this, port, fromApp, payload = std::move(payload)]() mutable {
           if (relay_ == nullptr) {
             return;  // relay removed while the message was in flight
@@ -24,7 +47,8 @@ bool PortRegistry::send(const std::string& port, std::uint32_t fromApp,
     return true;
   }
   engine_.scheduleAfter(
-      latency_, [this, port, fromApp, payload = std::move(payload)]() mutable {
+      delaySeconds,
+      [this, port, fromApp, payload = std::move(payload)]() mutable {
         const auto it = ports_.find(port);
         if (it == ports_.end()) {
           return;  // port closed while the message was in flight

@@ -37,6 +37,34 @@
 
 namespace calciom::mpi {
 
+/// Inspection point on the send path, consulted once per send() before the
+/// delivery event is scheduled. This is how fault injection
+/// (calciom::fault::Injector) perturbs the message layer without the layer
+/// knowing: a filter may drop the message, add delivery delay (which also
+/// reorders it relative to later sends — delivery order is timestamp order),
+/// or duplicate it. With no filter installed — or a filter returning the
+/// default Verdict — the send path is byte-for-byte the unfiltered one, which
+/// is what keeps zero-fault runs bit-identical to pre-filter builds.
+class DeliveryFilter {
+ public:
+  struct Verdict {
+    /// Swallow the message in flight (the sender still sees success — a
+    /// lost message, not a refused one).
+    bool drop = false;
+    /// Extra delivery delay on top of the registry latency.
+    double extraDelaySeconds = 0.0;
+    /// Also deliver a second copy of the message.
+    bool duplicate = false;
+    /// Extra delay of the duplicate copy.
+    double duplicateExtraDelaySeconds = 0.0;
+  };
+
+  virtual ~DeliveryFilter() = default;
+  [[nodiscard]] virtual Verdict onSend(const std::string& port,
+                                       std::uint32_t fromApp,
+                                       const Info& payload) = 0;
+};
+
 class PortRegistry {
  public:
   using Handler = std::function<void(std::uint32_t fromApp, Info payload)>;
@@ -71,6 +99,18 @@ class PortRegistry {
   void setRelay(RelayHandler relay) { relay_ = std::move(relay); }
   [[nodiscard]] bool hasRelay() const noexcept { return relay_ != nullptr; }
 
+  /// Installs (or, with nullptr, removes) the delivery filter consulted by
+  /// send(). Non-owning: the filter must outlive the registry's sends. Only
+  /// send() consults it — deliverNow() is the barrier-time path whose
+  /// faultiness the barrier hook models itself (calciom::GlobalArbiter asks
+  /// the injector directly when it schedules command deliveries).
+  void setDeliveryFilter(DeliveryFilter* filter) noexcept {
+    filter_ = filter;
+  }
+  [[nodiscard]] bool hasDeliveryFilter() const noexcept {
+    return filter_ != nullptr;
+  }
+
   /// Sends `payload` to `port`. Returns false if the port does not exist at
   /// send time and no relay is installed. Delivery is skipped silently if
   /// the port closes in flight (like a connection torn down while a message
@@ -102,10 +142,16 @@ class PortRegistry {
   }
 
  private:
+  /// The unfiltered send path: schedules one delivery after `delaySeconds`
+  /// (routing fixed at send time, as documented on send()).
+  bool scheduleDelivery(const std::string& port, std::uint32_t fromApp,
+                        Info payload, double delaySeconds);
+
   sim::Engine& engine_;
   double latency_;
   std::map<std::string, Handler> ports_;
   RelayHandler relay_;
+  DeliveryFilter* filter_ = nullptr;
   std::uint64_t delivered_ = 0;
   std::uint64_t relayed_ = 0;
 };

@@ -388,4 +388,136 @@ TEST(ArbiterTest, DecisionToJsonDumpsContextAndCosts) {
       << fcfsJson;
 }
 
+// ---------------------------------------------------------------------------
+// Idempotency under replayed / reordered traffic. A SeqApp is a FakeApp that
+// stamps kSeq (and kEpoch) the way a hardened Session does, so the core's
+// admission filters engage; the invariant throughout is that duplicates and
+// reorders leave the decision stream and the grant log byte-identical.
+
+struct SeqApp : FakeApp {
+  using FakeApp::FakeApp;
+
+  void send(const char* type, Info wire, std::uint64_t seq,
+            std::uint64_t epoch) {
+    wire.set(msg::kType, type);
+    wire.setInt(msg::kSeq, static_cast<std::int64_t>(seq));
+    wire.setInt(msg::kEpoch, static_cast<std::int64_t>(epoch));
+    ports.send(msg::arbiterPort(), id, std::move(wire));
+  }
+  void inform(std::uint64_t seq, std::uint64_t epoch) {
+    IoDescriptor d;
+    d.appId = id;
+    d.cores = 64;
+    d.estAloneSeconds = 10.0;
+    send(msg::kInform, d.toInfo(), seq, epoch);
+  }
+  void release(double progress, std::uint64_t seq, std::uint64_t epoch) {
+    Info wire;
+    wire.setDouble(msg::kProgress, progress);
+    send(msg::kRelease, std::move(wire), seq, epoch);
+  }
+  void pauseAck(double progress, std::uint64_t seq, std::uint64_t epoch) {
+    Info wire;
+    wire.setDouble(msg::kProgress, progress);
+    send(msg::kPauseAck, std::move(wire), seq, epoch);
+  }
+  void complete(std::uint64_t seq, std::uint64_t epoch) {
+    send(msg::kComplete, Info{}, seq, epoch);
+  }
+};
+
+std::string decisionStream(const Arbiter& arbiter) {
+  std::string out;
+  for (const auto& d : arbiter.decisions()) {
+    out += calciom::core::toJson(d);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ArbiterIdempotencyTest, DuplicateGrantEraReleaseIsANoop) {
+  Rig rig(PolicyKind::Fcfs);
+  SeqApp a(1, rig.ports);
+  a.inform(1, 1);
+  rig.eng.run();
+  a.release(0.5, 2, 1);
+  rig.eng.run();
+  ASSERT_EQ(rig.arbiter.core().appProgress(1), 0.5);
+  const std::string decisions = decisionStream(rig.arbiter);
+  const std::size_t grants = rig.arbiter.core().grantLog().size();
+  // The same Release again — an injector-duplicated message — with a
+  // different progress payload: the stale stamp must win over the payload.
+  a.release(0.9, 2, 1);
+  rig.eng.run();
+  EXPECT_EQ(rig.arbiter.core().appProgress(1), 0.5);
+  EXPECT_EQ(decisionStream(rig.arbiter), decisions);
+  EXPECT_EQ(rig.arbiter.core().grantLog().size(), grants);
+}
+
+TEST(ArbiterIdempotencyTest, ReplayedPauseAckAfterResumeIsANoop) {
+  Rig rig(PolicyKind::Interrupt);
+  SeqApp a(1, rig.ports);
+  SeqApp b(2, rig.ports);
+  a.inform(1, 1);
+  rig.eng.run();
+  b.inform(1, 1);
+  rig.eng.run();  // interrupt: Pause to a
+  a.pauseAck(0.4, 2, 1);
+  rig.eng.run();  // b granted, a paused
+  b.complete(2, 1);
+  rig.eng.run();  // a resumed
+  ASSERT_EQ(rig.arbiter.currentAccessors(), std::vector<std::uint32_t>{1});
+  ASSERT_TRUE(rig.arbiter.pausedStack().empty());
+  const std::string decisions = decisionStream(rig.arbiter);
+  const std::size_t grants = rig.arbiter.core().grantLog().size();
+  // The ack replays after the resume (duplicate delivery, late reorder):
+  // a must stay the accessor, nothing may re-pause or re-decide.
+  a.pauseAck(0.4, 2, 1);
+  rig.eng.run();
+  EXPECT_EQ(rig.arbiter.currentAccessors(), std::vector<std::uint32_t>{1});
+  EXPECT_TRUE(rig.arbiter.pausedStack().empty());
+  EXPECT_EQ(decisionStream(rig.arbiter), decisions);
+  EXPECT_EQ(rig.arbiter.core().grantLog().size(), grants);
+}
+
+TEST(ArbiterIdempotencyTest, OutOfOrderCompleteInformMatchesOrdered) {
+  // One app ends phase 1 and announces phase 2 back-to-back; a second app
+  // waits in the queue throughout. Deliver the pair in order in one rig and
+  // swapped (the injector's reorder fault) in the other: the epoch-aware
+  // Inform path must linearize the swap (new-epoch Inform closes the old
+  // phase; the late Complete's stale stamp is then discarded), leaving both
+  // rigs with identical decision streams and grant logs.
+  const auto run = [](bool reordered) {
+    Rig rig(PolicyKind::Fcfs);
+    SeqApp a(1, rig.ports);
+    SeqApp b(2, rig.ports);
+    a.inform(1, 1);
+    rig.eng.run();
+    b.inform(1, 1);
+    rig.eng.run();
+    // Same engine instant, so both deliveries share a timestamp and only
+    // their order differs between the two rigs.
+    if (reordered) {
+      a.inform(3, 2);
+      a.complete(2, 1);
+    } else {
+      a.complete(2, 1);
+      a.inform(3, 2);
+    }
+    rig.eng.run();
+    b.complete(2, 1);  // a's phase-2 request reaches the front: Grant
+    rig.eng.run();
+    a.complete(4, 2);
+    rig.eng.run();
+    EXPECT_TRUE(rig.arbiter.core().idle());
+    std::string log;
+    for (const auto& g : rig.arbiter.core().grantLog()) {
+      log += std::to_string(g.app) + "@";
+      log += std::to_string(g.time) + ";";
+    }
+    return decisionStream(rig.arbiter) + log;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 }  // namespace

@@ -561,6 +561,65 @@ TEST(GlobalArbiterTest, LaunchQueuedAfterSameRoundTerminationRevives) {
   EXPECT_GT(a.end, 0.0);
 }
 
+TEST(GlobalArbiterTest, IdReuseRacesDelayedPredecessorInform) {
+  // The dead-id discard set's hard case (see the capacity note on `dead_`
+  // in global_arbiter.hpp): the predecessor's Inform is delayed in flight
+  // — here by a targeted DeliveryFilter, the same hook fault::Injector
+  // uses — and surfaces only after the scheduler reused the id and the
+  // revival erased it from the discard set. The discard set cannot help
+  // then; the incarnation fence must drop the stale Inform instead, or the
+  // dead predecessor's request re-registers and wedges the queue forever.
+  struct DelayFirstCoordMessage final : calciom::mpi::DeliveryFilter {
+    Verdict onSend(const std::string& port, std::uint32_t,
+                   const calciom::mpi::Info&) override {
+      Verdict v;
+      if (!done_ && port.rfind("calciom/", 0) == 0) {
+        done_ = true;
+        v.extraDelaySeconds = 2.0;
+      }
+      return v;
+    }
+    bool done_ = false;
+  };
+
+  ClusterSpec spec;
+  spec.shards = 2;
+  spec.syncHorizonSeconds = 0.5;
+  Cluster cl(spec);
+  GlobalArbiter& ga = GlobalArbiter::install(cl, makePolicy(PolicyKind::Fcfs));
+  DelayFirstCoordMessage delay;
+  cl.machine(0).ports().setDeliveryFilter(&delay);
+  // Predecessor: incarnation 1 on shard 0. Its Inform leaves at t=0 but
+  // reaches the shard's stub only at t~2.0, long after its death.
+  Session dead(cl.engine(0), cl.machine(0).ports(),
+               SessionConfig{.appId = 1,
+                             .appName = "a",
+                             .cores = 64,
+                             .incarnation = 1});
+  AppResult deadResult;
+  cl.engine(0).spawn(synthApp(cl.engine(0), dead, 1, 1.0, 0.0, 1, 1.0,
+                              &deadResult));
+  ga.onApplicationTerminated(1);
+  // Successor: incarnation 2 of the same id on shard 1, launched before
+  // the predecessor's Inform ever surfaces.
+  ga.onApplicationLaunched(1);
+  Session fresh(cl.engine(1), cl.machine(1).ports(),
+                SessionConfig{.appId = 1,
+                              .appName = "a2",
+                              .cores = 32,
+                              .incarnation = 2});
+  AppResult freshResult;
+  cl.engine(1).spawn(synthApp(cl.engine(1), fresh, 1, 1.0, 0.5, 1, 1.0,
+                              &freshResult));
+  cl.run(1);
+  EXPECT_TRUE(delay.done_);  // the predecessor Inform really was delayed
+  // The successor completed normally; the stale Inform neither granted the
+  // dead predecessor nor left a phantom request behind: the core drained.
+  EXPECT_EQ(ga.grantsIssued(), 1u);
+  EXPECT_GT(freshResult.end, 0.0);
+  EXPECT_TRUE(ga.core().idle());
+}
+
 TEST(GlobalArbiterTest, StubRejectsSecondArbiterOnSameShard) {
   ClusterSpec spec;
   spec.shards = 1;
