@@ -24,11 +24,24 @@
 //    fingerprints must agree pairwise (fault schedules are derived by pure
 //    hashing, so determinism is worker-count invariant even mid-chaos).
 //
+//  * arbiter_crash_sweep — withArbiterCrash() on top of the chaos mix, both
+//    transports: the arbiter dies mid-campaign and recovers from its last
+//    checkpoint + WAL + session reconciliation. Gate: every crash is
+//    followed by a completed restart, at least one checkpoint existed to
+//    recover from, and the run still completes.
+//
+// Every run object carries the per-class injected-fault counters (drops /
+// delays / duplicates / reorders / app crashes / arbiter crashes) so a
+// baseline diff shows *what* the schedule actually did, not just the
+// outcome.
+//
 // `--smoke` runs the CI tripwire: the zero-fault bit-identity gate (same
 // campaign with the injector installed-but-disabled vs not installed at all
 // must produce identical decision-stream/grant-log fingerprints, wait times
 // and grant counts, on both transports) plus one fixed chaos seed that must
-// terminate with all survivors complete. Exits non-zero on any violation.
+// terminate with all survivors complete, and the same seed again with an
+// arbiter crash injected (crash-recovery liveness). Exits non-zero on any
+// violation.
 
 #include <cstdint>
 #include <cstdio>
@@ -50,6 +63,7 @@ using calciom::fault::ChaosTransport;
 using calciom::fault::CrashSpec;
 using calciom::fault::Plan;
 using calciom::fault::runChaos;
+using calciom::fault::withArbiterCrash;
 
 /// The sweep campaign: enough apps and rounds that serialization, pauses
 /// and retries all happen, small enough that a 5-point sweep is cheap.
@@ -75,24 +89,54 @@ bool runCompleted(const ChaosResult& r) {
          r.degradedAllCompleted;
 }
 
+/// Crash-recovery gate: every applied arbiter crash was followed by a
+/// completed restart, and there was stable state to restart *from*.
+bool recoveredCleanly(const ChaosResult& r) {
+  return runCompleted(r) && r.arbiterCrashes >= 1 &&
+         r.arbiterRestarts == r.arbiterCrashes && r.checkpoints >= 1;
+}
+
 /// One JSON object per run; `extra` is spliced in as the leading fields
 /// (e.g. "\"loss\": 0.10, ") so sweep points stay a single flat object.
+/// The per-class injected-fault counters come straight from the Injector
+/// and the crash-recovery path, so the committed baseline records what
+/// each seeded schedule actually inflicted.
 void printChaosRun(const char* indent, const std::string& extra,
                    const ChaosResult& r, bool last) {
   std::printf(
       "%s{%s\"survivors\": %d, \"completed\": %d, \"degraded\": %d, "
       "\"rounds\": %llu, \"sim_s\": %.3f, \"tput_rounds_per_s\": %.3f, "
       "\"cpu_s_waited\": %.3f, \"lease_reclaims\": %zu, "
-      "\"msgs_seen\": %llu, \"msgs_dropped\": %llu, "
-      "\"blackout_discarded\": %llu, \"fingerprint\": \"%016llx\", "
-      "\"complete\": %s}%s\n",
+      "\"msgs_seen\": %llu, \"msgs_dropped\": %llu, \"msgs_delayed\": %llu, "
+      "\"msgs_duplicated\": %llu, \"msgs_reordered\": %llu, "
+      "\"blackout_discarded\": %llu, \"app_crashes\": %llu, "
+      "\"arbiter_crashes\": %llu, \"arbiter_restarts\": %llu, "
+      "\"crash_discarded\": %llu, \"recover_cmds\": %llu, "
+      "\"reinstated\": %llu, \"recover_answers\": %llu, "
+      "\"stale_cmds\": %llu, \"checkpoints\": %llu, "
+      "\"wal_appended\": %llu, \"wal_dropped\": %llu, "
+      "\"fingerprint\": \"%016llx\", \"complete\": %s}%s\n",
       indent, extra.c_str(), r.survivors, r.survivorsCompleted,
       r.degradedSessions,
       static_cast<unsigned long long>(r.roundsCompleted), r.simSeconds,
       r.throughputRoundsPerSecond, r.cpuSecondsWaited, r.leaseReclaims,
       static_cast<unsigned long long>(r.messagesSeen),
       static_cast<unsigned long long>(r.messagesDropped),
+      static_cast<unsigned long long>(r.messagesDelayed),
+      static_cast<unsigned long long>(r.messagesDuplicated),
+      static_cast<unsigned long long>(r.messagesReordered),
       static_cast<unsigned long long>(r.blackoutDiscarded),
+      static_cast<unsigned long long>(r.appCrashesInjected),
+      static_cast<unsigned long long>(r.arbiterCrashes),
+      static_cast<unsigned long long>(r.arbiterRestarts),
+      static_cast<unsigned long long>(r.crashDiscarded),
+      static_cast<unsigned long long>(r.recoverCommandsIssued),
+      static_cast<unsigned long long>(r.reinstatedAccessors),
+      static_cast<unsigned long long>(r.recoverAnswers),
+      static_cast<unsigned long long>(r.staleArbiterCommands),
+      static_cast<unsigned long long>(r.checkpoints),
+      static_cast<unsigned long long>(r.walAppended),
+      static_cast<unsigned long long>(r.walDropped),
       static_cast<unsigned long long>(r.fingerprint),
       runCompleted(r) ? "true" : "false", last ? "" : ",");
 }
@@ -165,12 +209,33 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(kSmokeSeed));
     printChaosRun("      ", "\"transport\": \"same_engine\", ", same, false);
     printChaosRun("      ", "\"transport\": \"cluster\", ", clus, true);
-    std::printf("    ]\n  }\n}\n");
+    std::printf("    ]\n  },\n");
     const bool chaosOk = runCompleted(same) && runCompleted(clus);
     std::fprintf(stderr, "chaos_seed %llx: %s\n",
                  static_cast<unsigned long long>(kSmokeSeed),
                  chaosOk ? "OK" : "LIVENESS REGRESSION");
-    ok = zfSame && zfCluster && chaosOk;
+    // Same seed again, now with the arbiter itself dying mid-campaign:
+    // crash-recovery liveness on both transports.
+    cfg = sweepConfig(ChaosTransport::SameEngine);
+    cfg.plan = withArbiterCrash(chaosPlan(kSmokeSeed, cfg.apps), kSmokeSeed);
+    const ChaosResult crashSame = runChaos(cfg);
+    cfg = sweepConfig(ChaosTransport::Cluster);
+    cfg.plan = withArbiterCrash(chaosPlan(kSmokeSeed, cfg.apps), kSmokeSeed);
+    const ChaosResult crashClus = runChaos(cfg);
+    std::printf("  \"arbiter_crash_seed\": {\n    \"seed\": %llu,\n"
+                "    \"runs\": [\n",
+                static_cast<unsigned long long>(kSmokeSeed));
+    printChaosRun("      ", "\"transport\": \"same_engine\", ", crashSame,
+                  false);
+    printChaosRun("      ", "\"transport\": \"cluster\", ", crashClus, true);
+    const bool recoverOk =
+        recoveredCleanly(crashSame) && recoveredCleanly(crashClus);
+    std::printf("    ],\n    \"recovered\": %s\n  }\n}\n",
+                recoverOk ? "true" : "false");
+    std::fprintf(stderr, "arbiter_crash_seed %llx: %s\n",
+                 static_cast<unsigned long long>(kSmokeSeed),
+                 recoverOk ? "OK" : "RECOVERY REGRESSION");
+    ok = zfSame && zfCluster && chaosOk && recoverOk;
     return ok ? 0 : 1;
   }
 
@@ -269,12 +334,43 @@ int main(int argc, char** argv) {
       complete = complete && runCompleted(r1) && runCompleted(r2);
     }
     std::printf("    ],\n    \"deterministic_across_workers\": %s, "
-                "\"all_complete\": %s\n  }\n",
+                "\"all_complete\": %s\n  },\n",
                 deterministic ? "true" : "false",
                 complete ? "true" : "false");
     std::fprintf(stderr, "chaos_mix: %s\n",
                  deterministic && complete ? "OK" : "DETERMINISM REGRESSION");
     ok = ok && deterministic && complete;
+  }
+
+  // --- arbiter crash sweep: the arbiter dies mid-campaign under the full
+  // --- fault cocktail and must recover from checkpoint + WAL + session
+  // --- reconciliation; every crash pairs with a completed restart.
+  {
+    std::printf("  \"arbiter_crash_sweep\": {\n    \"points\": [\n");
+    bool recovered = true;
+    const std::uint64_t seeds[] = {kSmokeSeed, kSmokeSeed + 5,
+                                   kSmokeSeed + 23};
+    std::size_t point = 0;
+    for (const ChaosTransport transport :
+         {ChaosTransport::SameEngine, ChaosTransport::Cluster}) {
+      for (std::size_t i = 0; i < 3; ++i, ++point) {
+        ChaosConfig cfg = sweepConfig(transport);
+        cfg.plan = withArbiterCrash(chaosPlan(seeds[i], cfg.apps), seeds[i]);
+        const ChaosResult r = runChaos(cfg);
+        char extra[96];
+        std::snprintf(extra, sizeof extra,
+                      "\"transport\": \"%s\", \"seed\": %llu, ",
+                      transportName(transport),
+                      static_cast<unsigned long long>(seeds[i]));
+        printChaosRun("      ", extra, r, point + 1 == 6);
+        recovered = recovered && recoveredCleanly(r);
+      }
+    }
+    std::printf("    ],\n    \"all_recovered\": %s\n  }\n",
+                recovered ? "true" : "false");
+    std::fprintf(stderr, "arbiter_crash_sweep: %s\n",
+                 recovered ? "OK" : "RECOVERY REGRESSION");
+    ok = ok && recovered;
   }
 
   std::printf("}\n");

@@ -14,9 +14,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "calciom/arbiter_core.hpp"
+#include "calciom/recovery.hpp"
 #include "mpi/port.hpp"
 #include "sim/engine.hpp"
 
@@ -33,6 +35,17 @@ struct ArbiterOptions {
   double tickSeconds = 0.0;
   /// Forwarded to ArbiterCore::setAudit.
   bool auditInvariants = false;
+  // ---- Crash recovery (recovery.hpp); 0 = the arbiter is immortal ------
+  /// Snapshot the core to the checkpoint store at most this often (checked
+  /// on message arrival — pure observation, so checkpointing never moves a
+  /// decision). 0 disables checkpointing *and* the write-ahead log.
+  double checkpointEverySeconds = 0.0;
+  /// Bound of the write-ahead log between checkpoints; inputs past it form
+  /// the un-checkpointed tail reconciliation must rebuild.
+  std::size_t walCapacity = 64;
+  /// Reconciliation window opened by restart(): how long the restored core
+  /// collects session reports before resuming admission.
+  double recoveryWindowSeconds = 1.0;
 };
 
 class Arbiter {
@@ -75,6 +88,26 @@ class Arbiter {
   /// Job-scheduler integration; see ArbiterCore::onApplicationTerminated.
   void onApplicationTerminated(std::uint32_t appId);
 
+  // ---- Crash recovery -----------------------------------------------------
+
+  /// Kills the arbiter process at the current instant: the port closes
+  /// (in-flight messages bounce off a dead process), the tick chain stops,
+  /// and the core's in-memory state is conceptually lost — only the
+  /// checkpoint store survives. Idempotent.
+  void crash();
+  /// Restarts a crashed arbiter: reopens the port, rebuilds the core from
+  /// the checkpoint store (empty snapshot if none was ever taken) plus the
+  /// WAL, applies scheduler terminations reported while down, and opens
+  /// the reconciliation window (ArbiterCore::beginRecovery) with a fresh
+  /// arbiter incarnation.
+  void restart();
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
+  /// The stable-storage model (checkpoint + WAL counters, for tests).
+  [[nodiscard]] const CheckpointStore& checkpointStore() const noexcept {
+    return store_;
+  }
+
  private:
   void onMessage(std::uint32_t from, mpi::Info payload);
   /// Sends and clears every command in `scratch_` through the port
@@ -85,12 +118,23 @@ class Arbiter {
   /// what lets the engine drain: an idle core stops the timer chain.
   void maybeArmTick();
 
+  void openPort();
+  /// Checkpoints the core when the configured interval elapsed.
+  void maybeCheckpoint();
+
   sim::Engine& engine_;
   mpi::PortRegistry& ports_;
   ArbiterCore core_;
   ArbiterCore::Commands scratch_;
   ArbiterOptions options_;
   bool tickArmed_ = false;
+  bool portOpen_ = false;
+  bool crashed_ = false;
+  std::uint64_t restarts_ = 0;
+  CheckpointStore store_;
+  /// Scheduler terminations reported while the arbiter was down, applied
+  /// (at restart time) once it is back.
+  std::vector<std::uint32_t> pendingTerminations_;
   /// Outlives `this` in the tick events' captures: the timer chain has no
   /// cancellation (sim/engine.hpp), so a tick firing after destruction
   /// must see the tombstone instead of touching freed state.

@@ -1,6 +1,7 @@
 #include "calciom/arbiter_core.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <set>
 #include <utility>
@@ -145,6 +146,12 @@ PolicyContext ArbiterCore::buildContext(sim::Time now,
 
 void ArbiterCore::onInform(sim::Time now, std::uint32_t app,
                            const mpi::Info& payload, Commands& out) {
+  if (recovering_ && payload.get(msg::kSessionState).has_value()) {
+    // A session answering our Recover broadcast: its Inform carries the
+    // full local view, including the protocol state it believes it is in.
+    applyRecoveryReport(now, app, payload, out);
+    return;
+  }
   const auto epoch =
       static_cast<std::uint64_t>(payload.getIntOr(msg::kEpoch, 0));
   const auto existing = apps_.find(app);
@@ -180,6 +187,15 @@ void ArbiterCore::onInform(sim::Time now, std::uint32_t app,
   rec.lastSeq = std::max(
       rec.lastSeq, static_cast<std::uint64_t>(payload.getIntOr(msg::kSeq, 0)));
   rec.lastHeard = now;
+
+  if (recovering_) {
+    // No scheduling decisions inside the reconciliation window: the
+    // accessor set is still being rebuilt from reports, so any grant now
+    // could double-book the resource. Park the request; closing the window
+    // admits it through the normal queue.
+    waitQueue_.push_back(app);
+    return;
+  }
 
   // No one is writing and no interrupt is settling: grant immediately.
   if (accessors_.empty() && !pendingInterrupter_ && pausedStack_.empty() &&
@@ -311,6 +327,17 @@ void ArbiterCore::onHeartbeat(sim::Time now, std::uint32_t app,
                               const mpi::Info& payload, Commands& out) {
   const auto it = apps_.find(app);
   if (it == apps_.end()) {
+    if (recovering_) {
+      // A live session we hold no record of — it registered inside the
+      // un-checkpointed tail. A heartbeat carries no descriptor to
+      // re-register from, so ask for the full view instead. Raw command
+      // (cmdSeq 0): there is no record to stamp from, and the session
+      // skips its replay filter for unstamped sequences.
+      out.push_back(ArbiterCommand{app, CommandType::Recover, /*epoch=*/0,
+                                   /*cmdSeq=*/0, /*incarnation=*/0,
+                                   incarnation_});
+      ++recoverIssued_;
+    }
     return;  // never informed, or already reclaimed — Inform retry re-admits
   }
   AppRecord& rec = it->second;
@@ -355,42 +382,82 @@ void ArbiterCore::onHeartbeat(sim::Time now, std::uint32_t app,
       }
       break;
     case AppState::Waiting:
+      if (recovering_ && *state == "accessing") {
+        // Restored record says Waiting, the live session says it holds the
+        // grant — issued inside the un-checkpointed tail. Reinstate, as a
+        // recovery report would: revoking a real grant mid-write is the
+        // one reconciliation that could corrupt data.
+        removeFrom(waitQueue_, app);
+        rec.state = AppState::Accessing;
+        rec.grantTime = now;
+        accessors_.push_back(app);
+        maxAccessors_ = std::max(maxAccessors_, accessors_.size());
+        ++grants_;
+        grantLog_.push_back(GrantRecord{now, app, /*resume=*/false});
+        ++reinstated_;
+      }
+      break;
     case AppState::Paused:
     case AppState::Idle:
-      // Nothing to reconcile: a Waiting session is where we think it is, a
-      // Paused one reporting "accessing" is impossible through filtered
-      // commands, and Idle records carry no obligations.
+      // Nothing to reconcile: a Paused session reporting "accessing" is
+      // impossible through filtered commands, and Idle records carry no
+      // obligations.
       break;
   }
 }
 
 void ArbiterCore::onTick(sim::Time now, Commands& out) {
-  if (!leases_.enabled()) {
+  bool windowJustClosed = false;
+  if (recovering_) {
+    if (now < recoveryDeadline_) {
+      // Inside the reconciliation window: no sweeps (restored lease clocks
+      // predate the crash — sweeping now would reclaim every app before it
+      // could answer) and no admissions.
+      if (audit_) {
+        auditInvariants();
+      }
+      return;
+    }
+    recovering_ = false;
+    windowJustClosed = true;
+  }
+  if (!leases_.enabled() && !windowJustClosed) {
     return;
   }
-  // Expire leases of silent non-Idle applications. Two passes because the
-  // reclamation mutates apps_; std::map iteration keeps this deterministic.
-  std::vector<std::uint32_t> expired;
-  for (const auto& [id, rec] : apps_) {
-    if (rec.state != AppState::Idle &&
-        now - rec.lastHeard > leases_.leaseSeconds) {
-      expired.push_back(id);
-    }
-  }
-  for (const std::uint32_t id : expired) {
-    ++leaseReclaims_;
-    onApplicationTerminated(now, id, out);
-  }
-  // Retransmit Pause to accessors that never acknowledged — a lost Pause
-  // would otherwise park the interrupter forever (the accessor keeps
-  // writing, oblivious).
-  if (pendingInterrupter_) {
-    for (const std::uint32_t id : accessors_) {
-      AppRecord& rec = apps_.at(id);
-      if (rec.state == AppState::PauseRequested && canRepair(now, rec)) {
-        emit(now, id, CommandType::Pause, out);
+  if (leases_.enabled()) {
+    // Expire leases of silent non-Idle applications. Two passes because the
+    // reclamation mutates apps_; std::map iteration keeps this
+    // deterministic. Right after a reconciliation window this sweep is what
+    // reclaims the apps that never answered the Recover broadcast: their
+    // restored lastHeard predates the crash, so they are over-lease by
+    // construction — dead or degraded either way.
+    std::vector<std::uint32_t> expired;
+    for (const auto& [id, rec] : apps_) {
+      if (rec.state != AppState::Idle &&
+          now - rec.lastHeard > leases_.leaseSeconds) {
+        expired.push_back(id);
       }
     }
+    for (const std::uint32_t id : expired) {
+      ++leaseReclaims_;
+      onApplicationTerminated(now, id, out);
+    }
+    // Retransmit Pause to accessors that never acknowledged — a lost Pause
+    // would otherwise park the interrupter forever (the accessor keeps
+    // writing, oblivious).
+    if (pendingInterrupter_) {
+      for (const std::uint32_t id : accessors_) {
+        AppRecord& rec = apps_.at(id);
+        if (rec.state == AppState::PauseRequested && canRepair(now, rec)) {
+          emit(now, id, CommandType::Pause, out);
+        }
+      }
+    }
+  }
+  if (windowJustClosed) {
+    // Resume normal admission over the rebuilt state (after the sweep, so
+    // a dead waiter is not granted only to be reclaimed next tick).
+    admitNext(now, out);
   }
   if (audit_) {
     auditInvariants();
@@ -430,7 +497,7 @@ void ArbiterCore::emit(sim::Time now, std::uint32_t app, CommandType type,
   AppRecord& rec = apps_.at(app);
   rec.lastCommandAt = now;
   out.push_back(ArbiterCommand{app, type, rec.epoch, ++rec.cmdSeq,
-                               rec.incarnation});
+                               rec.incarnation, incarnation_});
 }
 
 void ArbiterCore::grant(sim::Time now, std::uint32_t app, Commands& out) {
@@ -474,6 +541,9 @@ void ArbiterCore::beginInterrupt(sim::Time now, std::uint32_t requester,
 }
 
 void ArbiterCore::admitNext(sim::Time now, Commands& out) {
+  if (recovering_) {
+    return;  // no admissions until the reconciliation window closes
+  }
   if (!accessors_.empty() || pendingInterrupter_) {
     return;  // the system is still busy (or an interrupt is settling)
   }
@@ -502,6 +572,290 @@ void ArbiterCore::admitNext(sim::Time now, Commands& out) {
 void ArbiterCore::removeFrom(std::vector<std::uint32_t>& v,
                              std::uint32_t app) {
   v.erase(std::remove(v.begin(), v.end(), app), v.end());
+}
+
+void ArbiterCore::applyRecoveryReport(sim::Time now, std::uint32_t app,
+                                      const mpi::Info& payload, Commands& out) {
+  const std::string claim = *payload.get(msg::kSessionState);
+  const auto it = apps_.find(app);
+  if (claim == "idle") {
+    // The phase the restored record holds open already closed at the
+    // session (its Complete died in the crash window). Close it here too.
+    if (it != apps_.end() && it->second.state != AppState::Idle) {
+      onComplete(now, app, out);
+    }
+    return;
+  }
+  const bool known = it != apps_.end();
+  const AppState prior = known ? it->second.state : AppState::Idle;
+  AppRecord& rec = apps_[app];
+  rec.desc = IoDescriptor::fromInfo(payload);
+  rec.progress =
+      std::clamp(payload.getDoubleOr(msg::kProgress, rec.progress), 0.0, 1.0);
+  const auto epoch =
+      static_cast<std::uint64_t>(payload.getIntOr(msg::kEpoch, 0));
+  if (epoch != 0) {
+    rec.epoch = epoch;
+  }
+  const auto inc =
+      static_cast<std::uint64_t>(payload.getIntOr(msg::kIncarnation, 0));
+  if (inc != 0) {
+    rec.incarnation = inc;
+  }
+  rec.lastSeq = std::max(
+      rec.lastSeq, static_cast<std::uint64_t>(payload.getIntOr(msg::kSeq, 0)));
+  rec.lastHeard = now;
+  if (!known) {
+    // The checkpoint predates this app entirely: conservative clocks, so
+    // pricing starts at the report, not at a time the core never saw.
+    rec.requestTime = now;
+    rec.grantTime = now;
+    rec.pausedAt = now;
+  }
+  // Detach from every container, then re-attach per the claim.
+  removeFrom(accessors_, app);
+  removeFrom(waitQueue_, app);
+  removeFrom(pausedStack_, app);
+  if (claim == "accessing") {
+    // The session holds a grant the restored state may have lost in the
+    // un-checkpointed tail. The session's view wins: under an exclusive
+    // policy at most one in-epoch session can legitimately believe this
+    // (every grant passed the pre-crash core's own gate), and revoking a
+    // real grant mid-write is the one reconciliation that could corrupt
+    // data.
+    if (prior != AppState::Accessing && prior != AppState::PauseRequested) {
+      rec.grantTime = now;
+      ++grants_;
+      grantLog_.push_back(GrantRecord{now, app, /*resume=*/false});
+      ++reinstated_;
+    }
+    rec.state = AppState::Accessing;
+    accessors_.push_back(app);
+    maxAccessors_ = std::max(maxAccessors_, accessors_.size());
+  } else if (claim == "paused") {
+    if (prior != AppState::Paused) {
+      rec.pausedAt = now;  // the real pause settled inside the lost tail
+    }
+    rec.state = AppState::Paused;
+    pausedStack_.push_back(app);
+  } else {
+    // "waiting" — or an unrecognized claim, treated as the weakest one.
+    if (prior == AppState::Accessing || prior == AppState::PauseRequested) {
+      // The restored state granted access but the Grant command died with
+      // the crash: reconcile toward the arbiter's grant, as the heartbeat
+      // repair path does.
+      rec.state = AppState::Accessing;
+      accessors_.push_back(app);
+      maxAccessors_ = std::max(maxAccessors_, accessors_.size());
+      emit(now, app, CommandType::Grant, out);
+    } else {
+      rec.state = AppState::Waiting;
+      waitQueue_.push_back(app);
+    }
+  }
+}
+
+ArbiterSnapshot ArbiterCore::snapshot(sim::Time now) const {
+  ArbiterSnapshot s;
+  s.takenAt = now;
+  s.arbiterIncarnation = incarnation_;
+  s.apps.reserve(apps_.size());
+  for (const auto& [id, rec] : apps_) {
+    ArbiterSnapshot::AppEntry e;
+    e.id = id;
+    e.desc = rec.desc;
+    e.state = static_cast<int>(rec.state);
+    e.progress = rec.progress;
+    e.requestTime = rec.requestTime;
+    e.grantTime = rec.grantTime;
+    e.pausedAt = rec.pausedAt;
+    e.incarnation = rec.incarnation;
+    e.lastSeq = rec.lastSeq;
+    e.epoch = rec.epoch;
+    e.cmdSeq = rec.cmdSeq;
+    e.lastHeard = rec.lastHeard;
+    e.lastCommandAt = rec.lastCommandAt;
+    s.apps.push_back(std::move(e));
+  }
+  s.accessors = accessors_;
+  s.waitQueue = waitQueue_;
+  s.pausedStack = pausedStack_;
+  s.pendingInterrupter = pendingInterrupter_;
+  s.pendingAcks = pendingAcks_;
+  s.grants = grants_;
+  s.pauses = pauses_;
+  s.leaseReclaims = leaseReclaims_;
+  s.maxAccessors = maxAccessors_;
+  s.cpuSecondsWaited = cpuSecondsWaited_;
+  s.decisions = decisions_;
+  s.grantLog = grantLog_;
+  return s;
+}
+
+void ArbiterCore::restore(const ArbiterSnapshot& snap) {
+  apps_.clear();
+  for (const auto& e : snap.apps) {
+    AppRecord rec;
+    rec.desc = e.desc;
+    rec.state = static_cast<AppState>(e.state);
+    rec.progress = e.progress;
+    rec.requestTime = e.requestTime;
+    rec.grantTime = e.grantTime;
+    rec.pausedAt = e.pausedAt;
+    rec.incarnation = e.incarnation;
+    rec.lastSeq = e.lastSeq;
+    rec.epoch = e.epoch;
+    rec.cmdSeq = e.cmdSeq;
+    rec.lastHeard = e.lastHeard;
+    rec.lastCommandAt = e.lastCommandAt;
+    apps_.emplace(e.id, std::move(rec));
+  }
+  accessors_ = snap.accessors;
+  waitQueue_ = snap.waitQueue;
+  pausedStack_ = snap.pausedStack;
+  pendingInterrupter_ = snap.pendingInterrupter;
+  pendingAcks_ = snap.pendingAcks;
+  grants_ = snap.grants;
+  pauses_ = snap.pauses;
+  leaseReclaims_ = snap.leaseReclaims;
+  maxAccessors_ = snap.maxAccessors;
+  cpuSecondsWaited_ = snap.cpuSecondsWaited;
+  decisions_ = snap.decisions;
+  grantLog_ = snap.grantLog;
+  incarnation_ = snap.arbiterIncarnation;
+  recovering_ = false;
+  recoveryDeadline_ = 0.0;
+  // policy_, leases_, audit_ stay: configuration of this process, not
+  // protocol state of the snapshotted one.
+  if (audit_) {
+    auditInvariants();
+  }
+}
+
+void ArbiterCore::beginRecovery(sim::Time now, double windowSeconds,
+                                std::uint64_t incarnation, Commands& out) {
+  CALCIOM_EXPECTS(windowSeconds >= 0.0);
+  CALCIOM_EXPECTS(incarnation > incarnation_);
+  incarnation_ = incarnation;
+  recovering_ = true;
+  recoveryDeadline_ = now + windowSeconds;
+  // A half-settled interrupt in the restored state is unrecoverable as-is:
+  // its Pause commands and any acks died with the old process. Abandon it —
+  // PauseRequested accessors never stopped writing, so they are plain
+  // accessors again, and the interrupter keeps its queue-front slot.
+  pendingInterrupter_.reset();
+  pendingAcks_ = 0;
+  for (auto& [id, rec] : apps_) {
+    if (rec.state == AppState::PauseRequested) {
+      rec.state = AppState::Accessing;
+    }
+  }
+  // Ask every non-Idle application for its local view. Epoch 0 on purpose:
+  // the restored epoch may trail the session's (it advanced phases inside
+  // the lost tail) and a stamped Recover would be dropped as stale by the
+  // very session it must reach.
+  for (auto& [id, rec] : apps_) {
+    if (rec.state == AppState::Idle) {
+      continue;
+    }
+    rec.lastCommandAt = now;
+    out.push_back(ArbiterCommand{id, CommandType::Recover, /*epoch=*/0,
+                                 ++rec.cmdSeq, rec.incarnation, incarnation_});
+    ++recoverIssued_;
+  }
+  if (audit_) {
+    auditInvariants();
+  }
+}
+
+namespace {
+/// 16 hex digits of the IEEE-754 bit pattern: the bit-exact double
+/// encoding of encodeSnapshot (a %g rendering could collide two distinct
+/// values and hide a real divergence behind an equal string).
+void appendBits(std::string& out, double v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(
+                    std::bit_cast<std::uint64_t>(v)));
+  out += buf;
+}
+}  // namespace
+
+std::string encodeSnapshot(const ArbiterSnapshot& s) {
+  std::string out = "calciom-snapshot v1\nt ";
+  appendBits(out, s.takenAt);
+  out += "\ninc " + std::to_string(s.arbiterIncarnation);
+  out += "\ncounters g " + std::to_string(s.grants) + " p " +
+         std::to_string(s.pauses) + " lr " + std::to_string(s.leaseReclaims) +
+         " ma " + std::to_string(s.maxAccessors) + " w ";
+  appendBits(out, s.cpuSecondsWaited);
+  out += "\npending ";
+  out += s.pendingInterrupter ? std::to_string(*s.pendingInterrupter)
+                              : std::string("-");
+  out += " acks " + std::to_string(s.pendingAcks);
+  const auto idList = [&out](const char* tag,
+                             const std::vector<std::uint32_t>& v) {
+    out += "\n";
+    out += tag;
+    for (const std::uint32_t id : v) {
+      out += " " + std::to_string(id);
+    }
+  };
+  idList("acc", s.accessors);
+  idList("queue", s.waitQueue);
+  idList("paused", s.pausedStack);
+  for (const auto& a : s.apps) {
+    out += "\napp " + std::to_string(a.id) + " s" + std::to_string(a.state) +
+           " pr ";
+    appendBits(out, a.progress);
+    out += " rt ";
+    appendBits(out, a.requestTime);
+    out += " gt ";
+    appendBits(out, a.grantTime);
+    out += " pa ";
+    appendBits(out, a.pausedAt);
+    out += " in " + std::to_string(a.incarnation) + " sq " +
+           std::to_string(a.lastSeq) + " ep " + std::to_string(a.epoch) +
+           " cs " + std::to_string(a.cmdSeq) + " lh ";
+    appendBits(out, a.lastHeard);
+    out += " lc ";
+    appendBits(out, a.lastCommandAt);
+    out += " d " + std::to_string(a.desc.appId) + " " +
+           std::to_string(a.desc.cores) + " " +
+           std::to_string(a.desc.totalBytes) + " " +
+           std::to_string(a.desc.files) + " " +
+           std::to_string(a.desc.roundsPerFile) + " " +
+           std::to_string(a.desc.bytesPerRound) + " ";
+    appendBits(out, a.desc.estAloneSeconds);
+    out += " " + a.desc.appName;
+  }
+  for (const auto& d : s.decisions) {
+    out += "\nd ";
+    appendBits(out, d.time);
+    out += " " + std::to_string(d.requester) + " a" +
+           std::to_string(static_cast<int>(d.action));
+    for (const std::uint32_t id : d.accessors) {
+      out += " " + std::to_string(id);
+    }
+    for (const auto& c : d.costs) {
+      out += " c" + std::to_string(static_cast<int>(c.action)) + ":";
+      appendBits(out, c.metricCost);
+      for (const auto& t : c.terms) {
+        out += "," + std::to_string(t.cores) + ":";
+        appendBits(out, t.ioSeconds);
+        out += ":";
+        appendBits(out, t.aloneSeconds);
+      }
+    }
+  }
+  for (const auto& g : s.grantLog) {
+    out += "\ng ";
+    appendBits(out, g.time);
+    out += " " + std::to_string(g.app);
+    out += g.resume ? " r" : " g";
+  }
+  out += "\n";
+  return out;
 }
 
 void ArbiterCore::auditInvariants() const {

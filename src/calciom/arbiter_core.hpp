@@ -72,6 +72,10 @@ inline constexpr const char* kPause = "pause";
 inline constexpr const char* kResume = "resume";
 /// Lease renewal + state report, sent periodically by hardened sessions.
 inline constexpr const char* kHeartbeat = "heartbeat";
+/// Arbiter → session, after a restart: "re-Inform with your full local
+/// view". Sessions with an active phase answer with their Inform payload
+/// plus kSessionState; idle ones answer with a (idempotent) Complete.
+inline constexpr const char* kRecover = "recover";
 
 // Hardening keys (all optional; absent = filters skipped, legacy behavior).
 /// Per-session monotone message sequence (duplicate/reorder suppression).
@@ -85,6 +89,13 @@ inline constexpr const char* kIncarnation = "calciom.incarnation";
 /// Session's own protocol state in a heartbeat: "waiting" | "accessing" |
 /// "paused" | "idle" — the arbiter reconciles its record against it.
 inline constexpr const char* kSessionState = "calciom.session_state";
+/// Incarnation of the arbiter *process* itself, stamped on every command
+/// once the arbiter has restarted at least once. Sessions fence commands
+/// carrying a lower value — stale pre-crash traffic still in flight — and
+/// reset their command-sequence filter when the value grows (a restarted
+/// arbiter's per-app command counters resume from its checkpoint). The
+/// mirror image of the app-side kIncarnation fence.
+inline constexpr const char* kArbiterIncarnation = "calciom.arbiter_inc";
 
 /// Port names.
 [[nodiscard]] inline std::string arbiterPort() { return "calciom/arbiter"; }
@@ -133,10 +144,10 @@ struct GrantRecord {
 /// rather than a wire string: commands can now be delayed and replayed by
 /// the fault injector, and an enum cannot dangle or alias the way the
 /// previous `const char*` (compared by pointer identity in places) could.
-enum class CommandType { Grant, Pause, Resume };
+enum class CommandType { Grant, Pause, Resume, Recover };
 
-/// Wire form of a command type (the msg::kGrant / kPause / kResume value
-/// carried under msg::kType).
+/// Wire form of a command type (the msg::kGrant / kPause / kResume /
+/// kRecover value carried under msg::kType).
 [[nodiscard]] constexpr const char* toWire(CommandType t) noexcept {
   switch (t) {
     case CommandType::Grant:
@@ -145,6 +156,8 @@ enum class CommandType { Grant, Pause, Resume };
       return msg::kPause;
     case CommandType::Resume:
       return msg::kResume;
+    case CommandType::Recover:
+      return msg::kRecover;
   }
   return "?";
 }
@@ -160,6 +173,10 @@ struct ArbiterCommand {
   std::uint64_t epoch = 0;
   std::uint64_t cmdSeq = 0;
   std::uint64_t incarnation = 0;
+  /// Incarnation of the arbiter process that issued the command; 0 until
+  /// the arbiter has been restarted at least once, so a never-crashed run
+  /// serializes no msg::kArbiterIncarnation key and stays bit-identical.
+  std::uint64_t arbiterIncarnation = 0;
 };
 
 /// Dead-accessor reclamation knobs; zero (the default) disables each timer
@@ -175,6 +192,59 @@ struct LeaseConfig {
 
   [[nodiscard]] bool enabled() const noexcept { return leaseSeconds > 0.0; }
 };
+
+/// Deterministic value-copy of the decision core's protocol state — what a
+/// production arbiter would write to stable storage at a checkpoint. Holds
+/// everything `ArbiterCore::restore` needs to resume scheduling exactly
+/// where the snapshot left off: the per-application records (states,
+/// epochs, seq fences, lease clocks), the container structure (accessor
+/// set, FIFO queue, LIFO paused stack, half-settled interrupt), the
+/// cumulative counters, and the decision/grant traces (so post-restart
+/// fingerprints continue the pre-crash stream instead of restarting it).
+/// Policy, lease configuration and the audit flag are deliberately absent:
+/// they are configuration of the (restarted) process, not protocol state.
+struct ArbiterSnapshot {
+  struct AppEntry {
+    std::uint32_t id = 0;
+    IoDescriptor desc;
+    int state = 0;  // ArbiterCore::AppState, widened for serialization
+    double progress = 0.0;
+    sim::Time requestTime = 0.0;
+    sim::Time grantTime = 0.0;
+    sim::Time pausedAt = 0.0;
+    std::uint64_t incarnation = 0;
+    std::uint64_t lastSeq = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t cmdSeq = 0;
+    sim::Time lastHeard = 0.0;
+    sim::Time lastCommandAt = 0.0;
+  };
+
+  sim::Time takenAt = 0.0;
+  std::uint64_t arbiterIncarnation = 0;
+  std::vector<AppEntry> apps;  // ascending id (the core's map order)
+  std::vector<std::uint32_t> accessors;
+  std::vector<std::uint32_t> waitQueue;
+  std::vector<std::uint32_t> pausedStack;
+  std::optional<std::uint32_t> pendingInterrupter;
+  int pendingAcks = 0;
+  std::size_t grants = 0;
+  std::size_t pauses = 0;
+  std::size_t leaseReclaims = 0;
+  std::size_t maxAccessors = 0;
+  double cpuSecondsWaited = 0.0;
+  std::vector<DecisionRecord> decisions;
+  std::vector<GrantRecord> grantLog;
+};
+
+/// Canonical compact text form of a snapshot. Doubles are encoded as their
+/// raw IEEE-754 bit patterns (16 hex digits), so two snapshots encode to
+/// the same string iff they are bit-identical — the checkpoint determinism
+/// gate (`tests/fault_recovery_test.cpp`, sim determinism rule 6) compares
+/// these strings across worker counts and across snapshot/restore/snapshot
+/// round trips. There is deliberately no decoder: restore() takes the typed
+/// struct; the string is the equality witness and the size model.
+[[nodiscard]] std::string encodeSnapshot(const ArbiterSnapshot& s);
 
 class ArbiterCore {
  public:
@@ -281,6 +351,50 @@ class ArbiterCore {
   /// tests observe that replayed Releases do not rewind it).
   [[nodiscard]] std::optional<double> appProgress(std::uint32_t app) const;
 
+  // ---- Crash recovery (src/calciom/README.md, "Failure semantics") ----
+
+  /// Value-copies the full protocol state (see ArbiterSnapshot). Pure
+  /// observation: never mutates the core, so periodic checkpointing cannot
+  /// move a decision.
+  [[nodiscard]] ArbiterSnapshot snapshot(sim::Time now) const;
+
+  /// Replaces the protocol state with `snap`, keeping the process-side
+  /// configuration (policy, leases, audit flag) of this core. The restored
+  /// core is *not* yet recovering: call beginRecovery() to open the
+  /// reconciliation window for the un-checkpointed tail.
+  void restore(const ArbiterSnapshot& snap);
+
+  /// Opens the post-restart reconciliation window: adopts `incarnation`
+  /// (must exceed the current one — it fences stale pre-crash commands at
+  /// the sessions), abandons any half-settled interrupt from the restored
+  /// tail (its Pauses and acks died with the old process), and emits a
+  /// Recover command to every non-Idle application asking for its local
+  /// view. Until `now + windowSeconds` the core registers and reconciles
+  /// but takes no scheduling decision and sweeps no lease (restored lease
+  /// clocks predate the crash); the first onTick at/after the deadline
+  /// closes the window, sweeps whoever stayed silent, and resumes normal
+  /// admission. The supervisor that restarts the arbiter supplies the
+  /// incarnation — the core's own memory just crashed, so it cannot.
+  void beginRecovery(sim::Time now, double windowSeconds,
+                     std::uint64_t incarnation, Commands& out);
+
+  [[nodiscard]] bool recovering() const noexcept { return recovering_; }
+  /// Current arbiter-process incarnation (0 = never restarted). Stamped on
+  /// every command once nonzero.
+  [[nodiscard]] std::uint64_t arbiterIncarnation() const noexcept {
+    return incarnation_;
+  }
+  /// Accessors reinstated from session recovery reports — grants the
+  /// restored state had lost (un-checkpointed tail) but the session still
+  /// held. The reconciliation protocol working, counted.
+  [[nodiscard]] std::size_t reinstatedAccessors() const noexcept {
+    return reinstated_;
+  }
+  /// Recover commands emitted across all beginRecovery windows.
+  [[nodiscard]] std::size_t recoverCommandsIssued() const noexcept {
+    return recoverIssued_;
+  }
+
  private:
   enum class AppState { Idle, Waiting, Accessing, PauseRequested, Paused };
   struct AppRecord {
@@ -323,6 +437,13 @@ class ArbiterCore {
   void admitNext(sim::Time now, Commands& out);
   void removeFrom(std::vector<std::uint32_t>& v, std::uint32_t app);
   void auditInvariants() const;
+  /// Applies one session recovery report (a re-Inform carrying
+  /// msg::kSessionState, arriving inside the reconciliation window): the
+  /// session's claimed state wins for "accessing"/"paused"/"idle" — the
+  /// restored record may predate the lost tail — while a "waiting" claim
+  /// against a restored Accessing record re-emits the lost Grant.
+  void applyRecoveryReport(sim::Time now, std::uint32_t app,
+                           const mpi::Info& payload, Commands& out);
 
   std::unique_ptr<Policy> policy_;
   std::map<std::uint32_t, AppRecord> apps_;
@@ -340,6 +461,12 @@ class ArbiterCore {
   std::size_t leaseReclaims_ = 0;
   std::size_t maxAccessors_ = 0;
   bool audit_ = false;
+  // -- crash-recovery state (see beginRecovery) --
+  std::uint64_t incarnation_ = 0;
+  bool recovering_ = false;
+  sim::Time recoveryDeadline_ = 0.0;
+  std::size_t reinstated_ = 0;
+  std::size_t recoverIssued_ = 0;
 };
 
 }  // namespace calciom::core

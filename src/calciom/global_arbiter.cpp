@@ -32,7 +32,11 @@ GlobalArbiter::GlobalArbiter(platform::Cluster& cluster,
     : cluster_(cluster),
       latency_(cluster.spec().resolveCrossShardLatency(
           config.crossShardLatencySeconds)),
-      core_(std::move(policy)) {
+      core_(std::move(policy)),
+      config_(config),
+      store_(config.walCapacity) {
+  CALCIOM_EXPECTS(config_.checkpointEverySeconds >= 0.0);
+  CALCIOM_EXPECTS(config_.recoveryWindowSeconds >= 0.0);
   core_.configureLeases(config.leases);
   core_.setAudit(config.auditInvariants);
   stubs_.reserve(cluster_.shardCount());
@@ -75,8 +79,46 @@ std::size_t GlobalArbiter::shardOf(std::uint32_t appId) const noexcept {
   return it == appShard_.end() ? static_cast<std::size_t>(-1) : it->second;
 }
 
+void GlobalArbiter::markDead(std::uint32_t app) {
+  if (dead_.insert_or_assign(app, rounds_).second) {
+    deadQueue_.emplace_back(rounds_, app);
+    deadPeak_ = std::max(deadPeak_, dead_.size());
+  }
+  // Re-termination of a still-remembered id refreshed its round in the map;
+  // the old queue entry becomes stale and is skipped at eviction time (no
+  // second queue entry, so the queue stays bounded by distinct insertions).
+}
+
+void GlobalArbiter::evictDead() {
+  if (config_.deadRetentionRounds == 0) {
+    return;  // never evict: the pre-bounding behavior
+  }
+  while (!deadQueue_.empty() &&
+         deadQueue_.front().first + config_.deadRetentionRounds < rounds_) {
+    const auto [round, app] = deadQueue_.front();
+    deadQueue_.pop_front();
+    const auto it = dead_.find(app);
+    if (it == dead_.end() || it->second != round) {
+      continue;  // relaunched meanwhile, or refreshed by a re-termination
+    }
+    dead_.erase(it);
+    ++deadEvicted_;
+  }
+}
+
 bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
   ++rounds_;
+  evictDead();
+  if (down_) {
+    // A dead arbiter: the shard-local relays cannot forward, so the
+    // round's traffic is lost on the floor (sessions ride it out through
+    // retries and heartbeats, or degrade). Scheduler events stay queued —
+    // the scheduler re-delivers its view once the process is back.
+    for (const auto& stub : stubs_) {
+      crashDiscarded_ += stub->drain().size();
+    }
+    return false;
+  }
   scratch_.clear();
   bool mergedAny = false;
   // Scheduler events first: a barrier models one sampling instant, and the
@@ -91,7 +133,10 @@ bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
   // revives it.
   for (const SchedulerEvent& ev : pendingSchedulerEvents_) {
     if (ev.termination) {
-      dead_.insert(ev.app);
+      markDead(ev.app);
+      if (config_.checkpointEverySeconds > 0.0) {
+        store_.logTermination(barrierTime, ev.app);
+      }
       core_.onApplicationTerminated(barrierTime, ev.app, scratch_);
       ++merged_;
       mergedAny = true;
@@ -122,6 +167,9 @@ bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
       // Refresh the route on every contact: an app id reused on another
       // shard (sequential campaigns) must not inherit the old shard.
       appShard_[m.fromApp] = s;
+      if (config_.checkpointEverySeconds > 0.0) {
+        store_.logMessage(barrierTime, m.fromApp, m.payload);
+      }
       core_.onMessage(barrierTime, m.fromApp, m.payload, scratch_);
       ++merged_;
       mergedAny = true;
@@ -133,9 +181,15 @@ bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
   // With leases configured the barrier doubles as the lease sweep: the
   // sync-horizon period is the global arbiter's natural tick.
   core_.onTick(barrierTime, scratch_);
+  maybeCheckpoint(barrierTime);
   if (scratch_.empty()) {
     return false;
   }
+  return deliverCommands(barrierTime);
+}
+
+bool GlobalArbiter::deliverCommands(sim::Time barrierTime) {
+  bool deliveredAny = false;
   // Deliver commands into their target shards. Scheduling happens on the
   // barrier thread while no shard loop runs (Engine::current() is null), so
   // planting events into foreign engines is race-free; commands keep their
@@ -154,19 +208,38 @@ bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
     });
   };
   for (const core::ArbiterCommand& cmd : scratch_) {
-    const std::size_t shard = appShard_.at(cmd.app);
+    const auto route = appShard_.find(cmd.app);
+    if (route == appShard_.end()) {
+      // Only reachable after a restart: the app's route was learned inside
+      // the lost tail and the restored table predates it. Heal passively —
+      // its next message (heartbeat, retry) refreshes the route and, while
+      // the window is open, elicits a fresh Recover.
+      ++unroutableCommands_;
+      continue;
+    }
+    const std::size_t shard = route->second;
     sim::Engine& eng = cluster_.engine(shard);
     mpi::PortRegistry& ports = cluster_.machine(shard).ports();
     sim::Time at = std::max(barrierTime, eng.now()) + latency_;
     mpi::Info payload;
     payload.set(core::msg::kType, toWire(cmd.type));
-    payload.setInt(core::msg::kCmdSeq, static_cast<std::int64_t>(cmd.cmdSeq));
+    // cmdSeq is stamped whenever the command came from a live record;
+    // epoch / incarnation / arbiter-incarnation only when meaningful, so a
+    // never-crashed arbiter's wire format is byte-identical to before.
+    if (cmd.cmdSeq != 0) {
+      payload.setInt(core::msg::kCmdSeq,
+                     static_cast<std::int64_t>(cmd.cmdSeq));
+    }
     if (cmd.epoch != 0) {
       payload.setInt(core::msg::kEpoch, static_cast<std::int64_t>(cmd.epoch));
     }
     if (cmd.incarnation != 0) {
       payload.setInt(core::msg::kIncarnation,
                      static_cast<std::int64_t>(cmd.incarnation));
+    }
+    if (cmd.arbiterIncarnation != 0) {
+      payload.setInt(core::msg::kArbiterIncarnation,
+                     static_cast<std::int64_t>(cmd.arbiterIncarnation));
     }
     // Commands cross into the shard through the same faulty medium the
     // shard's sessions send through: ask its injector. deliverNow bypasses
@@ -193,9 +266,50 @@ bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
       at += std::max(v.extraDelaySeconds, 0.0);
     }
     scheduleDelivery(eng, ports, cmd.app, at, std::move(payload));
+    deliveredAny = true;
   }
   scratch_.clear();
-  return true;
+  return deliveredAny;
+}
+
+void GlobalArbiter::maybeCheckpoint(sim::Time barrierTime) {
+  if (config_.checkpointEverySeconds <= 0.0) {
+    return;
+  }
+  if (store_.checkpoints() != 0 &&
+      barrierTime - store_.lastCheckpointAt() <
+          config_.checkpointEverySeconds) {
+    return;
+  }
+  store_.checkpoint(core_, barrierTime);
+  // Transport-side state rides along: a restarted arbiter needs the
+  // routing table to address its Recover commands and the dead set to keep
+  // fencing stale traffic.
+  ckptRoutes_ = appShard_;
+  ckptDead_ = dead_;
+  ckptDeadQueue_ = deadQueue_;
+}
+
+void GlobalArbiter::crash() {
+  down_ = true;
+  // In-memory state is conceptually lost from here; restart() rebuilds it
+  // from the checkpoint store and never reads the live members.
+}
+
+void GlobalArbiter::restart(sim::Time barrierTime) {
+  CALCIOM_EXPECTS(down_);
+  down_ = false;
+  scratch_.clear();
+  store_.restoreInto(core_);
+  appShard_ = ckptRoutes_;
+  dead_ = ckptDead_;
+  deadQueue_ = ckptDeadQueue_;
+  core_.beginRecovery(barrierTime, config_.recoveryWindowSeconds, ++restarts_,
+                      scratch_);
+  // Queued scheduler events (including any reported during the outage) are
+  // merged by the next onBarrier, ordered before that round's traffic as
+  // always. Only the Recover broadcast goes out now.
+  deliverCommands(barrierTime);
 }
 
 }  // namespace calciom

@@ -35,13 +35,15 @@
 /// src/sim/README.md ("only barrier-exchanged state crosses shards").
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "calciom/arbiter_core.hpp"
+#include "calciom/recovery.hpp"
 #include "mpi/info.hpp"
 #include "mpi/port.hpp"
 #include "sim/barrier_hook.hpp"
@@ -107,6 +109,29 @@ class GlobalArbiter final : public sim::BarrierHook {
     core::LeaseConfig leases;
     /// Forwarded to ArbiterCore::setAudit.
     bool auditInvariants = false;
+    // ---- Crash recovery (recovery.hpp) -----------------------------------
+    /// Snapshot the core (plus routes and the dead set) to the checkpoint
+    /// store at most this often, checked at barriers. Pure observation —
+    /// checkpointing never moves a decision. 0 disables checkpointing and
+    /// the write-ahead log; restart() then rebuilds purely from
+    /// reconciliation.
+    double checkpointEverySeconds = 0.0;
+    /// Bound of the write-ahead log between checkpoints.
+    std::size_t walCapacity = 64;
+    /// Reconciliation window opened by restart(); see
+    /// ArbiterCore::beginRecovery. Sized in barrier rounds in practice —
+    /// at least one round-trip (sync horizon + two cross-shard hops) so
+    /// every surviving session can answer.
+    double recoveryWindowSeconds = 1.0;
+    /// Rounds a terminated-and-never-relaunched id is remembered in the
+    /// dead-id discard set before eviction. Must comfortably exceed the
+    /// worst in-flight delay measured in rounds (a fault-delayed message
+    /// from a dead predecessor can only be discarded while the id is still
+    /// remembered); beyond that, the incarnation fence (msg::kIncarnation)
+    /// catches stamped stragglers on its own. 0 = never evict (the
+    /// pre-bounding behavior, whose retention grows with every distinct
+    /// terminated id over a month-long replay).
+    std::uint64_t deadRetentionRounds = 1024;
   };
 
   /// Creates the global arbiter over every shard of `cluster`: registers an
@@ -182,6 +207,44 @@ class GlobalArbiter final : public sim::BarrierHook {
     return blackoutDiscarded_;
   }
 
+  // ---- Crash recovery -----------------------------------------------------
+
+  /// Kills the arbiter process: from the next barrier on, stub traffic is
+  /// drained and discarded (the relays cannot reach a dead arbiter) and no
+  /// decision is taken, until restart(). Scheduler events queue up and are
+  /// applied after the restart. Call from a barrier hook (or between runs)
+  /// only — the same no-shard-running requirement as onBarrier itself.
+  /// Idempotent.
+  void crash();
+  /// Restarts the crashed arbiter at barrier time `barrierTime`: rebuilds
+  /// the core from the checkpoint store (snapshot + WAL), restores the
+  /// checkpointed routing table and dead-id set, opens the reconciliation
+  /// window with a fresh arbiter incarnation, and delivers the resulting
+  /// Recover commands. Same barrier-only calling convention as crash().
+  void restart(sim::Time barrierTime);
+  [[nodiscard]] bool down() const noexcept { return down_; }
+  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
+  /// Stub messages drained-and-discarded while the arbiter was down.
+  [[nodiscard]] std::uint64_t crashDiscarded() const noexcept {
+    return crashDiscarded_;
+  }
+  /// The stable-storage model (checkpoint + WAL counters, for tests).
+  [[nodiscard]] const core::CheckpointStore& checkpointStore() const noexcept {
+    return store_;
+  }
+
+  // ---- Dead-id set bounds (Config::deadRetentionRounds) -------------------
+
+  [[nodiscard]] std::size_t deadSetSize() const noexcept {
+    return dead_.size();
+  }
+  /// High-water mark of the dead-id set — the regression gate for bounded
+  /// retention over month-scale replays.
+  [[nodiscard]] std::size_t deadSetPeak() const noexcept { return deadPeak_; }
+  [[nodiscard]] std::uint64_t deadEvicted() const noexcept {
+    return deadEvicted_;
+  }
+
  private:
   GlobalArbiter(platform::Cluster& cluster,
                 std::unique_ptr<core::Policy> policy, Config config);
@@ -198,17 +261,34 @@ class GlobalArbiter final : public sim::BarrierHook {
     bool termination = true;
   };
   std::vector<SchedulerEvent> pendingSchedulerEvents_;
-  /// Ids terminated and not since relaunched; their traffic is discarded.
-  /// Capacity note: entries are only removed by onApplicationLaunched, so
-  /// the set grows with the number of distinct ids terminated and never
-  /// relaunched — bounded by the campaign's application count (thousands at
-  /// most on the machines the paper studies), not by simulated time or
-  /// message volume. That unbounded-in-principle retention is deliberate: a
-  /// fault-delayed message from a dead predecessor can surface arbitrarily
-  /// many rounds late, and discarding it is only possible while the id is
-  /// still remembered as dead (regression: "IdReuseRacesDelayed
-  /// PredecessorInform" in tests/global_arbiter_test.cpp).
-  std::set<std::uint32_t> dead_;
+  /// Marks `app` dead as of the current round and tracks the peak.
+  void markDead(std::uint32_t app);
+  /// Evicts dead-id entries older than Config::deadRetentionRounds. A
+  /// fault-delayed message from a dead predecessor can only be discarded
+  /// while the id is remembered (regression: "IdReuseRacesDelayed
+  /// PredecessorInform" in tests/global_arbiter_test.cpp), so retention
+  /// must exceed the worst in-flight delay in rounds; past that, only the
+  /// incarnation fence protects — which is exactly when it is redundant to
+  /// keep remembering. Bounds the set over month-scale replays (tens of
+  /// thousands of distinct terminated ids otherwise).
+  void evictDead();
+  /// Schedules delivery of every command in `scratch_` into its target
+  /// shard (shared by onBarrier and restart). Returns whether any delivery
+  /// was scheduled.
+  bool deliverCommands(sim::Time barrierTime);
+  /// Checkpoints core + routes + dead set when the interval elapsed.
+  void maybeCheckpoint(sim::Time barrierTime);
+
+  /// Ids terminated and not since relaunched, with the round each was
+  /// marked dead; their traffic is discarded while remembered. Bounded by
+  /// eviction (Config::deadRetentionRounds); `deadQueue_` keeps the
+  /// insertion order the evictor walks. An id re-terminated after a
+  /// relaunch gets a fresh entry; stale queue entries (relaunched, or
+  /// superseded by a newer round) are skipped at eviction time.
+  std::map<std::uint32_t, std::uint64_t> dead_;
+  std::deque<std::pair<std::uint64_t, std::uint32_t>> deadQueue_;
+  std::size_t deadPeak_ = 0;
+  std::uint64_t deadEvicted_ = 0;
   /// Per-shard fault deciders (non-owning, may be empty / hold nullptrs).
   std::vector<fault::Injector*> injectors_;
   core::ArbiterCore::Commands scratch_;
@@ -216,6 +296,20 @@ class GlobalArbiter final : public sim::BarrierHook {
   std::uint64_t merged_ = 0;
   std::uint64_t rounds_ = 0;
   std::uint64_t blackoutDiscarded_ = 0;
+  // -- crash-recovery state --
+  Config config_;
+  bool down_ = false;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t crashDiscarded_ = 0;
+  core::CheckpointStore store_;
+  /// Checkpointed transport-side state restored alongside the core: the
+  /// routing table and the dead-id set as of the last checkpoint.
+  std::map<std::uint32_t, std::size_t> ckptRoutes_;
+  std::map<std::uint32_t, std::uint64_t> ckptDead_;
+  std::deque<std::pair<std::uint64_t, std::uint32_t>> ckptDeadQueue_;
+  /// Commands whose target had no route after a restart (the route was
+  /// learned inside the lost tail); healed when the app next speaks.
+  std::uint64_t unroutableCommands_ = 0;
 };
 
 }  // namespace calciom

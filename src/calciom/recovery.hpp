@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file recovery.hpp
+/// The stable-storage model behind arbiter crash-recovery: a checkpoint
+/// slot holding the last `ArbiterSnapshot` plus a *bounded* write-ahead log
+/// of decision-core inputs since that checkpoint. A production arbiter
+/// would fsync both; here they simply survive the simulated process death
+/// (the frontend object keeps the store while the core is wiped and
+/// rebuilt).
+///
+/// Restore = `ArbiterCore::restore(snapshot)` followed by replaying the WAL
+/// through the core's normal entry points with the commands *discarded* —
+/// every replayed input already produced (and delivered, at most once) its
+/// commands before the crash, so re-delivering them would duplicate
+/// traffic; commands that were genuinely lost in the crash are healed by
+/// the reconciliation window (`ArbiterCore::beginRecovery`), not by replay.
+///
+/// The WAL is bounded on purpose: inputs appended past `walCapacity` are
+/// dropped (counted in `walDropped()`) and form the un-checkpointed tail
+/// the reconciliation protocol exists for. Capacity 0 means "no WAL" —
+/// recovery leans entirely on reconciliation.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "calciom/arbiter_core.hpp"
+#include "mpi/info.hpp"
+#include "sim/time.hpp"
+
+namespace calciom::core {
+
+/// One decision-core input captured in the write-ahead log: either a wire
+/// message (`onMessage`) or a job-scheduler termination.
+struct WalEntry {
+  sim::Time time = 0.0;
+  std::uint32_t app = 0;
+  bool termination = false;
+  mpi::Info payload;  // empty for terminations
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::size_t walCapacity = 0)
+      : walCapacity_(walCapacity) {}
+
+  void setWalCapacity(std::size_t cap) { walCapacity_ = cap; }
+  [[nodiscard]] std::size_t walCapacity() const noexcept {
+    return walCapacity_;
+  }
+
+  /// Snapshots `core` into the checkpoint slot and truncates the WAL —
+  /// everything logged so far is folded into the snapshot. Pure
+  /// observation of the core.
+  void checkpoint(const ArbiterCore& core, sim::Time now);
+
+  /// Appends one wire input to the WAL (drops it, counted, once full).
+  void logMessage(sim::Time now, std::uint32_t from, const mpi::Info& payload);
+  /// Appends one scheduler termination to the WAL.
+  void logTermination(sim::Time now, std::uint32_t app);
+
+  [[nodiscard]] bool hasCheckpoint() const noexcept {
+    return snap_.has_value();
+  }
+  [[nodiscard]] const std::optional<ArbiterSnapshot>& checkpointSnapshot()
+      const noexcept {
+    return snap_;
+  }
+
+  /// Restores `core` from the checkpoint (an empty snapshot when none was
+  /// ever taken) and replays the WAL, discarding replay-generated
+  /// commands. Returns the number of entries replayed. The caller then
+  /// opens the reconciliation window for whatever the WAL did not cover.
+  std::size_t restoreInto(ArbiterCore& core) const;
+
+  [[nodiscard]] std::uint64_t checkpoints() const noexcept {
+    return checkpoints_;
+  }
+  [[nodiscard]] sim::Time lastCheckpointAt() const noexcept {
+    return lastCheckpointAt_;
+  }
+  [[nodiscard]] std::size_t walSize() const noexcept { return wal_.size(); }
+  [[nodiscard]] std::uint64_t walAppended() const noexcept {
+    return walAppended_;
+  }
+  /// Inputs that arrived with the WAL full — the un-checkpointed tail the
+  /// reconciliation protocol must rebuild from session reports.
+  [[nodiscard]] std::uint64_t walDropped() const noexcept {
+    return walDropped_;
+  }
+
+ private:
+  void append(WalEntry entry);
+
+  std::optional<ArbiterSnapshot> snap_;
+  std::vector<WalEntry> wal_;
+  std::size_t walCapacity_;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t walAppended_ = 0;
+  std::uint64_t walDropped_ = 0;
+  sim::Time lastCheckpointAt_ = 0.0;
+};
+
+}  // namespace calciom::core

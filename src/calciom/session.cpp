@@ -183,6 +183,24 @@ void Session::onMessage(std::uint32_t /*from*/, mpi::Info payload) {
   if (cfg_.incarnation != 0 && inc != 0 && inc != cfg_.incarnation) {
     return;  // addressed to another incarnation of this (reused) id
   }
+  // Arbiter-incarnation fence (the mirror of the app-incarnation fence
+  // above). Once a restarted arbiter has been seen (arbiterInc_ > 0),
+  // commands from earlier incarnations — including unstamped pre-crash
+  // stragglers still in latency flight — are dead letters: the restarted
+  // arbiter rebuilt its state from our own report and anything the old one
+  // said may contradict it. A *higher* incarnation is first contact with a
+  // newer restart: adopt it and reset the command-sequence filter, whose
+  // counter restarted from the arbiter's checkpoint.
+  const auto arbInc = static_cast<std::uint64_t>(
+      payload.getIntOr(msg::kArbiterIncarnation, 0));
+  if (arbInc < arbiterInc_) {
+    ++staleArbiterCommands_;
+    return;
+  }
+  if (arbInc > arbiterInc_) {
+    arbiterInc_ = arbInc;
+    lastCmdSeq_ = 0;
+  }
   const auto cmdEpoch =
       static_cast<std::uint64_t>(payload.getIntOr(msg::kEpoch, 0));
   if (cmdEpoch != 0 && epoch_ != 0 && cmdEpoch != epoch_) {
@@ -210,6 +228,21 @@ void Session::onMessage(std::uint32_t /*from*/, mpi::Info payload) {
     resumeGate_.open();
   } else if (*type == msg::kPause) {
     pauseRequested_ = true;
+  } else if (*type == msg::kRecover) {
+    // The arbiter restarted and lost (some of) its state: answer with the
+    // full local view — the phase's Inform payload plus our protocol state
+    // — so the reconciliation window can rebuild the accessor set. Outside
+    // a phase there is nothing to rebuild; a Complete closes whatever
+    // stale record the restored checkpoint still holds open.
+    if (phaseActive_) {
+      mpi::Info view = informWire_;
+      view.setDouble(msg::kProgress, lastProgress_);
+      view.set(msg::kSessionState, protocolStateString());
+      ++recoverAnswers_;
+      sendToArbiter(msg::kInform, std::move(view));
+    } else {
+      sendToArbiter(msg::kComplete);
+    }
   } else {
     CALCIOM_ENSURES(false);  // unknown message type
   }

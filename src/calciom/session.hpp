@@ -149,6 +149,18 @@ class Session final : public io::IoCoordinationHooks {
   }
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
   [[nodiscard]] const SessionConfig& config() const noexcept { return cfg_; }
+  /// Recovery reports (re-Informs with kSessionState) sent in answer to a
+  /// restarted arbiter's Recover command.
+  [[nodiscard]] int recoverAnswers() const noexcept { return recoverAnswers_; }
+  /// Commands fenced as stale pre-crash traffic (lower arbiter incarnation
+  /// than the newest one seen, or none at all after a restart was seen).
+  [[nodiscard]] int staleArbiterCommands() const noexcept {
+    return staleArbiterCommands_;
+  }
+  /// Highest arbiter-process incarnation seen (0 = never saw a restart).
+  [[nodiscard]] std::uint64_t arbiterIncarnationSeen() const noexcept {
+    return arbiterInc_;
+  }
 
   // ---- Replay capture (analysis/replay.hpp) ------------------------------
 
@@ -207,6 +219,9 @@ class Session final : public io::IoCoordinationHooks {
   int retriesSent_ = 0;
   int heartbeatsSent_ = 0;
   int degradedPhases_ = 0;
+  std::uint64_t arbiterInc_ = 0;  ///< highest kArbiterIncarnation seen
+  int recoverAnswers_ = 0;
+  int staleArbiterCommands_ = 0;
   /// Tombstone for timer events in flight at destruction (the engine has
   /// no cancellation; see sim/engine.hpp).
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

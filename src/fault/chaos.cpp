@@ -146,6 +146,14 @@ void summarize(const ChaosConfig& cfg, const core::ArbiterCore& core,
   out.leaseReclaims = core.leaseReclaims();
   out.maxConcurrentAccessors = core.maxConcurrentAccessors();
   out.grantLog = core.grantLog();
+  out.decisions = core.decisions();
+  out.snapshotEncoding = core::encodeSnapshot(core.snapshot(simSeconds));
+  out.recoverCommandsIssued = core.recoverCommandsIssued();
+  out.reinstatedAccessors = core.reinstatedAccessors();
+  for (const auto& s : sessions) {
+    out.recoverAnswers += s->recoverAnswers();
+    out.staleArbiterCommands += s->staleArbiterCommands();
+  }
   out.throughputRoundsPerSecond =
       simSeconds > 0.0 ? static_cast<double>(out.roundsCompleted) / simSeconds
                        : 0.0;
@@ -175,6 +183,9 @@ ChaosResult runSameEngine(const ChaosConfig& cfg) {
     opts.leases = core::LeaseConfig{cfg.leaseSeconds, cfg.commandRetrySeconds};
     opts.tickSeconds = cfg.arbiterTickSeconds;
     opts.auditInvariants = true;
+    opts.checkpointEverySeconds = cfg.checkpointEverySeconds;
+    opts.walCapacity = cfg.walCapacity;
+    opts.recoveryWindowSeconds = cfg.recoveryWindowSeconds;
   }
   core::Arbiter arbiter(eng, ports, core::makePolicy(cfg.policy), opts);
 
@@ -194,6 +205,7 @@ ChaosResult runSameEngine(const ChaosConfig& cfg) {
     }
     Session* victim = sessions[c.app - 1].get();
     eng.scheduleAt(c.at, [victim] { victim->kill(); });
+    ++out.appCrashesInjected;
     if (c.reported) {
       // Scheduled second at the same timestamp: the scheduler notices the
       // death after the process is gone, never before.
@@ -202,12 +214,32 @@ ChaosResult runSameEngine(const ChaosConfig& cfg) {
       });
     }
   }
+  for (const ArbiterCrashSpec& a : cfg.plan.arbiterCrashes) {
+    // Guarded: overlapping specs collapse into one outage (crash() is
+    // idempotent and a restart only applies to a crashed arbiter).
+    eng.scheduleAt(a.at, [&arbiter, &out] {
+      if (!arbiter.crashed()) {
+        arbiter.crash();
+        ++out.arbiterCrashes;
+      }
+    });
+    eng.scheduleAt(a.at + a.downSeconds, [&arbiter] {
+      if (arbiter.crashed()) {
+        arbiter.restart();
+      }
+    });
+  }
   eng.run();
   summarize(cfg, arbiter.core(), sessions, eng.now(), out);
   out.messagesSeen = injector.messagesSeen();
   out.messagesDropped = injector.messagesDropped();
   out.messagesDelayed = injector.messagesDelayed();
   out.messagesDuplicated = injector.messagesDuplicated();
+  out.messagesReordered = injector.messagesReordered();
+  out.arbiterRestarts = arbiter.restarts();
+  out.checkpoints = arbiter.checkpointStore().checkpoints();
+  out.walAppended = arbiter.checkpointStore().walAppended();
+  out.walDropped = arbiter.checkpointStore().walDropped();
   return out;
 }
 
@@ -220,14 +252,32 @@ ChaosResult runSameEngine(const ChaosConfig& cfg) {
 ///    barriers — bounded by maxSimSeconds as a liveness-bug backstop.
 class ChaosDriver final : public sim::BarrierHook {
  public:
+  /// One arbiter-process lifecycle edge, applied at the first barrier at or
+  /// after its time — the only race-free place to kill or restart the
+  /// arbiter on a sharded platform.
+  struct ArbiterEvent {
+    sim::Time at = 0.0;
+    bool restartEdge = false;  ///< false = crash, true = restart
+  };
+
   ChaosDriver(platform::Cluster& cluster, GlobalArbiter& arbiter,
-              std::vector<CrashSpec> reported, double maxSimSeconds,
+              std::vector<CrashSpec> reported,
+              std::vector<ArbiterEvent> arbiterEvents, double maxSimSeconds,
               double stepSeconds)
       : cluster_(cluster),
         arbiter_(arbiter),
         reported_(std::move(reported)),
+        arbiterEvents_(std::move(arbiterEvents)),
         maxSimSeconds_(maxSimSeconds),
-        stepSeconds_(stepSeconds) {}
+        stepSeconds_(stepSeconds) {
+    // Time order, crash edges before restart edges at equal times, so an
+    // outage shorter than one round still crashes-then-recovers in order.
+    std::stable_sort(arbiterEvents_.begin(), arbiterEvents_.end(),
+                     [](const ArbiterEvent& a, const ArbiterEvent& b) {
+                       return a.at != b.at ? a.at < b.at
+                                           : !a.restartEdge && b.restartEdge;
+                     });
+  }
 
   bool onBarrier(sim::Time barrierTime) override {
     bool scheduled = false;
@@ -238,23 +288,46 @@ class ChaosDriver final : public sim::BarrierHook {
         scheduled = true;
       }
     }
+    while (nextArbiterEvent_ < arbiterEvents_.size() &&
+           arbiterEvents_[nextArbiterEvent_].at <= barrierTime) {
+      const ArbiterEvent& e = arbiterEvents_[nextArbiterEvent_++];
+      // Guarded: overlapping outages collapse into one (crash() is
+      // idempotent; a restart only applies to a down arbiter).
+      if (!e.restartEdge && !arbiter_.down()) {
+        arbiter_.crash();
+        ++arbiterCrashesApplied_;
+      } else if (e.restartEdge && arbiter_.down()) {
+        arbiter_.restart(barrierTime);
+        scheduled = true;
+      }
+    }
     const bool pendingReports = std::any_of(
         reported_.begin(), reported_.end(),
         [&](const CrashSpec& c) { return c.app != 0; });
-    if ((pendingReports || !arbiter_.core().idle()) &&
+    const bool pendingArbiter =
+        nextArbiterEvent_ < arbiterEvents_.size() || arbiter_.down();
+    if ((pendingReports || pendingArbiter || !arbiter_.core().idle()) &&
         barrierTime < maxSimSeconds_) {
       // A no-op heartbeat event: forces another round so queued scheduler
-      // events and the lease sweep keep executing on a drained cluster.
+      // events, the lease sweep, and pending arbiter lifecycle edges keep
+      // executing on a drained cluster.
       cluster_.engine(0).scheduleAt(barrierTime + stepSeconds_, [] {});
       scheduled = true;
     }
     return scheduled;
   }
 
+  [[nodiscard]] std::uint64_t arbiterCrashesApplied() const noexcept {
+    return arbiterCrashesApplied_;
+  }
+
  private:
   platform::Cluster& cluster_;
   GlobalArbiter& arbiter_;
   std::vector<CrashSpec> reported_;
+  std::vector<ArbiterEvent> arbiterEvents_;
+  std::size_t nextArbiterEvent_ = 0;
+  std::uint64_t arbiterCrashesApplied_ = 0;
   double maxSimSeconds_;
   double stepSeconds_;
 };
@@ -281,6 +354,9 @@ ChaosResult runCluster(const ChaosConfig& cfg) {
   if (cfg.hardened) {
     gcfg.leases = core::LeaseConfig{cfg.leaseSeconds, cfg.commandRetrySeconds};
     gcfg.auditInvariants = true;
+    gcfg.checkpointEverySeconds = cfg.checkpointEverySeconds;
+    gcfg.walCapacity = cfg.walCapacity;
+    gcfg.recoveryWindowSeconds = cfg.recoveryWindowSeconds;
   }
   GlobalArbiter& ga =
       GlobalArbiter::install(cl, core::makePolicy(cfg.policy), gcfg);
@@ -309,12 +385,18 @@ ChaosResult runCluster(const ChaosConfig& cfg) {
         static_cast<std::size_t>(c.app - 1) % cfg.shards;
     Session* victim = sessions[c.app - 1].get();
     cl.engine(shard).scheduleAt(c.at, [victim] { victim->kill(); });
+    ++out.appCrashesInjected;
     if (c.reported) {
       reported.push_back(c);
     }
   }
-  ChaosDriver driver(cl, ga, std::move(reported), cfg.maxSimSeconds,
-                     cfg.syncHorizonSeconds);
+  std::vector<ChaosDriver::ArbiterEvent> arbiterEvents;
+  for (const ArbiterCrashSpec& a : cfg.plan.arbiterCrashes) {
+    arbiterEvents.push_back({a.at, false});
+    arbiterEvents.push_back({a.at + a.downSeconds, true});
+  }
+  ChaosDriver driver(cl, ga, std::move(reported), std::move(arbiterEvents),
+                     cfg.maxSimSeconds, cfg.syncHorizonSeconds);
   cl.addBarrierHook(&driver);
 
   cl.run(cfg.workers);
@@ -324,8 +406,15 @@ ChaosResult runCluster(const ChaosConfig& cfg) {
     out.messagesDropped += inj->messagesDropped();
     out.messagesDelayed += inj->messagesDelayed();
     out.messagesDuplicated += inj->messagesDuplicated();
+    out.messagesReordered += inj->messagesReordered();
   }
   out.blackoutDiscarded = ga.blackoutDiscarded();
+  out.arbiterCrashes = driver.arbiterCrashesApplied();
+  out.arbiterRestarts = ga.restarts();
+  out.crashDiscarded = ga.crashDiscarded();
+  out.checkpoints = ga.checkpointStore().checkpoints();
+  out.walAppended = ga.checkpointStore().walAppended();
+  out.walDropped = ga.checkpointStore().walDropped();
   return out;
 }
 
@@ -371,6 +460,19 @@ Plan chaosPlan(std::uint64_t seed, int apps) {
         (draw(seed, 18 + static_cast<std::uint64_t>(c) * 3) & 1) != 0;
     plan.crashes.push_back(spec);
   }
+  return plan;
+}
+
+Plan withArbiterCrash(Plan plan, std::uint64_t seed) {
+  ArbiterCrashSpec spec;
+  // Crash time inside the contended window (the campaign's starts and first
+  // phases), downtime always far under degradeAfterSeconds. Distinct draw
+  // indices from chaosPlan()'s (which stop at 16 + 3*crashes <= 16 + 3*apps).
+  const std::uint64_t tBits = draw(seed, 97);
+  spec.at = 1.0 + static_cast<double>(tBits % 1000) / 1000.0 * 4.0;
+  constexpr double kDown[] = {0.5, 1.2, 2.5};
+  spec.downSeconds = kDown[draw(seed, 98) % 3];
+  plan.arbiterCrashes.push_back(spec);
   return plan;
 }
 

@@ -72,6 +72,15 @@ struct ChaosConfig {
   double leaseSeconds = 1.5;
   double commandRetrySeconds = 0.4;
   double arbiterTickSeconds = 0.25;  // SameEngine (Cluster ticks at barriers)
+  /// Checkpoint cadence of the arbiter's stable-storage model (used when
+  /// hardened). Checkpointing is pure observation — it never moves a
+  /// decision — so leaving it on does not perturb the zero-fault gates; it
+  /// is what plan.arbiterCrashes recover from.
+  double checkpointEverySeconds = 0.5;
+  std::size_t walCapacity = 64;
+  /// Reconciliation window opened on arbiter restart. On the cluster
+  /// transport this should cover at least one barrier round trip.
+  double recoveryWindowSeconds = 1.0;
 
   /// Hard wall for the cluster keepalive: past this simulated time the
   /// harness stops forcing barrier rounds (a liveness-bug backstop; healthy
@@ -105,13 +114,35 @@ struct ChaosResult {
   std::uint64_t messagesDropped = 0;
   std::uint64_t messagesDelayed = 0;
   std::uint64_t messagesDuplicated = 0;
+  std::uint64_t messagesReordered = 0;
   std::uint64_t blackoutDiscarded = 0;  // Cluster only
+  /// Application crashes the harness scheduled from plan.crashes.
+  std::uint64_t appCrashesInjected = 0;
+  // -- arbiter crash-recovery (plan.arbiterCrashes) --
+  std::uint64_t arbiterCrashes = 0;   ///< crashes actually applied
+  std::uint64_t arbiterRestarts = 0;  ///< recoveries completed
+  std::uint64_t crashDiscarded = 0;   ///< Cluster: stub traffic lost while down
+  std::uint64_t recoverCommandsIssued = 0;
+  std::uint64_t reinstatedAccessors = 0;
+  std::uint64_t recoverAnswers = 0;        ///< session-side re-Informs
+  std::uint64_t staleArbiterCommands = 0;  ///< fenced pre-crash commands
+  std::uint64_t checkpoints = 0;
+  std::uint64_t walAppended = 0;
+  std::uint64_t walDropped = 0;
   std::uint64_t roundsCompleted = 0;
   double throughputRoundsPerSecond = 0.0;
   /// FNV-1a over the decision stream's JSON and the grant log — the
   /// bit-identity probe of the zero-fault and worker-invariance gates.
   std::uint64_t fingerprint = 0;
   std::vector<core::GrantRecord> grantLog;
+  /// Full decision stream, in order — the input of the divergence analysis
+  /// (analysis::replay::computeDivergence) that bounds how far a
+  /// crash-recovered run drifts from a never-crashed oracle.
+  std::vector<core::DecisionRecord> decisions;
+  /// core::encodeSnapshot of the final core state (takenAt = simSeconds):
+  /// equal strings iff bit-identical end states — the checkpoint/restore
+  /// determinism gate across worker counts and crash schedules.
+  std::string snapshotEncoding;
 };
 
 /// Derives a diverse fault schedule from `seed` for a campaign of `apps`
@@ -119,6 +150,15 @@ struct ChaosResult {
 /// and up to apps-1 crashes (reported or silent) — always leaving at least
 /// one survivor. Pure hash; the same seed always yields the same plan.
 [[nodiscard]] Plan chaosPlan(std::uint64_t seed, int apps);
+
+/// Adds one seeded arbiter crash to `plan`: crash time in [1, 5) seconds
+/// (inside the contended window), downtime drawn from {0.5, 1.2, 2.5}
+/// seconds — always well under ChaosConfig::degradeAfterSeconds, so
+/// surviving sessions normally ride the outage out on retries and rejoin
+/// the recovered arbiter rather than degrading. Pure hash of `seed`; kept
+/// separate from chaosPlan() so the existing seeded suites replay
+/// byte-identically.
+[[nodiscard]] Plan withArbiterCrash(Plan plan, std::uint64_t seed);
 
 /// Runs one seeded chaos campaign; see file comment.
 [[nodiscard]] ChaosResult runChaos(const ChaosConfig& cfg);

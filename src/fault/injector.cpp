@@ -74,7 +74,7 @@ mpi::DeliveryFilter::Verdict Injector::onSend(const std::string& port,
   } else if (plan_.reorderProbability > 0.0 &&
              uniform(i, kSaltReorder) < plan_.reorderProbability) {
     v.extraDelaySeconds = plan_.reorderDelaySeconds;
-    ++delayed_;
+    ++reordered_;
   }
   return v;
 }

@@ -53,6 +53,17 @@ struct CrashSpec {
   bool reported = false;
 };
 
+/// One arbiter process crash: at simulated time `at` the arbiter dies —
+/// applied race-free at the next barrier on the cluster transport, at the
+/// exact instant on the same-engine one — and restarts `downSeconds` later,
+/// recovering through checkpoint + WAL + reconciliation
+/// (src/calciom/recovery.hpp). While down, coordination traffic is lost;
+/// sessions ride it out via retries/heartbeats or degrade.
+struct ArbiterCrashSpec {
+  sim::Time at = 0.0;
+  double downSeconds = 0.0;
+};
+
 /// A complete, seeded fault schedule. All probabilities default to zero and
 /// `crashes` to empty, so a default Plan is the no-fault plan: enabled()
 /// is false and an Injector built from it never draws a single hash.
@@ -76,6 +87,8 @@ struct Plan {
   double blackoutProbability = 0.0;
   int blackoutRounds = 1;
   std::vector<CrashSpec> crashes;
+  /// Arbiter process crashes (consumed by the harness like `crashes`).
+  std::vector<ArbiterCrashSpec> arbiterCrashes;
 
   [[nodiscard]] bool messageFaultsEnabled() const noexcept {
     return dropProbability > 0.0 || delayProbability > 0.0 ||
@@ -83,7 +96,7 @@ struct Plan {
   }
   [[nodiscard]] bool enabled() const noexcept {
     return messageFaultsEnabled() || blackoutProbability > 0.0 ||
-           !crashes.empty();
+           !crashes.empty() || !arbiterCrashes.empty();
   }
 };
 
@@ -119,6 +132,11 @@ class Injector final : public mpi::DeliveryFilter {
   [[nodiscard]] std::uint64_t messagesDuplicated() const noexcept {
     return duplicated_;
   }
+  /// Swap-scale reorder delays actually fired (the reorderProbability
+  /// branch; long uniform delays count under messagesDelayed()).
+  [[nodiscard]] std::uint64_t messagesReordered() const noexcept {
+    return reordered_;
+  }
 
  private:
   /// Uniform draw in [0, 1) from the (seed, shard, index, salt) hash.
@@ -132,6 +150,7 @@ class Injector final : public mpi::DeliveryFilter {
   std::uint64_t dropped_ = 0;
   std::uint64_t delayed_ = 0;
   std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
 };
 
 }  // namespace calciom::fault

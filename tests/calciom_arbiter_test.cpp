@@ -520,4 +520,113 @@ TEST(ArbiterIdempotencyTest, OutOfOrderCompleteInformMatchesOrdered) {
   EXPECT_EQ(run(false), run(true));
 }
 
+// ---------------------------------------------------------------------------
+// Lease-expiry edge cases, driven on the bare ArbiterCore with explicit
+// timestamps — the frontends' timers would quantize the exact instants
+// under test (sweep and Complete on one timestamp, a heartbeat landing
+// exactly at the expiry boundary, a reclaim racing a delayed Release).
+
+using calciom::core::ArbiterCore;
+using calciom::core::LeaseConfig;
+
+calciom::mpi::Info coreInformWire(std::uint32_t id) {
+  IoDescriptor d;
+  d.appId = id;
+  d.cores = 64;
+  d.estAloneSeconds = 10.0;
+  Info w = d.toInfo();
+  w.set(msg::kType, msg::kInform);
+  return w;
+}
+
+calciom::mpi::Info coreTypedWire(const char* type) {
+  Info w;
+  w.set(msg::kType, type);
+  return w;
+}
+
+TEST(ArbiterLeaseEdgeTest, CompleteAndLeaseSweepOnTheSameInstant) {
+  // The holder's Complete and the over-lease sweep land on one timestamp,
+  // in both orders. Either way the waiter is admitted exactly once, and an
+  // app that completed first is never counted as a lease reclaim.
+  for (const bool completeFirst : {true, false}) {
+    SCOPED_TRACE(completeFirst ? "complete then sweep" : "sweep then complete");
+    ArbiterCore core(makePolicy(PolicyKind::Fcfs));
+    core.configureLeases(LeaseConfig{1.5, 0.0});
+    ArbiterCore::Commands out;
+    core.onMessage(0.0, 1, coreInformWire(1), out);  // granted
+    core.onMessage(0.2, 2, coreInformWire(2), out);  // queued
+    const double t = 1.6;  // holder silent since 0.0: over-lease at t
+    if (completeFirst) {
+      core.onMessage(t, 1, coreTypedWire(msg::kComplete), out);
+      core.onTick(t, out);
+      EXPECT_EQ(core.leaseReclaims(), 0u);  // Idle apps are never swept
+    } else {
+      core.onTick(t, out);  // reclaims the silent holder first
+      EXPECT_EQ(core.leaseReclaims(), 1u);
+      // The crossing Complete arrives from a now-unknown app: ignored.
+      core.onMessage(t, 1, coreTypedWire(msg::kComplete), out);
+      EXPECT_EQ(core.leaseReclaims(), 1u);
+    }
+    EXPECT_EQ(core.currentAccessors(), std::vector<std::uint32_t>{2});
+    EXPECT_LE(core.maxConcurrentAccessors(), 1u);
+    int grantsToWaiter = 0;
+    for (const auto& g : core.grantLog()) {
+      grantsToWaiter += g.app == 2 ? 1 : 0;
+    }
+    EXPECT_EQ(grantsToWaiter, 1);  // admitted exactly once
+  }
+}
+
+TEST(ArbiterLeaseEdgeTest, HeartbeatExactlyAtExpiryRenewsTheLease) {
+  // Lease expiry is strict (now - lastHeard > leaseSeconds): a sweep — or a
+  // heartbeat — landing exactly on the boundary still counts as alive.
+  ArbiterCore core(makePolicy(PolicyKind::Fcfs));
+  core.configureLeases(LeaseConfig{1.5, 0.0});
+  ArbiterCore::Commands out;
+  core.onMessage(0.0, 1, coreInformWire(1), out);  // granted at t=0
+  core.onTick(1.5, out);  // exactly at the boundary: not expired
+  EXPECT_EQ(core.leaseReclaims(), 0u);
+  Info hb = coreTypedWire(msg::kHeartbeat);
+  hb.set(msg::kSessionState, "accessing");
+  core.onMessage(1.5, 1, hb, out);  // boundary heartbeat renews the clock
+  core.onTick(3.0, out);            // 3.0 - 1.5 == lease: still alive
+  EXPECT_EQ(core.leaseReclaims(), 0u);
+  EXPECT_EQ(core.currentAccessors(), std::vector<std::uint32_t>{1});
+  core.onTick(3.2, out);  // now strictly past: reclaimed
+  EXPECT_EQ(core.leaseReclaims(), 1u);
+  EXPECT_TRUE(core.currentAccessors().empty());
+}
+
+TEST(ArbiterLeaseEdgeTest, ReclamationRacesADelayedRelease) {
+  // The holder's Release was fault-delayed past its own lease: by the time
+  // it lands the access was reclaimed and re-granted. The stale Release
+  // must neither resurrect the reclaimed app nor disturb the new holder —
+  // and the app (alive all along, just partitioned) re-admits cleanly.
+  ArbiterCore core(makePolicy(PolicyKind::Fcfs));
+  core.configureLeases(LeaseConfig{1.5, 0.0});
+  ArbiterCore::Commands out;
+  core.onMessage(0.0, 1, coreInformWire(1), out);  // granted
+  core.onMessage(0.3, 2, coreInformWire(2), out);  // queued
+  // Sweep at 1.6: the holder (silent since 0.0) is over-lease, the waiter
+  // (heard at 0.3) is not — reclaimed and re-granted respectively.
+  core.onTick(1.6, out);
+  EXPECT_EQ(core.leaseReclaims(), 1u);
+  EXPECT_EQ(core.currentAccessors(), std::vector<std::uint32_t>{2});
+  const std::size_t grants = core.grantLog().size();
+
+  Info rel = coreTypedWire(msg::kRelease);
+  rel.setDouble(msg::kProgress, 0.7);
+  core.onMessage(1.7, 1, rel, out);  // the delayed Release finally arrives
+  EXPECT_EQ(core.currentAccessors(), std::vector<std::uint32_t>{2});
+  EXPECT_EQ(core.grantLog().size(), grants);
+  EXPECT_FALSE(core.appProgress(1).has_value());  // no resurrected record
+
+  core.onMessage(1.8, 1, coreInformWire(1), out);  // re-Inform: re-admits
+  EXPECT_EQ(core.waitQueue(), std::vector<std::uint32_t>{1});
+  core.onMessage(2.0, 2, coreTypedWire(msg::kComplete), out);
+  EXPECT_EQ(core.currentAccessors(), std::vector<std::uint32_t>{1});
+  EXPECT_LE(core.maxConcurrentAccessors(), 1u);
+}
+
 }  // namespace
