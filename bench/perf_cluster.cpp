@@ -53,7 +53,10 @@
 // (writers on distinct shards, shared PFS, Interrupt policy) — and exits
 // non-zero if fingerprints diverge or the runs do not complete: the CI
 // tripwire for shard, cross-shard-coordination and shared-storage
-// determinism.
+// determinism. It then replays the full cluster_arbiter tier once and gates
+// on its recorded decision fingerprint plus at least a 2x multi-shard
+// sync-round reduction vs the 389 pre-horizon grid barriers (the
+// barrier-tax win must not silently regress).
 
 #include <algorithm>
 #include <chrono>
@@ -181,15 +184,51 @@ struct FlowTier {
 };
 
 struct RunResult {
+  /// Externally timed elapsed seconds of the measured window.
   double wallSeconds = 0.0;
+  /// ClusterStats::cpuSeconds over the same window: CPU burned inside
+  /// shard loops, summed over shards. Reported next to wallSeconds, never
+  /// added to it (see the ClusterStats doc: the per-shard timers overlap
+  /// under workers and nest inside the external timer when serial).
+  double cpuSeconds = 0.0;
   std::uint64_t events = 0;
+  /// events / wallSeconds — wall-clock throughput, the scaling metric.
   double eventsPerSecond = 0.0;
   std::uint64_t dispatchBatches = 0;
   std::size_t maxQueueDepth = 0;
   std::uint64_t syncRounds = 0;
+  std::uint64_t horizonSteps = 0;
+  std::uint64_t soloRounds = 0;
+  std::uint64_t dispatchedShards = 0;
+  std::uint64_t exchangesNonEmpty = 0;
+  std::uint64_t exchangesEmpty = 0;
+  std::uint64_t barriersSkipped = 0;
   std::uint64_t fingerprint = 0;
   bool complete = false;
 };
+
+/// Windowed counter deltas + fingerprint, shared by every tier's collection
+/// path. `base` is the stats snapshot at the start of the measured window
+/// (default-constructed for whole-campaign tiers).
+void fillRun(RunResult& out, const calciom::platform::ClusterStats& stats,
+             const calciom::platform::ClusterStats& base) {
+  out.cpuSeconds = stats.cpuSeconds - base.cpuSeconds;
+  out.events = stats.total.processedEvents - base.total.processedEvents;
+  out.eventsPerSecond = out.wallSeconds > 0.0
+                            ? static_cast<double>(out.events) / out.wallSeconds
+                            : 0.0;
+  out.dispatchBatches =
+      stats.total.dispatchBatches - base.total.dispatchBatches;
+  out.maxQueueDepth = stats.total.maxQueueDepth;
+  out.syncRounds = stats.syncRounds - base.syncRounds;
+  out.horizonSteps = stats.horizonSteps - base.horizonSteps;
+  out.soloRounds = stats.soloRounds - base.soloRounds;
+  out.dispatchedShards = stats.dispatchedShards - base.dispatchedShards;
+  out.exchangesNonEmpty =
+      stats.barrierExchangesNonEmpty - base.barrierExchangesNonEmpty;
+  out.exchangesEmpty = stats.barrierExchangesEmpty - base.barrierExchangesEmpty;
+  out.barriersSkipped = stats.barriersSkipped - base.barriersSkipped;
+}
 
 /// Builds the cluster for a tier, runs it to completion with `workers`
 /// threads and collects counters. `warmup` simulated seconds run first —
@@ -227,17 +266,9 @@ RunResult runFlowTier(const FlowTier& tier, unsigned workers, double warmup) {
   const auto t0 = std::chrono::steady_clock::now();
   cl.run(workers);
   const auto t1 = std::chrono::steady_clock::now();
-  const auto stats = cl.stats();
   RunResult out;
   out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
-  out.events = stats.total.processedEvents - baseStats.total.processedEvents;
-  out.eventsPerSecond = out.wallSeconds > 0.0
-                            ? static_cast<double>(out.events) / out.wallSeconds
-                            : 0.0;
-  out.dispatchBatches =
-      stats.total.dispatchBatches - baseStats.total.dispatchBatches;
-  out.maxQueueDepth = stats.total.maxQueueDepth;
-  out.syncRounds = stats.syncRounds - baseStats.syncRounds;
+  fillRun(out, cl.stats(), baseStats);
   out.fingerprint = clusterFingerprint(cl);
   out.complete = cl.empty();
   return out;
@@ -296,14 +327,7 @@ StorageResult runStorageTier(const StorageTier& tier, unsigned workers) {
   const auto stats = cl.stats();
   StorageResult out;
   out.run.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
-  out.run.events = stats.total.processedEvents;
-  out.run.eventsPerSecond =
-      out.run.wallSeconds > 0.0
-          ? static_cast<double>(out.run.events) / out.run.wallSeconds
-          : 0.0;
-  out.run.dispatchBatches = stats.total.dispatchBatches;
-  out.run.maxQueueDepth = stats.total.maxQueueDepth;
-  out.run.syncRounds = stats.syncRounds;
+  fillRun(out.run, stats, {});
   out.run.fingerprint = clusterFingerprint(cl);
   out.run.complete = cl.empty();
   out.totalScheduled = stats.total.scheduledEvents;
@@ -399,17 +423,9 @@ ArbiterResult runArbiterTier(const ArbiterTier& tier, unsigned workers) {
   const auto t0 = std::chrono::steady_clock::now();
   cl.run(workers);
   const auto t1 = std::chrono::steady_clock::now();
-  const auto stats = cl.stats();
   ArbiterResult out;
   out.run.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
-  out.run.events = stats.total.processedEvents;
-  out.run.eventsPerSecond =
-      out.run.wallSeconds > 0.0
-          ? static_cast<double>(out.run.events) / out.run.wallSeconds
-          : 0.0;
-  out.run.dispatchBatches = stats.total.dispatchBatches;
-  out.run.maxQueueDepth = stats.total.maxQueueDepth;
-  out.run.syncRounds = stats.syncRounds;
+  fillRun(out.run, cl.stats(), {});
   out.run.fingerprint = arbiterFingerprint(cl, ga);
   out.run.complete = cl.empty();
   out.decisions = ga.decisions().size();
@@ -519,15 +535,27 @@ double appThroughput(const AppStats& app) {
 
 void printRun(const char* indent, unsigned workers, const RunResult& r,
               bool last) {
+  // wall_s is the external timer, cpu_s the sum of shard-loop timers;
+  // they are separate columns on purpose (RunResult::cpuSeconds).
   std::printf(
-      "%s{\"workers\": %u, \"wall_s\": %.6f, \"events\": %llu, "
+      "%s{\"workers\": %u, \"wall_s\": %.6f, \"cpu_s\": %.6f, "
+      "\"events\": %llu, "
       "\"events_per_s\": %.0f, \"batches\": %llu, \"sync_rounds\": %llu, "
+      "\"horizon_steps\": %llu, \"solo_rounds\": %llu, "
+      "\"dispatched_shards\": %llu, \"exchanges_nonempty\": %llu, "
+      "\"exchanges_empty\": %llu, \"barriers_skipped\": %llu, "
       "\"max_queue_depth\": %zu, \"fingerprint\": \"%016llx\", "
       "\"complete\": %s}%s\n",
-      indent, workers, r.wallSeconds,
+      indent, workers, r.wallSeconds, r.cpuSeconds,
       static_cast<unsigned long long>(r.events), r.eventsPerSecond,
       static_cast<unsigned long long>(r.dispatchBatches),
-      static_cast<unsigned long long>(r.syncRounds), r.maxQueueDepth,
+      static_cast<unsigned long long>(r.syncRounds),
+      static_cast<unsigned long long>(r.horizonSteps),
+      static_cast<unsigned long long>(r.soloRounds),
+      static_cast<unsigned long long>(r.dispatchedShards),
+      static_cast<unsigned long long>(r.exchangesNonEmpty),
+      static_cast<unsigned long long>(r.exchangesEmpty),
+      static_cast<unsigned long long>(r.barriersSkipped), r.maxQueueDepth,
       static_cast<unsigned long long>(r.fingerprint),
       r.complete ? "true" : "false", last ? "" : ",");
 }
@@ -633,7 +661,7 @@ int main(int argc, char** argv) {
         "    \"apps\": 2, \"decisions\": %zu, \"pauses\": %zu, "
         "\"requests_forwarded\": %llu,\n"
         "    \"bytes_delivered\": %.0f,\n"
-        "    \"fingerprints\": [\"%016llx\", \"%016llx\"]\n  }\n}\n",
+        "    \"fingerprints\": [\"%016llx\", \"%016llx\"]\n  },\n",
         m1.decisions.size(), m1.pausesIssued,
         static_cast<unsigned long long>(m1.storage.requestsForwarded),
         m1.bytesDelivered, static_cast<unsigned long long>(mfp1),
@@ -649,7 +677,35 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(mfp2), m1.decisions.size(),
                  m1.pausesIssued,
                  machineWideOk ? "OK" : "DETERMINISM REGRESSION");
-    ok = flowsOk && arbiterOk && machineWideOk;
+    // Barrier-tax gate: the full cluster_arbiter tier at 1 worker, pinned
+    // to its recorded decision fingerprint AND to at least a 2x reduction
+    // in multi-shard sync rounds vs the 389 grid barriers the pre-horizon
+    // loop executed. Catches both kinds of regression: a horizon-vote or
+    // sparse-activation change that alters decisions (fingerprint moves),
+    // and one that silently re-inflates the barrier tax (sync_rounds
+    // creeps back toward one-per-grid-step).
+    constexpr std::uint64_t kArbiterFingerprint = 0xcf240e6e58704590ULL;
+    constexpr std::uint64_t kLegacyGridRounds = 389;
+    const ArbiterResult gate = runArbiterTier(ArbiterTier{}, 1);
+    const bool barrierTaxOk = gate.run.complete &&
+                              gate.run.fingerprint == kArbiterFingerprint &&
+                              gate.run.syncRounds * 2 <= kLegacyGridRounds;
+    std::printf("  \"smoke_barrier_tax\": {\n"
+                "    \"expected_fingerprint\": \"%016llx\", "
+                "\"legacy_grid_rounds\": %llu,\n",
+                static_cast<unsigned long long>(kArbiterFingerprint),
+                static_cast<unsigned long long>(kLegacyGridRounds));
+    printRun("    \"run\": ", 1, gate.run, true);
+    std::printf("  }\n}\n");
+    std::fprintf(stderr,
+                 "smoke_barrier_tax: fingerprint %016llx (want %016llx), "
+                 "sync_rounds %llu (want <= %llu) -> %s\n",
+                 static_cast<unsigned long long>(gate.run.fingerprint),
+                 static_cast<unsigned long long>(kArbiterFingerprint),
+                 static_cast<unsigned long long>(gate.run.syncRounds),
+                 static_cast<unsigned long long>(kLegacyGridRounds / 2),
+                 barrierTaxOk ? "OK" : "BARRIER TAX REGRESSION");
+    ok = flowsOk && arbiterOk && machineWideOk && barrierTaxOk;
     return ok ? 0 : 1;
   }
 
@@ -689,13 +745,19 @@ int main(int argc, char** argv) {
       const double speedup =
           r.wallSeconds > 0.0 ? runs[0].wallSeconds / r.wallSeconds : 0.0;
       std::printf(
-          "      {\"workers\": %u, \"wall_s\": %.6f, \"events\": %llu, "
+          "      {\"workers\": %u, \"wall_s\": %.6f, \"cpu_s\": %.6f, "
+          "\"events\": %llu, "
           "\"events_per_s\": %.0f, \"batches\": %llu, \"sync_rounds\": %llu, "
+          "\"solo_rounds\": %llu, \"dispatched_shards\": %llu, "
           "\"max_queue_depth\": %zu, \"speedup_vs_1\": %.2f, "
           "\"fingerprint\": \"%016llx\", \"complete\": %s}%s\n",
-          counts[i], r.wallSeconds, static_cast<unsigned long long>(r.events),
+          counts[i], r.wallSeconds, r.cpuSeconds,
+          static_cast<unsigned long long>(r.events),
           r.eventsPerSecond, static_cast<unsigned long long>(r.dispatchBatches),
-          static_cast<unsigned long long>(r.syncRounds), r.maxQueueDepth,
+          static_cast<unsigned long long>(r.syncRounds),
+          static_cast<unsigned long long>(r.soloRounds),
+          static_cast<unsigned long long>(r.dispatchedShards),
+          r.maxQueueDepth,
           speedup, static_cast<unsigned long long>(r.fingerprint),
           r.complete ? "true" : "false", i + 1 < runs.size() ? "," : "");
     }

@@ -103,9 +103,12 @@ bool recoveredCleanly(const ChaosResult& r) {
 /// each seeded schedule actually inflicted.
 void printChaosRun(const char* indent, const std::string& extra,
                    const ChaosResult& r, bool last) {
+  // wall_s (external timer) and cpu_s (event-loop time) are the only
+  // nondeterministic columns; cpu_s_waited is *simulated* core-seconds.
   std::printf(
       "%s{%s\"survivors\": %d, \"completed\": %d, \"degraded\": %d, "
-      "\"rounds\": %llu, \"sim_s\": %.3f, \"tput_rounds_per_s\": %.3f, "
+      "\"rounds\": %llu, \"sim_s\": %.3f, \"wall_s\": %.6f, "
+      "\"cpu_s\": %.6f, \"tput_rounds_per_s\": %.3f, "
       "\"cpu_s_waited\": %.3f, \"lease_reclaims\": %zu, "
       "\"msgs_seen\": %llu, \"msgs_dropped\": %llu, \"msgs_delayed\": %llu, "
       "\"msgs_duplicated\": %llu, \"msgs_reordered\": %llu, "
@@ -119,6 +122,7 @@ void printChaosRun(const char* indent, const std::string& extra,
       indent, extra.c_str(), r.survivors, r.survivorsCompleted,
       r.degradedSessions,
       static_cast<unsigned long long>(r.roundsCompleted), r.simSeconds,
+      r.wallSeconds, r.engineCpuSeconds,
       r.throughputRoundsPerSecond, r.cpuSecondsWaited, r.leaseReclaims,
       static_cast<unsigned long long>(r.messagesSeen),
       static_cast<unsigned long long>(r.messagesDropped),

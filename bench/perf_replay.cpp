@@ -123,18 +123,24 @@ const char* policyName(PolicyKind k) {
 
 void printReplay(const char* indent, const TimedReplay& t, bool last) {
   const ReplayResult& r = t.result;
+  // wall_s is the external timer around the whole replay (stream decode +
+  // oracle + divergence included); cpu_s is time inside the event loops
+  // only. Separate columns — see ClusterStats::cpuSeconds for why their
+  // sum is meaningless.
   std::printf(
       "%s{\"jobs\": %llu, \"decisions\": %zu, \"grants\": %zu, "
       "\"captured_events\": %zu, \"engine_events\": %llu, "
       "\"sync_rounds\": %llu, \"peak_stream_buffered\": %zu,\n"
-      "%s \"trace_span_s\": %.0f, \"wall_s\": %.6f, \"events_per_s\": %.0f, "
+      "%s \"trace_span_s\": %.0f, \"wall_s\": %.6f, \"cpu_s\": %.6f, "
+      "\"events_per_s\": %.0f, "
       "\"sim_speedup\": %.0f, \"fingerprint\": \"%016llx\",\n"
       "%s \"divergence\": %s}%s\n",
       indent, static_cast<unsigned long long>(r.jobs), r.decisions.size(),
       r.grants.size(), r.captured.size(),
       static_cast<unsigned long long>(r.engineEvents),
       static_cast<unsigned long long>(r.syncRounds), r.peakStreamBuffered,
-      indent, r.traceSpanSeconds, t.wallSeconds, t.eventsPerSecond,
+      indent, r.traceSpanSeconds, t.wallSeconds, r.engineCpuSeconds,
+      t.eventsPerSecond,
       t.simSpeedup,
       static_cast<unsigned long long>(replayFingerprint(r)), indent,
       toJson(r.divergence).c_str(), last ? "" : ",");

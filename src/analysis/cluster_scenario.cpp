@@ -100,7 +100,9 @@ ClusterRunResult runCluster(const ClusterScenarioConfig& cfg) {
   }
   out.storage = storage.stats();
   out.requestLog = storage.requestLog();
-  out.syncRounds = cluster.stats().syncRounds;
+  const auto clusterStats = cluster.stats();
+  out.syncRounds = clusterStats.syncRounds;
+  out.engineCpuSeconds = clusterStats.cpuSeconds;
   for (std::size_t s = 0; s < cluster.shardCount(); ++s) {
     out.shardEvents.push_back(cluster.engine(s).processedEvents());
     out.shardClocks.push_back(cluster.engine(s).now());

@@ -97,6 +97,11 @@ struct ClusterRunResult {
   std::vector<std::uint64_t> shardEvents;
   std::vector<double> shardClocks;
   std::uint64_t syncRounds = 0;
+  /// Real CPU seconds spent inside shard event loops, summed over shards
+  /// (ClusterStats::cpuSeconds — NOT simulated time, and not the campaign's
+  /// elapsed time either; bench tiers report it next to their external
+  /// wall-clock timer, never added to it).
+  double engineCpuSeconds = 0.0;
 };
 
 /// Runs the campaign to completion with `cfg.workers` worker threads.

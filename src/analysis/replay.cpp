@@ -140,7 +140,7 @@ class TraceFeeder final : public sim::BarrierHook {
     }
   }
 
-  bool onBarrier(sim::Time) override {
+  bool onBarrier(sim::Time barrierTime) override {
     bool scheduled = false;
     while (pending_.has_value()) {
       // Inject everything the next round can reach: its window is
@@ -152,7 +152,7 @@ class TraceFeeder final : public sim::BarrierHook {
           pending_->startSeconds() > next + horizon_) {
         break;
       }
-      inject(*pending_);
+      inject(*pending_, barrierTime);
       pending_ = stream_.next();
       scheduled = true;
     }
@@ -185,7 +185,7 @@ class TraceFeeder final : public sim::BarrierHook {
   }
 
  private:
-  void inject(const workload::SwfJob& job) {
+  void inject(const workload::SwfJob& job, sim::Time barrierTime) {
     const std::size_t shard = injected_ % cfg_.computeShards;
     ++injected_;
     sim::Engine& eng = cluster_->engine(shard);
@@ -193,10 +193,12 @@ class TraceFeeder final : public sim::BarrierHook {
     core::EventLog* log = logs_[shard].get();
     Aggregates* agg = &aggs_[shard];
     const ReplayConfig* cfg = &cfg_;
-    // max(now, start): the barrier-time induction keeps un-injected starts
-    // ahead of every shard clock, but reconstructed starts can regress a
-    // few ulps below the previous one, so clamp like the session feeder.
-    eng.scheduleAt(std::max(eng.now(), job.startSeconds()),
+    // max(barrierTime, start): the barrier-time induction keeps un-injected
+    // starts ahead of the barrier, but reconstructed starts can regress a
+    // few ulps below the previous one, so clamp like the session feeder —
+    // against the barrier, not the shard clock, which may trail the barrier
+    // when sparse activation skipped this shard's recent rounds.
+    eng.scheduleAt(std::max(barrierTime, job.startSeconds()),
                    [&eng, ports, cfg, job, log, agg] {
                      launchJob(eng, *ports, *cfg, job, log, agg);
                    });
@@ -402,6 +404,7 @@ ReplayResult replaySession(const ReplayConfig& cfg) {
   out.jobs = feeder.injected;
   out.peakStreamBuffered = feeder.stream.peakBuffered();
   out.engineEvents = eng.stats().processedEvents;
+  out.engineCpuSeconds = eng.stats().wallSeconds;
   out.sessionWaitSeconds = feeder.agg.waitSeconds;
   out.sessionPausedSeconds = feeder.agg.pausedSeconds;
   out.pausesHonored = feeder.agg.pausesHonored;
@@ -445,6 +448,7 @@ ReplayResult replayCluster(const ReplayConfig& cfg) {
   out.jobs = feeder.injected();
   out.peakStreamBuffered = feeder.peakBuffered();
   out.syncRounds = run.syncRounds;
+  out.engineCpuSeconds = run.engineCpuSeconds;
   for (std::uint64_t e : run.shardEvents) {
     out.engineEvents += e;
   }

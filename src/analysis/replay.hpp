@@ -164,6 +164,10 @@ struct ReplayResult {
   double traceSpanSeconds = 0.0;
   std::uint64_t engineEvents = 0;
   std::uint64_t syncRounds = 0;  // cluster path only
+  /// Real CPU seconds inside event loops (session path: the one engine's
+  /// wallSeconds; cluster path: ClusterStats::cpuSeconds summed over
+  /// shards). Reported next to — never added to — an external wall timer.
+  double engineCpuSeconds = 0.0;
   /// Session-side aggregates over all jobs.
   double sessionWaitSeconds = 0.0;
   double sessionPausedSeconds = 0.0;

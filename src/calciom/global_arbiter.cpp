@@ -1,6 +1,7 @@
 #include "calciom/global_arbiter.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <utility>
 
@@ -188,27 +189,51 @@ bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
   return deliverCommands(barrierTime);
 }
 
+sim::Time GlobalArbiter::nextBarrierNeededBy(sim::Time now) {
+  // Conservative whenever a fired barrier could be observable. Each term
+  // guards a side effect of onBarrier at this instant: merge work (stub
+  // outboxes, scheduler events), dead-id bookkeeping (markDead discard
+  // windows and round-numbered eviction), crash/recovery handling, the
+  // lease sweep, the checkpoint cadence, and fault injection (blackout
+  // draws hash the barrier round number, so the numbering itself must keep
+  // the fire-always cadence).
+  if (down_ || core_.recovering() || !pendingSchedulerEvents_.empty() ||
+      !dead_.empty() || !deadQueue_.empty() || !injectors_.empty() ||
+      core_.leases().enabled() || config_.checkpointEverySeconds > 0.0) {
+    return now;
+  }
+  for (const auto& stub : stubs_) {
+    if (!stub->outboxEmpty()) {
+      return now;
+    }
+  }
+  // Quiescent: onBarrier now would merge nothing, tick nothing, deliver
+  // nothing. Vote one sampling period out — never further, because the
+  // next round absorbs new traffic the following barrier must merge. The
+  // grid horizon `next + syncHorizon` is always at least this late
+  // (next >= now), so this vote can only skip no-op drain barriers, never
+  // stretch a round.
+  return now + cluster_.spec().syncHorizonSeconds;
+}
+
 bool GlobalArbiter::deliverCommands(sim::Time barrierTime) {
-  bool deliveredAny = false;
-  // Deliver commands into their target shards. Scheduling happens on the
-  // barrier thread while no shard loop runs (Engine::current() is null), so
-  // planting events into foreign engines is race-free; commands keep their
-  // decision order because same-timestamp events dispatch in scheduling
-  // order. Delivery lands strictly after the barrier and pays the
-  // cross-shard hop; a shard that skipped rounds may trail the barrier, so
-  // clamp to its own clock.
-  const auto scheduleDelivery = [](sim::Engine& eng, mpi::PortRegistry& ports,
-                                   std::uint32_t app, sim::Time at,
-                                   mpi::Info payload) {
-    eng.scheduleAt(at, [&ports, app, payload = std::move(payload)]() mutable {
-      // The hop latency is already in the event's timestamp; deliverNow
-      // must not add a second one.
-      ports.deliverNow(core::msg::appPort(app), /*fromApp=*/0,
-                       std::move(payload));
-    });
-  };
-  for (const core::ArbiterCommand& cmd : scratch_) {
-    const auto route = appShard_.find(cmd.app);
+  // Stable-group the commands by target shard. Stability is load-bearing
+  // twice: the per-shard relative order fixes both the engine seq order of
+  // the scheduled deliveries and the injector's per-shard message-index
+  // sequence, so grouped delivery is bit-identical to a per-command loop —
+  // the grouping only hoists route/engine/ports/blackout resolution and
+  // the delivery timestamp to once per shard, and coalesces payload
+  // storage into one shared batch per shard instead of one closure-owned
+  // copy per command.
+  if (shardGroups_.size() < cluster_.shardCount()) {
+    shardGroups_.resize(cluster_.shardCount());
+  }
+  for (auto& group : shardGroups_) {
+    group.clear();
+  }
+  touchedShards_.clear();
+  for (std::size_t c = 0; c < scratch_.size(); ++c) {
+    const auto route = appShard_.find(scratch_[c].app);
     if (route == appShard_.end()) {
       // Only reachable after a restart: the app's route was learned inside
       // the lost tail and the restored table predates it. Heal passively —
@@ -217,56 +242,97 @@ bool GlobalArbiter::deliverCommands(sim::Time barrierTime) {
       ++unroutableCommands_;
       continue;
     }
-    const std::size_t shard = route->second;
+    if (shardGroups_[route->second].empty()) {
+      touchedShards_.push_back(route->second);
+    }
+    shardGroups_[route->second].push_back(c);
+  }
+  bool deliveredAny = false;
+  // Deliver per shard. Scheduling happens on the barrier thread while no
+  // shard loop runs (Engine::current() is null), so planting events into
+  // foreign engines is race-free; commands keep their decision order
+  // because same-timestamp events dispatch in scheduling order. Shard
+  // visitation order is free — per-engine seq order depends only on the
+  // per-shard subsequence, and injector counters are per shard.
+  for (const std::size_t shard : touchedShards_) {
+    const std::vector<std::size_t>& group = shardGroups_[shard];
     sim::Engine& eng = cluster_.engine(shard);
     mpi::PortRegistry& ports = cluster_.machine(shard).ports();
-    sim::Time at = std::max(barrierTime, eng.now()) + latency_;
-    mpi::Info payload;
-    payload.set(core::msg::kType, toWire(cmd.type));
-    // cmdSeq is stamped whenever the command came from a live record;
-    // epoch / incarnation / arbiter-incarnation only when meaningful, so a
-    // never-crashed arbiter's wire format is byte-identical to before.
-    if (cmd.cmdSeq != 0) {
-      payload.setInt(core::msg::kCmdSeq,
-                     static_cast<std::int64_t>(cmd.cmdSeq));
-    }
-    if (cmd.epoch != 0) {
-      payload.setInt(core::msg::kEpoch, static_cast<std::int64_t>(cmd.epoch));
-    }
-    if (cmd.incarnation != 0) {
-      payload.setInt(core::msg::kIncarnation,
-                     static_cast<std::int64_t>(cmd.incarnation));
-    }
-    if (cmd.arbiterIncarnation != 0) {
-      payload.setInt(core::msg::kArbiterIncarnation,
-                     static_cast<std::int64_t>(cmd.arbiterIncarnation));
-    }
+    // Delivery lands strictly after the barrier and pays the cross-shard
+    // hop; a shard that skipped rounds may trail the barrier, so clamp to
+    // its own clock.
+    const sim::Time baseAt = std::max(barrierTime, eng.now()) + latency_;
     // Commands cross into the shard through the same faulty medium the
     // shard's sessions send through: ask its injector. deliverNow bypasses
     // the registry's DeliveryFilter by design (it is the barrier path), so
     // the consultation happens here, where the scheduled time can absorb
-    // the injected delay.
-    fault::Injector* injector =
+    // the injected delay. A stub blackout is a pure hash of the round
+    // number — one verdict covers the whole group.
+    fault::Injector* const injector =
         shard < injectors_.size() ? injectors_[shard] : nullptr;
-    if (injector != nullptr) {
-      if (injector->stubBlackedOut(rounds_)) {
-        ++blackoutDiscarded_;  // the shard is unreachable both ways
-        continue;
-      }
-      const mpi::DeliveryFilter::Verdict v =
-          injector->onSend(core::msg::appPort(cmd.app), 0, payload);
-      if (v.duplicate) {
-        scheduleDelivery(eng, ports, cmd.app,
-                         at + std::max(v.duplicateExtraDelaySeconds, 0.0),
-                         payload);
-      }
-      if (v.drop) {
-        continue;
-      }
-      at += std::max(v.extraDelaySeconds, 0.0);
+    if (injector != nullptr && injector->stubBlackedOut(rounds_)) {
+      blackoutDiscarded_ += group.size();  // the shard is unreachable both ways
+      continue;
     }
-    scheduleDelivery(eng, ports, cmd.app, at, std::move(payload));
-    deliveredAny = true;
+    auto batch = std::make_shared<std::vector<mpi::PortRegistry::Delivery>>();
+    batch->reserve(group.size());
+    for (const std::size_t c : group) {
+      const core::ArbiterCommand& cmd = scratch_[c];
+      mpi::PortRegistry::Delivery d;
+      d.port = core::msg::appPort(cmd.app);
+      d.fromApp = 0;
+      d.payload.set(core::msg::kType, toWire(cmd.type));
+      // cmdSeq is stamped whenever the command came from a live record;
+      // epoch / incarnation / arbiter-incarnation only when meaningful, so
+      // a never-crashed arbiter's wire format is byte-identical to before.
+      if (cmd.cmdSeq != 0) {
+        d.payload.setInt(core::msg::kCmdSeq,
+                         static_cast<std::int64_t>(cmd.cmdSeq));
+      }
+      if (cmd.epoch != 0) {
+        d.payload.setInt(core::msg::kEpoch,
+                         static_cast<std::int64_t>(cmd.epoch));
+      }
+      if (cmd.incarnation != 0) {
+        d.payload.setInt(core::msg::kIncarnation,
+                         static_cast<std::int64_t>(cmd.incarnation));
+      }
+      if (cmd.arbiterIncarnation != 0) {
+        d.payload.setInt(core::msg::kArbiterIncarnation,
+                         static_cast<std::int64_t>(cmd.arbiterIncarnation));
+      }
+      sim::Time at = baseAt;
+      if (injector != nullptr) {
+        const mpi::DeliveryFilter::Verdict v =
+            injector->onSend(d.port, 0, d.payload);
+        if (v.duplicate) {
+          // The copy first (smaller seq), matching the filtered send path.
+          eng.scheduleAt(
+              at + std::max(v.duplicateExtraDelaySeconds, 0.0),
+              [&ports, port = d.port, copy = d.payload]() mutable {
+                ports.deliverNow(port, /*fromApp=*/0, std::move(copy));
+              });
+        }
+        if (v.drop) {
+          continue;
+        }
+        at += std::max(v.extraDelaySeconds, 0.0);
+      }
+      const std::size_t idx = batch->size();
+      batch->push_back(std::move(d));
+      // One engine event per command, on purpose: event counts, queue
+      // depths, and same-instant seq interleaving are part of the
+      // deterministic observable surface, so a single merged event per
+      // shard is not an option — the coalescing lives in the shared batch
+      // storage and the registry's memoized resolution.
+      eng.scheduleAt(at, [&ports, batch, idx]() mutable {
+        mpi::PortRegistry::Delivery& entry = (*batch)[idx];
+        // The hop latency is already in the event's timestamp; deliverNow
+        // must not add a second one.
+        ports.deliverNow(entry.port, entry.fromApp, std::move(entry.payload));
+      });
+      deliveredAny = true;
+    }
   }
   scratch_.clear();
   return deliveredAny;

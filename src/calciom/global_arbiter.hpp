@@ -149,6 +149,20 @@ class GlobalArbiter final : public sim::BarrierHook {
   /// scheduled.
   bool onBarrier(sim::Time barrierTime) override;
 
+  /// Horizon vote (sim/barrier_hook.hpp): `now` — "fire every barrier" —
+  /// whenever skipping one could be observable: any stub outbox holds
+  /// traffic, scheduler events or dead-id bookkeeping are pending, the
+  /// arbiter is down or recovering, or a feature that does per-round work
+  /// (leases, checkpointing, fault injection — blackout draws hash the
+  /// round number) is configured. Otherwise the arbiter is provably a
+  /// no-op at this instant and votes one sync horizon out. That never
+  /// *stretches* a round (the grid horizon `next + syncHorizon` is at
+  /// least as late, since next >= now) — it only lets the cluster skip
+  /// drain barriers that would merge nothing, keeping the exchange counter
+  /// and every decision timestamp byte-identical to the fire-always
+  /// cadence.
+  sim::Time nextBarrierNeededBy(sim::Time now) override;
+
   /// Job-scheduler integration: the termination is applied at the next
   /// barrier, ordered before that barrier's message traffic. From that
   /// barrier on the id is *dead*: traffic from it is discarded at every
@@ -292,6 +306,12 @@ class GlobalArbiter final : public sim::BarrierHook {
   /// Per-shard fault deciders (non-owning, may be empty / hold nullptrs).
   std::vector<fault::Injector*> injectors_;
   core::ArbiterCore::Commands scratch_;
+  /// Delivery-grouping scratch (deliverCommands): command indices of
+  /// scratch_ stably grouped by target shard, plus the list of shards
+  /// touched this barrier. Reused across barriers to avoid per-round
+  /// allocation.
+  std::vector<std::vector<std::size_t>> shardGroups_;
+  std::vector<std::size_t> touchedShards_;
   std::uint64_t exchanges_ = 0;
   std::uint64_t merged_ = 0;
   std::uint64_t rounds_ = 0;

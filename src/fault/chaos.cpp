@@ -1,6 +1,7 @@
 #include "fault/chaos.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <utility>
@@ -229,7 +230,12 @@ ChaosResult runSameEngine(const ChaosConfig& cfg) {
       }
     });
   }
+  const auto t0 = std::chrono::steady_clock::now();
   eng.run();
+  out.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.engineCpuSeconds = eng.stats().wallSeconds;
   summarize(cfg, arbiter.core(), sessions, eng.now(), out);
   out.messagesSeen = injector.messagesSeen();
   out.messagesDropped = injector.messagesDropped();
@@ -399,7 +405,12 @@ ChaosResult runCluster(const ChaosConfig& cfg) {
                      cfg.maxSimSeconds, cfg.syncHorizonSeconds);
   cl.addBarrierHook(&driver);
 
+  const auto t0 = std::chrono::steady_clock::now();
   cl.run(cfg.workers);
+  out.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.engineCpuSeconds = cl.stats().cpuSeconds;
   summarize(cfg, ga.core(), sessions, cl.maxShardClock(), out);
   for (const auto& inj : injectors) {
     out.messagesSeen += inj->messagesSeen();

@@ -105,6 +105,15 @@ struct ChaosResult {
   bool arbiterIdle = false;  ///< core drained to Idle at the end
   double simSeconds = 0.0;
   double cpuSecondsWaited = 0.0;
+  /// Externally timed elapsed seconds of the whole campaign (the one
+  /// nondeterministic pair of fields here, with engineCpuSeconds).
+  double wallSeconds = 0.0;
+  /// Real CPU seconds inside event loops, summed over shards
+  /// (ClusterStats::cpuSeconds; same-engine: the engine's wallSeconds).
+  /// Reported next to — never added to — wallSeconds: under workers the
+  /// per-shard timers overlap, and serially they nest inside the external
+  /// timer.
+  double engineCpuSeconds = 0.0;
   std::size_t decisionCount = 0;
   std::size_t grants = 0;
   std::size_t pauses = 0;

@@ -49,25 +49,56 @@ bool PortRegistry::scheduleDelivery(const std::string& port,
   engine_.scheduleAfter(
       delaySeconds,
       [this, port, fromApp, payload = std::move(payload)]() mutable {
-        const auto it = ports_.find(port);
-        if (it == ports_.end()) {
+        Handler* handler = resolve(port);
+        if (handler == nullptr) {
           return;  // port closed while the message was in flight
         }
         ++delivered_;
-        it->second(fromApp, std::move(payload));
+        (*handler)(fromApp, std::move(payload));
       });
   return true;
 }
 
-bool PortRegistry::deliverNow(const std::string& port, std::uint32_t fromApp,
-                              Info payload) {
+PortRegistry::Handler* PortRegistry::resolve(const std::string& port) {
+  if (cacheEpoch_ == epoch_ && *cacheName_ == port) {
+    return cacheHandler_;
+  }
   const auto it = ports_.find(port);
   if (it == ports_.end()) {
+    return nullptr;  // misses are not cached: the next open may create it
+  }
+  cacheEpoch_ = epoch_;
+  cacheName_ = &it->first;
+  cacheHandler_ = &it->second;
+  return cacheHandler_;
+}
+
+bool PortRegistry::deliverNow(const std::string& port, std::uint32_t fromApp,
+                              Info payload) {
+  Handler* handler = resolve(port);
+  if (handler == nullptr) {
     return false;
   }
   ++delivered_;
-  it->second(fromApp, std::move(payload));
+  (*handler)(fromApp, std::move(payload));
   return true;
+}
+
+std::size_t PortRegistry::deliverBatch(std::vector<Delivery>& batch) {
+  std::size_t deliveredHere = 0;
+  for (Delivery& d : batch) {
+    // Per-entry resolution, not hoisted: a handler may close its own port
+    // mid-batch (an endpoint dying on receipt), and the epoch check turns
+    // that into a re-lookup instead of a dangling call.
+    Handler* handler = resolve(d.port);
+    if (handler == nullptr) {
+      continue;
+    }
+    ++delivered_;
+    ++deliveredHere;
+    (*handler)(d.fromApp, std::move(d.payload));
+  }
+  return deliveredHere;
 }
 
 }  // namespace calciom::mpi

@@ -85,9 +85,13 @@ class PortRegistry {
   void openPort(const std::string& name, Handler handler) {
     CALCIOM_EXPECTS(handler != nullptr);
     ports_[name] = std::move(handler);
+    ++epoch_;
   }
 
-  void closePort(const std::string& name) { ports_.erase(name); }
+  void closePort(const std::string& name) {
+    ports_.erase(name);
+    ++epoch_;
+  }
   [[nodiscard]] bool hasPort(const std::string& name) const {
     return ports_.count(name) > 0;
   }
@@ -133,6 +137,24 @@ class PortRegistry {
   bool deliverNow(const std::string& port, std::uint32_t fromApp,
                   Info payload);
 
+  /// One pre-addressed message of a barrier-time batch (see deliverBatch).
+  struct Delivery {
+    std::string port;
+    std::uint32_t fromApp = 0;
+    Info payload;
+  };
+
+  /// Synchronously delivers every entry in order, with deliverNow semantics
+  /// per entry (no latency, no relay, closed ports drop silently). Payloads
+  /// are moved out of the batch. Port resolution is memoized across
+  /// consecutive same-port entries (and across deliverNow calls) through a
+  /// registration-epoch-validated cache, so a coalesced per-shard command
+  /// batch — or a completion storm into one port — resolves the handler
+  /// once instead of once per message. Handlers may open/close ports
+  /// mid-batch; the epoch check makes the cache exact, not heuristic.
+  /// Returns the number of entries actually delivered.
+  std::size_t deliverBatch(std::vector<Delivery>& batch);
+
   [[nodiscard]] double latency() const noexcept { return latency_; }
   [[nodiscard]] std::uint64_t messagesDelivered() const noexcept {
     return delivered_;
@@ -146,6 +168,12 @@ class PortRegistry {
   /// (routing fixed at send time, as documented on send()).
   bool scheduleDelivery(const std::string& port, std::uint32_t fromApp,
                         Info payload, double delaySeconds);
+  /// Epoch-validated port lookup: nullptr when the port is not open. The
+  /// cached (key, handler) node pointers are stable for the life of the map
+  /// node, and every openPort/closePort bumps epoch_, so a matching epoch
+  /// proves the node was neither erased nor is the cache observing a stale
+  /// registration set.
+  Handler* resolve(const std::string& port);
 
   sim::Engine& engine_;
   double latency_;
@@ -154,6 +182,11 @@ class PortRegistry {
   DeliveryFilter* filter_ = nullptr;
   std::uint64_t delivered_ = 0;
   std::uint64_t relayed_ = 0;
+  /// Registration epoch: bumped on every openPort/closePort.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t cacheEpoch_ = ~std::uint64_t{0};
+  const std::string* cacheName_ = nullptr;
+  Handler* cacheHandler_ = nullptr;
 };
 
 }  // namespace calciom::mpi

@@ -69,10 +69,25 @@ sim::BarrierHook& Cluster::adoptBarrierHook(
 bool Cluster::fireBarrierHooks(sim::Time barrierTime) {
   bool scheduled = false;
   for (sim::BarrierHook* hook : hooks_) {
-    // No short-circuit: every hook sees every barrier.
+    // No short-circuit: every hook sees every fired barrier.
     scheduled = hook->onBarrier(barrierTime) || scheduled;
   }
+  if (scheduled) {
+    ++barrierExchangesNonEmpty_;
+  } else {
+    ++barrierExchangesEmpty_;
+  }
   return scheduled;
+}
+
+sim::Time Cluster::minBarrierVote(sim::Time now) const {
+  sim::Time vote = sim::kNever;
+  for (sim::BarrierHook* hook : hooks_) {
+    vote = std::min(vote, hook->nextBarrierNeededBy(now));
+  }
+  // Votes in the past mean "now": a hook cannot need a barrier earlier than
+  // the present, and clamping keeps the horizon formula monotone.
+  return std::max(vote, now);
 }
 
 void Cluster::runRounds(sim::Time limit, unsigned workers) {
@@ -86,29 +101,97 @@ void Cluster::runRounds(sim::Time limit, unsigned workers) {
       // Shard queues are drained (to `limit`), but barrier hooks may hold
       // undelivered cross-shard state (e.g. arbiter traffic absorbed by
       // stubs during the last round). Run a drain barrier at the latest
-      // shard clock; if nothing lands at or before `limit`, we are done —
-      // later events stay queued for a future run.
-      if (hooks_.empty() || !fireBarrierHooks(std::min(maxShardClock(), limit))) {
-        return;
+      // shard clock — unless every hook's vote says it would be a no-op; a
+      // unanimous kNever (or any vote beyond the drain time) ends the loop
+      // instead of firing forever. If nothing lands at or before `limit`,
+      // we are done — later events stay queued for a future run.
+      if (hooks_.empty()) {
+        break;
+      }
+      const sim::Time drainTime = std::min(maxShardClock(), limit);
+      if (minBarrierVote(drainTime) > drainTime) {
+        ++barriersSkipped_;
+        break;
+      }
+      if (!fireBarrierHooks(drainTime)) {
+        break;
       }
       const sim::Time injected = nextEventTime();
       if (injected == sim::kNever || injected > limit) {
-        return;
+        break;
       }
       continue;
     }
-    const sim::Time horizon =
-        std::min(limit, next + spec_.syncHorizonSeconds);
-    ++syncRounds_;
-    exec.parallelFor(shards_.size(), [&](std::size_t i) {
-      sim::Engine& eng = *shards_[i].engine;
-      // A shard that already sits past the horizon (possible only when the
-      // horizon clamps to `limit` it has reached) has nothing to do.
-      if (eng.now() < horizon) {
-        eng.runUntil(horizon);
+    // Adaptive horizon: the grid step `next + syncHorizon`, stretched to the
+    // earliest hook vote when every hook declares it needs no barrier before
+    // then — quiescent stretches take one round instead of hundreds. Votes
+    // never shrink the grid step (conservative hooks vote `now`, and
+    // max(grid, vote) keeps the baseline cadence for them).
+    const sim::Time gridHorizon = next + spec_.syncHorizonSeconds;
+    sim::Time horizon = std::min(limit, gridHorizon);
+    if (!hooks_.empty()) {
+      horizon = std::min(limit,
+                         std::max(gridHorizon, minBarrierVote(maxShardClock())));
+    }
+    // Sparse activation: dispatch only shards the horizon can reach. A
+    // 16-shard round where one shard has work pays one engine call, not 16.
+    activeScratch_.clear();
+    std::size_t pendingEstimate = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const sim::Time t = shards_[i].engine->nextEventTime();
+      if (t != sim::kNever && t <= horizon) {
+        activeScratch_.push_back(i);
+        pendingEstimate += shards_[i].engine->pendingEvents();
       }
-    });
-    fireBarrierHooks(horizon);
+    }
+    // Non-empty by construction: the shard owning `next` qualifies.
+    ++horizonSteps_;
+    dispatchedShards_ += activeScratch_.size();
+    if (activeScratch_.size() >= 2) {
+      ++syncRounds_;
+    } else {
+      ++soloRounds_;
+    }
+    // An unbounded horizon (unanimous kNever votes with no limit) runs the
+    // active shards to completion instead of to +infinity.
+    const bool unbounded = horizon == sim::kNever;
+    exec.parallelFor(
+        activeScratch_.size(),
+        [&](std::size_t k) {
+          sim::Engine& eng = *shards_[activeScratch_[k]].engine;
+          if (unbounded) {
+            eng.run();
+          } else if (eng.now() < horizon) {
+            // A shard already at the horizon (possible only when it clamps
+            // to `limit` the shard has reached) has nothing to do.
+            eng.runUntil(horizon);
+          }
+        },
+        pendingEstimate);
+    const sim::Time barrierTime = unbounded ? maxShardClock() : horizon;
+    lastHorizon_ = barrierTime;
+    anyRoundRan_ = true;
+    if (!hooks_.empty()) {
+      // Fire-or-skip is all-or-nothing across hooks: a skipped barrier is
+      // one *every* hook voted past, so skipping is a no-op for each of
+      // them and per-hook invocation counts stay in lockstep.
+      if (minBarrierVote(barrierTime) <= barrierTime) {
+        fireBarrierHooks(barrierTime);
+      } else {
+        ++barriersSkipped_;
+      }
+    }
+  }
+  // Sparse activation leaves shards that skipped trailing rounds with
+  // clocks behind the last horizon; align them so final clocks match the
+  // dense-dispatch baseline bit-for-bit. Nothing runs: every exit path
+  // above implies no pending event at or before lastHorizon_.
+  if (anyRoundRan_) {
+    for (Shard& s : shards_) {
+      if (s.engine->now() < lastHorizon_) {
+        s.engine->runUntil(lastHorizon_);
+      }
+    }
   }
 }
 
@@ -130,6 +213,12 @@ ClusterStats Cluster::stats() const noexcept {
   ClusterStats out;
   out.shards = shards_.size();
   out.syncRounds = syncRounds_;
+  out.horizonSteps = horizonSteps_;
+  out.soloRounds = soloRounds_;
+  out.dispatchedShards = dispatchedShards_;
+  out.barrierExchangesNonEmpty = barrierExchangesNonEmpty_;
+  out.barrierExchangesEmpty = barrierExchangesEmpty_;
+  out.barriersSkipped = barriersSkipped_;
   for (const Shard& s : shards_) {
     const sim::EngineStats es = s.engine->stats();
     out.total.processedEvents += es.processedEvents;

@@ -82,22 +82,48 @@ struct ClusterSpec {
 };
 
 /// Aggregated event-loop counters across shards (see Cluster::stats()).
+/// All counters except the wall-clock timers are deterministic: derived
+/// from simulated time only, never from thread scheduling.
 struct ClusterStats {
   /// Sums over shards; maxQueueDepth is the per-shard maximum,
   /// wallSeconds the per-shard maximum (busiest single shard, NOT the
   /// campaign's elapsed time), and eventsPerSecond is events per
   /// CPU-second (processedEvents / cpuSeconds). For wall-clock throughput
-  /// time the campaign externally — per-shard timers overlap across
-  /// worker threads, so no combination of them is elapsed time.
+  /// time the campaign externally — under multiple workers the per-shard
+  /// timers overlap (their sum exceeds elapsed time), and under the serial
+  /// fast path they are disjoint slices of the caller's time (their sum
+  /// approximates elapsed time but also lands inside any external timer),
+  /// so no combination of them is elapsed time and adding them to an
+  /// external measurement double-counts. Bench tiers report cpuSeconds and
+  /// the externally timed wall clock as separate columns for this reason.
   sim::EngineStats total;
   /// Seconds spent inside shard event loops, summed over shards — total
   /// CPU burned. With W workers, perfect scaling gives an elapsed time of
   /// about cpuSeconds / W.
   double cpuSeconds = 0.0;
   std::size_t shards = 0;
-  /// Barrier rounds executed (deterministic: derived from simulated time
-  /// only, never from thread scheduling).
+  /// Rounds that dispatched two or more shards — rounds that genuinely
+  /// required cross-shard synchronization. Rounds advancing a single shard
+  /// (soloRounds) run inline on the calling thread with no joins; counting
+  /// them as "sync" would overstate the barrier tax by the sparse-activation
+  /// win. Worker-count invariant like every other counter here.
   std::uint64_t syncRounds = 0;
+  /// Every pass of the horizon loop (the pre-sparse-activation notion of a
+  /// round): syncRounds + soloRounds.
+  std::uint64_t horizonSteps = 0;
+  /// Rounds whose horizon reached exactly one shard.
+  std::uint64_t soloRounds = 0;
+  /// Total shards dispatched over all rounds; dispatchedShards /
+  /// horizonSteps is the mean round width (16-shard clusters running
+  /// ~1-wide rounds are the sparse-activation motivation).
+  std::uint64_t dispatchedShards = 0;
+  /// Barrier-hook invocations that scheduled at least one new event
+  /// (non-empty exchange) vs. those that scheduled nothing.
+  std::uint64_t barrierExchangesNonEmpty = 0;
+  std::uint64_t barrierExchangesEmpty = 0;
+  /// Barriers not fired because every hook's `nextBarrierNeededBy` vote
+  /// declared them no-ops (sim/barrier_hook.hpp).
+  std::uint64_t barriersSkipped = 0;
 };
 
 /// Owner of the shard engines and machines; see file comment.
@@ -156,14 +182,32 @@ class Cluster {
   /// Sync-horizon rounds until no event remains at or before `limit` and no
   /// barrier hook injects further work.
   void runRounds(sim::Time limit, unsigned workers);
-  /// Invokes every hook; true if any scheduled new events.
+  /// Invokes every hook; true if any scheduled new events. Counts the
+  /// exchange as empty or non-empty.
   bool fireBarrierHooks(sim::Time barrierTime);
+  /// Minimum `nextBarrierNeededBy` vote over all hooks, clamped to `now`
+  /// (past votes mean "now"). kNever with no hooks registered — callers
+  /// only consult votes when hooks exist.
+  [[nodiscard]] sim::Time minBarrierVote(sim::Time now) const;
 
   ClusterSpec spec_;
   std::vector<Shard> shards_;
   std::vector<sim::BarrierHook*> hooks_;
   std::vector<std::unique_ptr<sim::BarrierHook>> ownedHooks_;
   std::uint64_t syncRounds_ = 0;
+  std::uint64_t horizonSteps_ = 0;
+  std::uint64_t soloRounds_ = 0;
+  std::uint64_t dispatchedShards_ = 0;
+  std::uint64_t barrierExchangesNonEmpty_ = 0;
+  std::uint64_t barrierExchangesEmpty_ = 0;
+  std::uint64_t barriersSkipped_ = 0;
+  /// Horizon of the last dispatched round; shards that skipped trailing
+  /// rounds are aligned to it when the round loop exits, reproducing the
+  /// dense-dispatch final clocks exactly.
+  sim::Time lastHorizon_ = 0.0;
+  bool anyRoundRan_ = false;
+  /// Scratch for the active-shard set (avoids a per-round allocation).
+  std::vector<std::size_t> activeScratch_;
 };
 
 }  // namespace calciom::platform

@@ -1,6 +1,7 @@
 #include "platform/shared_storage.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "platform/cluster.hpp"
@@ -231,46 +232,85 @@ bool SharedStorageModel::onBarrier(sim::Time barrierTime) {
   // Requests first, in (shard, arrival) order — each outbox is drained in
   // append order, itself the shard's (deterministic) event order. Delivery
   // lands strictly after the barrier and pays the cross-shard hop; a shard
-  // that skipped rounds may trail the barrier, so clamp to its clock.
-  for (std::size_t s = 0; s < outboxes_.size(); ++s) {
-    for (Request& req : outboxes_[s]) {
-      const sim::Time at =
-          std::max(barrierTime, storageEng.now()) + latency_;
-      const std::size_t logIndex = requestLog_.size();
-      requestLog_.push_back(RequestTrace{req.appId, req.originShard,
-                                         req.issueTime, at,
-                                         /*completeTime=*/0.0, req.len});
-      ++stats_.requestsForwarded;
-      ++inFlight_[req.appId];
-      storageEng.scheduleAt(
-          at, [this, logIndex, req = std::move(req)]() mutable {
-            const auto exec = execClients_.find(req.appId);
-            CALCIOM_EXPECTS(exec != execClients_.end());
-            auto serverDone = exec->second->writeRange(req.file, req.offset,
-                                                       req.len, req.streams);
-            cluster_.engine(storageShard_)
-                .spawn(awaitRequest(std::move(serverDone),
-                                    Completion{req.appId, req.originShard,
-                                               std::move(req.done),
-                                               logIndex}));
-          });
-      scheduled = true;
-    }
-    outboxes_[s].clear();
+  // that skipped rounds may trail the barrier, so clamp to its clock. The
+  // clamp is shared by the whole barrier's request batch (the storage clock
+  // cannot move while the barrier thread runs), so resolve the timestamp
+  // once; the payload-heavy Requests move into one shared batch per
+  // barrier instead of one closure-owned copy each, with one engine event
+  // per request (event counts and seq order are part of the deterministic
+  // observable surface).
+  std::size_t requestCount = 0;
+  for (const std::vector<Request>& outbox : outboxes_) {
+    requestCount += outbox.size();
   }
-  // Completions back to their origin shards, in storage-event order.
-  for (Completion& c : completions_) {
-    sim::Engine& eng = cluster_.engine(c.originShard);
-    const sim::Time at = std::max(barrierTime, eng.now()) + latency_;
-    ++stats_.completionsForwarded;
-    --inFlight_[c.appId];
-    eng.scheduleAt(at, [done = std::move(c.done)] { done->fire(); });
-    scheduled = true;
-    if (deferredRelease_.count(c.appId) > 0) {
-      releaseExecutorIfIdle(c.appId);  // the dead app's last request drained
+  if (requestCount > 0) {
+    const sim::Time at = std::max(barrierTime, storageEng.now()) + latency_;
+    auto batch = std::make_shared<std::vector<Request>>();
+    batch->reserve(requestCount);
+    for (std::size_t s = 0; s < outboxes_.size(); ++s) {
+      for (Request& req : outboxes_[s]) {
+        const std::size_t logIndex = requestLog_.size();
+        requestLog_.push_back(RequestTrace{req.appId, req.originShard,
+                                           req.issueTime, at,
+                                           /*completeTime=*/0.0, req.len});
+        ++stats_.requestsForwarded;
+        ++inFlight_[req.appId];
+        const std::size_t idx = batch->size();
+        batch->push_back(std::move(req));
+        storageEng.scheduleAt(at, [this, logIndex, batch, idx] {
+          Request& req = (*batch)[idx];
+          const auto exec = execClients_.find(req.appId);
+          CALCIOM_EXPECTS(exec != execClients_.end());
+          auto serverDone = exec->second->writeRange(req.file, req.offset,
+                                                     req.len, req.streams);
+          cluster_.engine(storageShard_)
+              .spawn(awaitRequest(std::move(serverDone),
+                                  Completion{req.appId, req.originShard,
+                                             std::move(req.done),
+                                             logIndex}));
+        });
+        scheduled = true;
+      }
+      outboxes_[s].clear();
     }
   }
-  completions_.clear();
+  // Completions back to their origin shards, stably grouped per shard so
+  // the engine and the clamped timestamp resolve once per shard. Grouping
+  // preserves each shard's relative completion order (per-engine seq order
+  // depends only on that subsequence) and each app's completions all share
+  // its one origin shard, so inFlight_ / deferred-release transitions per
+  // app happen in the same order as the ungrouped storage-event walk.
+  if (!completions_.empty()) {
+    if (completionGroups_.size() < cluster_.shardCount()) {
+      completionGroups_.resize(cluster_.shardCount());
+    }
+    for (std::vector<std::size_t>& group : completionGroups_) {
+      group.clear();
+    }
+    touchedShards_.clear();
+    for (std::size_t i = 0; i < completions_.size(); ++i) {
+      const std::size_t shard = completions_[i].originShard;
+      if (completionGroups_[shard].empty()) {
+        touchedShards_.push_back(shard);
+      }
+      completionGroups_[shard].push_back(i);
+    }
+    for (const std::size_t shard : touchedShards_) {
+      sim::Engine& eng = cluster_.engine(shard);
+      const sim::Time at = std::max(barrierTime, eng.now()) + latency_;
+      for (const std::size_t i : completionGroups_[shard]) {
+        Completion& c = completions_[i];
+        ++stats_.completionsForwarded;
+        --inFlight_[c.appId];
+        eng.scheduleAt(at, [done = std::move(c.done)] { done->fire(); });
+        scheduled = true;
+        if (deferredRelease_.count(c.appId) > 0) {
+          releaseExecutorIfIdle(c.appId);  // the dead app's last request drained
+        }
+      }
+    }
+    completions_.clear();
+  }
   if (scheduled) {
     ++stats_.exchanges;
   }

@@ -207,6 +207,11 @@ class SharedStorageModel final : public sim::BarrierHook {
   std::vector<SharedStorageLocalClient*> locals_;
   SharedStorageStats stats_;
   std::vector<RequestTrace> requestLog_;
+  /// Barrier scratch (onBarrier): completion indices stably grouped by
+  /// origin shard, plus the shards touched. Reused to avoid per-round
+  /// allocation.
+  std::vector<std::vector<std::size_t>> completionGroups_;
+  std::vector<std::size_t> touchedShards_;
 };
 
 }  // namespace calciom::platform

@@ -18,6 +18,9 @@
 ///    event. The cluster uses it to keep rounding when every shard queue is
 ///    drained but cross-shard state still implies work; a hook that returns
 ///    true without scheduling anything livelocks the round loop.
+///  * `nextBarrierNeededBy` must be a pure function of simulated state at
+///    the barrier (determinism rule 7 in src/sim/README.md): same inputs,
+///    same vote, regardless of worker count or wall clock.
 
 #include "sim/time.hpp"
 
@@ -27,12 +30,31 @@ class BarrierHook {
  public:
   virtual ~BarrierHook() = default;
 
-  /// Called at every sync-horizon barrier (after the round's shards have
-  /// been advanced and joined) and again, possibly repeatedly, when shard
+  /// Called at a sync-horizon barrier (after the round's shards have been
+  /// advanced and joined) and again, possibly repeatedly, when shard
   /// queues drain while hooks keep injecting work. `barrierTime` is the
   /// round's horizon — or, on a drain barrier, the maximum shard clock.
   /// Returns whether any new event was scheduled.
   virtual bool onBarrier(Time barrierTime) = 0;
+
+  /// Horizon vote: the earliest *simulated* time at which this hook could
+  /// need a barrier fired, evaluated at simulated time `now`. The cluster
+  /// takes the minimum vote over all hooks and
+  ///  * skips firing a barrier whose time precedes every vote (the skipped
+  ///    call is provably a no-op for every hook, by the hooks' own
+  ///    declaration), and
+  ///  * stretches a round's horizon beyond `next + syncHorizon` when every
+  ///    hook votes later than that, so quiescent stretches take one round
+  ///    instead of hundreds.
+  /// Votes in the past clamp to `now`; `kNever` means "no barrier ever
+  /// needed for my sake" and, voted unanimously, ends the drain loop.
+  ///
+  /// The default is maximally conservative — "I may need every barrier" —
+  /// which preserves the fire-at-every-round cadence exactly. Override only
+  /// with a pure function of barrier-time simulated state, and only if a
+  /// skipped barrier at any time `< vote` is a true no-op for this hook
+  /// (it would neither schedule an event nor change its own state).
+  virtual Time nextBarrierNeededBy(Time now) { return now; }
 };
 
 }  // namespace calciom::sim

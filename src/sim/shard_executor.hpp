@@ -7,27 +7,53 @@
 ///
 ///  * Persistent workers. A campaign runs thousands of barrier rounds;
 ///    spawning threads per round would dominate. Workers are created once
-///    and woken per round with a generation-counted broadcast.
+///    and handed rounds through a wait-free generation barrier: the caller
+///    publishes the job, bumps an atomic generation word, and workers
+///    spin-then-park on that word (`std::atomic::wait`), so a round handoff
+///    is one atomic store plus one futex wake — no mutex, no condvar
+///    broadcast storm.
 ///  * The caller participates. `parallelFor(n, fn)` has the calling thread
 ///    pull indices alongside the pool, so `workers == 1` (or an empty pool)
 ///    degenerates to a plain loop with no synchronization — the serial path
 ///    of a 1-worker cluster pays nothing.
+///  * Adaptive serial fast path. Rounds whose estimated work (caller-supplied
+///    `workEstimate`, e.g. the pending-event count) falls below
+///    `kSerialWorkThreshold` run entirely on the calling thread without
+///    waking the pool: a futex wake costs microseconds, a tiny round less.
 ///  * Deterministic failure. Exceptions from `fn(i)` are captured in
 ///    per-index slots and the lowest-index one is rethrown after the round
 ///    completes, so which error surfaces does not depend on thread
-///    interleaving.
+///    interleaving. The serial path keeps the same semantics (all indices
+///    run; lowest-index exception rethrown).
 ///
-/// Index distribution uses an atomic counter (work stealing by another
-/// name). That is safe for simulation shards because shard results are
-/// independent of *which thread* runs them — determinism lives in the
-/// shards, not in the schedule.
+/// ## Round protocol (why a worker can sleep through rounds safely)
+///
+/// The generation word alternates odd/even: odd while the caller writes the
+/// round context (job pointer, size, chunk, claim word, done count), even
+/// once the round is open. A worker joins a round by (1) waiting for an
+/// even generation it has not seen, (2) reading the context atomics, and
+/// (3) re-reading the generation — if it moved, the context straddled two
+/// rounds and is discarded (classic seqlock validation; all participants
+/// use seq_cst so observing a context write implies the later generation
+/// read sees at least the odd marker that preceded it).
+///
+/// Index distribution packs (generation tag, next index) into one atomic
+/// word claimed in chunks with a CAS loop. The tag makes claims race-free
+/// across rounds: a worker holding a stale generation can never claim
+/// indices of a fresh round (its CAS expects the stale tag), it just
+/// observes the mismatch and re-parks. Round completion is counted per
+/// finished index (`done_`), not per checked-in worker, so the caller never
+/// waits for a parked worker that missed the round — the round is over the
+/// instant its last index finishes, whoever ran it. Distribution order is
+/// still "work stealing by another name"; that is safe for simulation
+/// shards because shard results are independent of *which thread* runs
+/// them — determinism lives in the shards, not in the schedule.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -35,6 +61,15 @@ namespace calciom::sim {
 
 class ShardExecutor {
  public:
+  /// Rounds with `workEstimate` at or below this run serially on the caller
+  /// without waking the pool. Calibration: waking a parked worker costs a
+  /// futex syscall (microseconds), a simulated event runs in well under one,
+  /// so a round worth a few hundred events is cheaper to run in place.
+  static constexpr std::size_t kSerialWorkThreshold = 256;
+
+  /// Passed as `workEstimate` when the round should always go parallel.
+  static constexpr std::size_t kNoEstimate = static_cast<std::size_t>(-1);
+
   /// Creates a pool that runs rounds on `workers` threads total (the caller
   /// counts as one, so `workers - 1` threads are spawned). `workers` is
   /// clamped to at least 1.
@@ -46,8 +81,14 @@ class ShardExecutor {
   /// Invokes `fn(i)` exactly once for every i in [0, n), distributed over
   /// the pool plus the calling thread; blocks until all calls finished.
   /// `fn` must be safe to call concurrently for distinct indices. If any
-  /// call threw, the lowest-index exception is rethrown.
-  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// call threw, the lowest-index exception is rethrown. `workEstimate` is
+  /// an optional hint of how much total work the round holds (any unit the
+  /// caller likes, e.g. pending events); at or below
+  /// `kSerialWorkThreshold` the round stays on the calling thread.
+  /// `n` must fit in 32 bits (index shares an atomic word with the round
+  /// generation).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   std::size_t workEstimate = kNoEstimate);
 
   /// Total threads a round runs on (pool + caller).
   [[nodiscard]] unsigned workers() const noexcept {
@@ -55,20 +96,36 @@ class ShardExecutor {
   }
 
  private:
+  static constexpr unsigned kIndexBits = 32;
+  static constexpr std::uint64_t kIndexMask =
+      (std::uint64_t{1} << kIndexBits) - 1;
+  /// Spin iterations before parking on the futex. Rounds in a busy campaign
+  /// arrive back-to-back; spinning briefly keeps the common handoff
+  /// syscall-free.
+  static constexpr int kSpinIterations = 4096;
+
   void workerLoop();
-  /// Pulls indices from nextIndex_ until the round is exhausted.
-  void runIndices(const std::function<void(std::size_t)>& fn, std::size_t n);
+  /// Claims chunks tagged with `genTag` and runs them; returns when the
+  /// round is exhausted or the tag no longer matches (stale round).
+  void runIndices(const std::function<void(std::size_t)>& fn, std::size_t n,
+                  std::size_t chunk, std::uint64_t genTag);
+  void runSerial(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void rethrowLowest(std::size_t n);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable wake_;  // workers wait here for the next round
-  std::condition_variable done_;  // the caller waits here for round end
-  std::uint64_t roundGeneration_ = 0;
-  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by mu_
-  std::size_t jobSize_ = 0;                                // guarded by mu_
-  std::size_t activeWorkers_ = 0;                          // guarded by mu_
-  bool shutdown_ = false;                                  // guarded by mu_
-  std::atomic<std::size_t> nextIndex_{0};
+  /// Round generation: odd = context under construction, even = round open.
+  /// Workers park on this word.
+  std::atomic<std::uint64_t> roundGen_{0};
+  /// Round context, valid only when a seqlock read validates (see file
+  /// comment). Atomics so a stale reader races with nothing.
+  std::atomic<const std::function<void(std::size_t)>*> job_{nullptr};
+  std::atomic<std::size_t> jobSize_{0};
+  std::atomic<std::size_t> chunkSize_{1};
+  /// (generation tag << 32) | next unclaimed index, claimed by CAS.
+  std::atomic<std::uint64_t> claim_{0};
+  /// Indices finished this round; the round is complete at done_ == n.
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<bool> shutdown_{false};
   /// One slot per index; distinct indices write distinct slots, so no lock.
   std::vector<std::exception_ptr> errors_;
 };
