@@ -12,10 +12,16 @@
 
 namespace calciom {
 
-ArbiterStub::ArbiterStub(mpi::PortRegistry& ports) : ports_(ports) {
+ArbiterStub::ArbiterStub(mpi::PortRegistry& ports)
+    : ports_(ports), affinity_(&ports.engine()) {
   CALCIOM_EXPECTS(!ports_.hasPort(core::msg::arbiterPort()));
   ports_.openPort(core::msg::arbiterPort(),
                   [this](std::uint32_t from, mpi::Info payload) {
+                    // Deliveries land on the owning shard's engine, so this
+                    // only fires from its loop; the guard documents — and in
+                    // CALCIOM_SHARD_CHECKS builds traps — any future path
+                    // that invokes the handler from a foreign loop.
+                    affinity_.check("calciom::ArbiterStub outbox append");
                     outbox_.push_back(
                         Message{seq_++, from, std::move(payload)});
                   });
@@ -24,6 +30,7 @@ ArbiterStub::ArbiterStub(mpi::PortRegistry& ports) : ports_(ports) {
 ArbiterStub::~ArbiterStub() { ports_.closePort(core::msg::arbiterPort()); }
 
 std::vector<ArbiterStub::Message> ArbiterStub::drain() {
+  sim::ShardAffinity::checkBarrierContext("calciom::ArbiterStub::drain");
   return std::exchange(outbox_, {});
 }
 
@@ -108,6 +115,9 @@ void GlobalArbiter::evictDead() {
 }
 
 bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
+  // The merge reads every shard's stub and schedules into foreign engines:
+  // only legal when no shard loop runs (rule 4).
+  sim::ShardAffinity::checkBarrierContext("calciom::GlobalArbiter::onBarrier");
   ++rounds_;
   evictDead();
   if (down_) {
@@ -162,7 +172,7 @@ bool GlobalArbiter::onBarrier(sim::Time barrierTime) {
         ++blackoutDiscarded_;
         continue;
       }
-      if (dead_.count(m.fromApp) > 0) {
+      if (dead_.contains(m.fromApp)) {
         continue;  // stale traffic from a terminated application
       }
       // Refresh the route on every contact: an app id reused on another
@@ -357,12 +367,14 @@ void GlobalArbiter::maybeCheckpoint(sim::Time barrierTime) {
 }
 
 void GlobalArbiter::crash() {
+  sim::ShardAffinity::checkBarrierContext("calciom::GlobalArbiter::crash");
   down_ = true;
   // In-memory state is conceptually lost from here; restart() rebuilds it
   // from the checkpoint store and never reads the live members.
 }
 
 void GlobalArbiter::restart(sim::Time barrierTime) {
+  sim::ShardAffinity::checkBarrierContext("calciom::GlobalArbiter::restart");
   CALCIOM_EXPECTS(down_);
   down_ = false;
   scratch_.clear();

@@ -47,6 +47,7 @@
 #include "mpi/info.hpp"
 #include "mpi/port.hpp"
 #include "sim/barrier_hook.hpp"
+#include "sim/shard_affinity.hpp"
 #include "sim/time.hpp"
 
 namespace calciom::platform {
@@ -80,6 +81,9 @@ class ArbiterStub {
   ArbiterStub& operator=(const ArbiterStub&) = delete;
 
   /// Messages absorbed since the last drain, in arrival (seq) order.
+  /// Barrier context only (CALCIOM_SHARD_CHECKS builds trap a drain from
+  /// inside any shard loop): the outbox is round-local to the stub's shard
+  /// and crosses shards exclusively at barriers.
   [[nodiscard]] std::vector<Message> drain();
 
   [[nodiscard]] bool outboxEmpty() const noexcept { return outbox_.empty(); }
@@ -88,6 +92,8 @@ class ArbiterStub {
 
  private:
   mpi::PortRegistry& ports_;
+  /// Rule-1 guard: only the stub's own shard loop appends to the outbox.
+  sim::ShardAffinity affinity_;
   std::vector<Message> outbox_;
   std::uint64_t seq_ = 0;
 };
@@ -149,7 +155,8 @@ class GlobalArbiter final : public sim::BarrierHook {
   /// scheduled.
   bool onBarrier(sim::Time barrierTime) override;
 
-  /// Horizon vote (sim/barrier_hook.hpp): `now` — "fire every barrier" —
+  /// Horizon vote, a pure read of barrier-time state (determinism rule 7,
+  /// src/sim/README.md): `now` — "fire every barrier" —
   /// whenever skipping one could be observable: any stub outbox holds
   /// traffic, scheduler events or dead-id bookkeeping are pending, the
   /// arbiter is down or recovering, or a feature that does per-round work

@@ -1,7 +1,6 @@
 #include "fault/chaos.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <memory>
 #include <string>
 #include <utility>
@@ -16,6 +15,7 @@
 #include "sim/contracts.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
+#include "sim/wall_timer.hpp"
 
 namespace calciom::fault {
 
@@ -230,11 +230,9 @@ ChaosResult runSameEngine(const ChaosConfig& cfg) {
       }
     });
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  const sim::Stopwatch wall;
   eng.run();
-  out.wallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  out.wallSeconds = wall.seconds();
   out.engineCpuSeconds = eng.stats().wallSeconds;
   summarize(cfg, arbiter.core(), sessions, eng.now(), out);
   out.messagesSeen = injector.messagesSeen();
@@ -405,11 +403,9 @@ ChaosResult runCluster(const ChaosConfig& cfg) {
                      cfg.maxSimSeconds, cfg.syncHorizonSeconds);
   cl.addBarrierHook(&driver);
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const sim::Stopwatch wall;
   cl.run(cfg.workers);
-  out.wallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  out.wallSeconds = wall.seconds();
   out.engineCpuSeconds = cl.stats().cpuSeconds;
   summarize(cfg, ga.core(), sessions, cl.maxShardClock(), out);
   for (const auto& inj : injectors) {

@@ -52,7 +52,7 @@ class Info {
   }
 
   [[nodiscard]] bool has(const std::string& key) const {
-    return entries_.count(key) > 0;
+    return entries_.contains(key);
   }
   void erase(const std::string& key) { entries_.erase(key); }
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }

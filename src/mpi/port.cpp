@@ -7,6 +7,9 @@ namespace calciom::mpi {
 
 bool PortRegistry::send(const std::string& port, std::uint32_t fromApp,
                         Info payload) {
+  // A send schedules on this registry's engine: legal only from the owning
+  // shard's loop or from setup/barrier context (rule 1).
+  affinity_.check("mpi::PortRegistry::send");
   if (filter_ == nullptr) {
     return scheduleDelivery(port, fromApp, std::move(payload), latency_);
   }
@@ -29,7 +32,7 @@ bool PortRegistry::send(const std::string& port, std::uint32_t fromApp,
 bool PortRegistry::scheduleDelivery(const std::string& port,
                                     std::uint32_t fromApp, Info payload,
                                     double delaySeconds) {
-  if (ports_.count(port) == 0) {
+  if (!ports_.contains(port)) {
     if (relay_ == nullptr) {
       return false;
     }
@@ -75,6 +78,7 @@ PortRegistry::Handler* PortRegistry::resolve(const std::string& port) {
 
 bool PortRegistry::deliverNow(const std::string& port, std::uint32_t fromApp,
                               Info payload) {
+  affinity_.check("mpi::PortRegistry::deliverNow");
   Handler* handler = resolve(port);
   if (handler == nullptr) {
     return false;
@@ -85,6 +89,7 @@ bool PortRegistry::deliverNow(const std::string& port, std::uint32_t fromApp,
 }
 
 std::size_t PortRegistry::deliverBatch(std::vector<Delivery>& batch) {
+  affinity_.check("mpi::PortRegistry::deliverBatch");
   std::size_t deliveredHere = 0;
   for (Delivery& d : batch) {
     // Per-entry resolution, not hoisted: a handler may close its own port

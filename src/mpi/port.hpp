@@ -34,6 +34,7 @@
 
 #include "mpi/info.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard_affinity.hpp"
 
 namespace calciom::mpi {
 
@@ -74,26 +75,35 @@ class PortRegistry {
       const std::string& port, std::uint32_t fromApp, Info payload)>;
 
   PortRegistry(sim::Engine& engine, double latency)
-      : engine_(engine), latency_(latency) {
+      : engine_(engine), affinity_(&engine), latency_(latency) {
     CALCIOM_EXPECTS(latency >= 0.0);
   }
   PortRegistry(const PortRegistry&) = delete;
   PortRegistry& operator=(const PortRegistry&) = delete;
 
+  /// The engine (= shard) this registry schedules deliveries on.
+  [[nodiscard]] sim::Engine& engine() const noexcept { return engine_; }
+
   /// Opens a named port; messages sent to it invoke `handler` after the
   /// registry latency. Reopening an existing name replaces the handler.
+  /// Shard-local (setup code or the owning engine's loop): a foreign shard
+  /// mutating the registration set mid-round would race the owner and make
+  /// in-flight routing depend on round interleaving (CALCIOM_SHARD_CHECKS
+  /// builds trap it; see sim/shard_affinity.hpp).
   void openPort(const std::string& name, Handler handler) {
+    affinity_.check("mpi::PortRegistry::openPort");
     CALCIOM_EXPECTS(handler != nullptr);
     ports_[name] = std::move(handler);
     ++epoch_;
   }
 
   void closePort(const std::string& name) {
+    affinity_.check("mpi::PortRegistry::closePort");
     ports_.erase(name);
     ++epoch_;
   }
   [[nodiscard]] bool hasPort(const std::string& name) const {
-    return ports_.count(name) > 0;
+    return ports_.contains(name);
   }
 
   /// Installs (or, with nullptr, removes) the relay for locally unknown
@@ -176,6 +186,9 @@ class PortRegistry {
   Handler* resolve(const std::string& port);
 
   sim::Engine& engine_;
+  /// Rule-1 guard: sends and registration changes must come from this
+  /// registry's own shard (or setup/barrier context).
+  sim::ShardAffinity affinity_;
   double latency_;
   std::map<std::string, Handler> ports_;
   RelayHandler relay_;

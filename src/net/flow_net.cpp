@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/contracts.hpp"
+#include "sim/shard_affinity.hpp"
 
 namespace calciom::net {
 
@@ -30,9 +31,10 @@ void FlowNet::expectShardLocal() const {
   // or from its own engine's callbacks, but never from another engine's
   // loop — with shards on worker threads that would be a data race, and
   // even single-threaded it would couple components the sharded executor
-  // assumes are independent (see src/sim/README.md).
-  CALCIOM_EXPECTS(sim::Engine::current() == nullptr ||
-                  sim::Engine::current() == &engine_);
+  // assumes are independent (see src/sim/README.md). Always-on (enforce,
+  // not check): the FlowNet mutators are the original mechanical rule-1
+  // check and every build keeps them.
+  sim::ShardAffinity(&engine_).enforce("net::FlowNet");
 }
 
 ResourceId FlowNet::addResource(double capacity, std::string name) {

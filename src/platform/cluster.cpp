@@ -83,7 +83,20 @@ bool Cluster::fireBarrierHooks(sim::Time barrierTime) {
 sim::Time Cluster::minBarrierVote(sim::Time now) const {
   sim::Time vote = sim::kNever;
   for (sim::BarrierHook* hook : hooks_) {
-    vote = std::min(vote, hook->nextBarrierNeededBy(now));
+    const sim::Time v = hook->nextBarrierNeededBy(now);
+#if defined(CALCIOM_SHARD_CHECKS)
+    // Rule 7 probe: a horizon vote must be a pure function of simulated
+    // state at the barrier. Ask twice — a hook that mutates state inside
+    // its vote, or reads ambient entropy, disagrees with itself and would
+    // silently skew every later barrier decision.
+    if (hook->nextBarrierNeededBy(now) != v) {
+      throw InvariantError(
+          "impure horizon vote: nextBarrierNeededBy returned different "
+          "values for the same barrier time (determinism rule 7, "
+          "src/sim/README.md)");
+    }
+#endif
+    vote = std::min(vote, v);
   }
   // Votes in the past mean "now": a hook cannot need a barrier earlier than
   // the present, and clamping keeps the horizon formula monotone.

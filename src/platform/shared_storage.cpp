@@ -7,6 +7,7 @@
 #include "platform/cluster.hpp"
 #include "sim/contracts.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard_affinity.hpp"
 
 namespace calciom::platform {
 
@@ -40,9 +41,10 @@ class SharedStorageRemoteClient final : public pfs::PfsClient {
                                            double streams) override {
     CALCIOM_EXPECTS(streams > 0.0);
     // Must be driven from the home shard (or setup code): the outbox is
-    // round-local to that shard.
-    CALCIOM_EXPECTS(sim::Engine::current() == nullptr ||
-                    sim::Engine::current() == &engine_);
+    // round-local to that shard. Always-on (enforce): this predates the
+    // CALCIOM_SHARD_CHECKS option and every build keeps it.
+    sim::ShardAffinity(&engine_).enforce(
+        "platform::SharedStorageRemoteClient::writeRange");
     auto done = std::make_shared<sim::Trigger>();
     // len == 0 still crosses the exchange: the storage-side client opens
     // the file and runs recordWrite(0) there, keeping fs state identical
@@ -151,8 +153,8 @@ std::unique_ptr<pfs::PfsClient> SharedStorageModel::makeClient(
   // One live client per appId, across the local and remote paths; an id
   // still draining a dead remote's requests (execClients_ entry deferred)
   // is not reusable yet either.
-  CALCIOM_EXPECTS(liveClientIds_.count(ctx.appId) == 0);
-  CALCIOM_EXPECTS(execClients_.count(ctx.appId) == 0);
+  CALCIOM_EXPECTS(!liveClientIds_.contains(ctx.appId));
+  CALCIOM_EXPECTS(!execClients_.contains(ctx.appId));
   Machine& storage = cluster_.machine(storageShard_);
   liveClientIds_.insert(ctx.appId);
   if (shard == storageShard_) {
@@ -174,6 +176,11 @@ std::unique_ptr<pfs::PfsClient> SharedStorageModel::makeClient(
 }
 
 void SharedStorageModel::enqueueRequest(std::size_t shard, Request request) {
+  // Outbox `shard` is round-local to shard `shard`: only that shard's loop
+  // (or setup/barrier context) may append, or the (shard, arrival) merge
+  // order would depend on thread interleaving.
+  sim::ShardAffinity(&cluster_.engine(shard))
+      .check("platform::SharedStorageModel::enqueueRequest");
   outboxes_[shard].push_back(std::move(request));
 }
 
@@ -227,6 +234,10 @@ sim::Task SharedStorageModel::awaitRequest(
 }
 
 bool SharedStorageModel::onBarrier(sim::Time barrierTime) {
+  // The exchange reads every outbox and snapshots storage state for remote
+  // contended() answers: only legal when no shard loop runs (rule 4).
+  sim::ShardAffinity::checkBarrierContext(
+      "platform::SharedStorageModel::onBarrier");
   bool scheduled = false;
   sim::Engine& storageEng = cluster_.engine(storageShard_);
   // Requests first, in (shard, arrival) order — each outbox is drained in
@@ -304,7 +315,7 @@ bool SharedStorageModel::onBarrier(sim::Time barrierTime) {
         --inFlight_[c.appId];
         eng.scheduleAt(at, [done = std::move(c.done)] { done->fire(); });
         scheduled = true;
-        if (deferredRelease_.count(c.appId) > 0) {
+        if (deferredRelease_.contains(c.appId)) {
           releaseExecutorIfIdle(c.appId);  // the dead app's last request drained
         }
       }

@@ -1,31 +1,19 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <chrono>
+
+#include "sim/wall_timer.hpp"
 
 namespace calciom::sim {
 
 namespace {
-/// Accumulates wall-clock time spent in a scope into `sink`.
-class WallTimer {
- public:
-  explicit WallTimer(double& sink) noexcept
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
-  ~WallTimer() {
-    const auto end = std::chrono::steady_clock::now();
-    sink_ += std::chrono::duration<double>(end - start_).count();
-  }
-  WallTimer(const WallTimer&) = delete;
-  WallTimer& operator=(const WallTimer&) = delete;
-
- private:
-  double& sink_;
-  std::chrono::steady_clock::time_point start_;
-};
-
 /// The engine running an event loop on this thread (shard workers each set
 /// their own). Scoped so nested run()s (rare, but legal) restore the outer
-/// engine.
+/// engine. This is the mechanism Engine::current() — and with it every
+/// shard-affinity check — is built on: thread identity is read only to name
+/// the engine whose loop is running, never to influence simulated state.
+// detlint: allow(DET1) Engine::current() plumbing, the shard-ownership
+// mechanism itself; simulated state never depends on the thread identity.
 thread_local Engine* tlsCurrentEngine = nullptr;
 
 class CurrentEngineScope {

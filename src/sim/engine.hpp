@@ -172,6 +172,8 @@ class Engine {
   std::size_t* activeNext_ = nullptr;
   Xoshiro256 rng_{0};
   std::vector<Task::Handle> zombies_;
+  // detlint: allow(DET4) membership-only liveness set; never iterated, so
+  // hash order cannot leak into event order or any serialized state.
   std::unordered_set<void*> live_;
   std::exception_ptr failure_;
 };

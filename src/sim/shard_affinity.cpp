@@ -1,0 +1,13 @@
+#include "sim/shard_affinity.hpp"
+
+#include <string>
+
+namespace calciom::sim::detail {
+
+void failShardAffinity(const char* component, const char* what) {
+  throw ShardAffinityError(std::string("shard-affinity violation: ") +
+                           component + ": " + what +
+                           " (determinism rule 1, src/sim/README.md)");
+}
+
+}  // namespace calciom::sim::detail

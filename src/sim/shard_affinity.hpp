@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file shard_affinity.hpp
+/// Runtime enforcement of determinism rule 1 (src/sim/README.md):
+/// components never cross shards — only barrier-exchanged state does.
+///
+/// A `ShardAffinity` names the engine (= shard) that owns a component and
+/// checks, at the component's mutation points, that the calling context is
+/// either that engine's own event loop or no event loop at all
+/// (`Engine::current()` is null on setup code and on the barrier thread,
+/// the two legitimate outside-the-loop contexts). TSan cannot see these
+/// bugs: a hook reading another shard's component mid-round through a
+/// barrier-held pointer is perfectly race-free machine code and still
+/// breaks worker-count invariance, because what it observes depends on how
+/// far the other shard's round happened to have progressed.
+///
+/// Two tiers:
+///  * `enforce()` is always compiled in — the pre-existing mechanical
+///    checks (net::FlowNet mutators, SharedStorageModel remote clients)
+///    route through it and keep throwing in every build.
+///  * `check()` / `checkBarrierContext()` compile to nothing unless the
+///    build sets CALCIOM_SHARD_CHECKS (CMake -DCALCIOM_SHARD_CHECKS=ON),
+///    mirroring how ASan/TSan are opt-in CI jobs rather than a production
+///    tax. The sanitizer builds run the cluster/horizon/chaos suites with
+///    these live; production builds pay zero cycles for them.
+///
+/// Violations throw `ShardAffinityError`, which derives from
+/// `PreconditionError` so existing misuse tests keep matching.
+
+#include "sim/contracts.hpp"
+#include "sim/engine.hpp"
+
+namespace calciom::sim {
+
+/// Thrown when a component is touched from a foreign shard's event loop (or
+/// a barrier-only path is entered from inside any shard loop).
+class ShardAffinityError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
+namespace detail {
+[[noreturn]] void failShardAffinity(const char* component, const char* what);
+}  // namespace detail
+
+class ShardAffinity {
+ public:
+  ShardAffinity() = default;
+  explicit ShardAffinity(const Engine* owner) noexcept : owner_(owner) {}
+
+  /// (Re)binds the owning engine; nullptr means "unowned" (checks pass).
+  void bind(const Engine* owner) noexcept { owner_ = owner; }
+  [[nodiscard]] const Engine* owner() const noexcept { return owner_; }
+
+  /// Always-on check: the calling thread is either outside any event loop
+  /// (setup / barrier context) or inside the owner's own loop. `component`
+  /// names the guarded object in the error message.
+  void enforce(const char* component) const {
+    const Engine* cur = Engine::current();
+    if (owner_ != nullptr && cur != nullptr && cur != owner_) {
+      detail::failShardAffinity(component,
+                                "touched from a foreign shard's event loop");
+    }
+  }
+
+  /// Opt-in variant of enforce(): compiled out unless CALCIOM_SHARD_CHECKS.
+  void check(const char* component) const {
+#if defined(CALCIOM_SHARD_CHECKS)
+    enforce(component);
+#else
+    (void)component;
+#endif
+  }
+
+  /// Always-on check that the caller runs in *barrier context*: no shard
+  /// event loop on this thread at all. For operations whose contract is
+  /// "between rounds only" — barrier-hook exchanges, stub outbox drains,
+  /// arbiter crash/restart edges.
+  static void enforceBarrierContext(const char* component) {
+    if (Engine::current() != nullptr) {
+      detail::failShardAffinity(
+          component, "barrier-only operation entered from a shard event loop");
+    }
+  }
+
+  /// Opt-in variant of enforceBarrierContext().
+  static void checkBarrierContext(const char* component) {
+#if defined(CALCIOM_SHARD_CHECKS)
+    enforceBarrierContext(component);
+#else
+    (void)component;
+#endif
+  }
+
+ private:
+  const Engine* owner_ = nullptr;
+};
+
+}  // namespace calciom::sim

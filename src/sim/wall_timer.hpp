@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file wall_timer.hpp
+/// The ONE sanctioned wall-clock access point in the deterministic zones.
+///
+/// Determinism rule 3 (src/sim/README.md): horizons, votes, and every
+/// simulated observable are pure functions of simulated state — never of
+/// wall-clock time. The only legitimate wall-clock consumers are throughput
+/// *reports* (EngineStats::wallSeconds, bench wall columns), which the
+/// invariance tests and fingerprints explicitly exclude. Funneling those
+/// reads through this shim keeps the raw `std::chrono` clocks bannable
+/// everywhere else: `tools/detlint` check DET3 flags any other clock use in
+/// src/sim|net|calciom|platform|pfs|storage|workload|fault and whitelists
+/// exactly this file. If a new component needs a wall-clock measurement,
+/// take a WallTimer or Stopwatch — do not suppress DET3 at the call site.
+
+#include <chrono>
+
+namespace calciom::sim {
+
+/// Accumulates the wall-clock time spent in a scope into `sink`. Used by
+/// Engine::run/runUntil to meter EngineStats::wallSeconds.
+class WallTimer {
+ public:
+  explicit WallTimer(double& sink) noexcept
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~WallTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    sink_ += std::chrono::duration<double>(end - start_).count();
+  }
+  WallTimer(const WallTimer&) = delete;
+  WallTimer& operator=(const WallTimer&) = delete;
+
+ private:
+  double& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Point-to-point wall-clock measurement: starts at construction,
+/// `seconds()` reads the elapsed time. For campaign-level wall columns
+/// (fault::ChaosResult::wallSeconds, bench tiers) where the scope-exit
+/// accumulation of WallTimer does not fit the control flow.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(std::chrono::steady_clock::now()) {}
+
+  /// Wall-clock seconds elapsed since construction (or the last reset()).
+  [[nodiscard]] double seconds() const noexcept {
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start_).count();
+  }
+
+  void reset() noexcept { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace calciom::sim

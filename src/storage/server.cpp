@@ -14,7 +14,11 @@ constexpr double kLevelEpsilon = 1e-6;  // bytes
 
 StorageServer::StorageServer(sim::Engine& engine, net::FlowNet& net,
                              Config cfg, std::string name)
-    : engine_(engine), net_(net), cfg_(cfg), name_(std::move(name)) {
+    : engine_(engine),
+      net_(net),
+      affinity_(&engine),
+      cfg_(cfg),
+      name_(std::move(name)) {
   CALCIOM_EXPECTS(cfg_.nicBandwidth > 0.0);
   CALCIOM_EXPECTS(cfg_.diskBandwidth > 0.0);
   CALCIOM_EXPECTS(cfg_.cacheBytes >= 0.0);
@@ -41,6 +45,7 @@ double StorageServer::effectiveDiskBandwidth() const noexcept {
 }
 
 double StorageServer::cacheLevel() const {
+  affinity_.check("storage::StorageServer::cacheLevel");
   if (!cacheEnabled()) {
     return 0.0;
   }
@@ -53,6 +58,7 @@ double StorageServer::cacheLevel() const {
 }
 
 double StorageServer::delivered() const {
+  affinity_.check("storage::StorageServer::delivered");
   return net_.deliveredThrough(ingress_);
 }
 
@@ -69,6 +75,7 @@ void StorageServer::refreshLevel() {
 double StorageServer::netFillRate() const { return lastInRate_ - lastDrain_; }
 
 void StorageServer::onRatesChanged() {
+  affinity_.check("storage::StorageServer::onRatesChanged");
   // Integrate history with the rates that were in force, then sample the new
   // ones.
   refreshLevel();

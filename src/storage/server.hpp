@@ -27,6 +27,7 @@
 
 #include "net/flow_net.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard_affinity.hpp"
 
 namespace calciom::storage {
 
@@ -123,6 +124,12 @@ class StorageServer {
 
   sim::Engine& engine_;
   net::FlowNet& net_;
+  /// Rule-1 guard: the cache trajectory integrates this shard's clock, so
+  /// both the mutators and the time-sampling reads are shard-local (a
+  /// foreign-loop read mid-round would observe a clock whose position
+  /// depends on round interleaving). Barrier hooks read legitimately —
+  /// Engine::current() is null there. CALCIOM_SHARD_CHECKS builds trap.
+  sim::ShardAffinity affinity_;
   Config cfg_;
   std::string name_;
   net::ResourceId ingress_;

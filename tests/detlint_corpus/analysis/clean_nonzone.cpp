@@ -1,0 +1,17 @@
+// False-positive fixture: analysis/ is the reporting layer, deliberately
+// outside the deterministic zones. Wall timing and unordered containers are
+// legitimate here and detlint must not flag them.
+#include <chrono>
+#include <unordered_map>
+
+namespace calciom::analysis {
+
+double reportSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::unordered_map<int, int> histogram;
+  histogram[0] = 1;
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace calciom::analysis

@@ -1,0 +1,20 @@
+// Golden violation for DET7: a nextBarrierNeededBy override whose doc
+// comment does not cite rule 7. The citation is the author's acknowledgment
+// that the vote is a pure function of barrier-time simulated state.
+namespace calciom {
+
+struct BarrierHookLike {
+  virtual ~BarrierHookLike() = default;
+  virtual bool onBarrier(double) { return false; }
+  virtual double nextBarrierNeededBy(double now) { return now; }
+};
+
+class SilentHook : public BarrierHookLike {
+ public:
+  bool onBarrier(double) override { return false; }
+
+  /// Votes the soonest horizon so every barrier fires.
+  double nextBarrierNeededBy(double now) override { return now; }
+};
+
+}  // namespace calciom

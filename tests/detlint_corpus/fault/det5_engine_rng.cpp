@@ -1,0 +1,12 @@
+// Golden violation for DET5: drawing from the engine RNG stream inside the
+// fault layer. Chaos decisions must be pure hashes of (seed, round, id) —
+// a stream draw's position depends on event interleaving, so the same fault
+// plan would land differently across worker counts.
+namespace calciom::fault {
+
+template <typename Engine>
+bool shouldBlackout(Engine& eng) {
+  return (eng.rng() () & 1u) != 0u;
+}
+
+}  // namespace calciom::fault

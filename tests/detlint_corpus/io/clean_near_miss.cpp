@@ -1,0 +1,32 @@
+// False-positive fixture *inside* a zone: identifiers that merely contain
+// banned substrings, member functions named after time, and a properly
+// cited horizon vote. detlint must report nothing here.
+namespace calciom::io {
+
+double settleTime(double eta);
+double completeTime(double at) { return settleTime(at); }
+
+struct Writer {
+  double time_ = 0.0;
+  // A member named drainTime and a call through it: neither is ::time().
+  double drainTime(double now) { return now + time_; }
+  double sample(Writer& w) { return w.drainTime(0.0); }
+
+  // "rand" inside longer identifiers is not rand().
+  int randomizeLayout(int operand) { return operand; }
+
+  // Clockwise is not clock().
+  double clockwiseSweep(double deg) { return deg; }
+
+  /// Pure read of the writer's next deadline (determinism rule 7,
+  /// src/sim/README.md).
+  double nextBarrierNeededBy(double now) { return now; }
+};
+
+struct CitedHook : Writer {
+  /// Horizon vote; pure function of barrier-time state (determinism
+  /// rule 7, src/sim/README.md).
+  double nextBarrierNeededBy(double now) override { return now; }
+};
+
+}  // namespace calciom::io

@@ -1,0 +1,17 @@
+// Golden violations for DET3: wall-clock reads in a deterministic zone.
+// Deterministic code sees only simulated time; the single sanctioned wall
+// timing access point is sim/wall_timer.hpp.
+#include <chrono>
+#include <ctime>
+
+namespace calciom::net {
+
+double linkWarmupSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::time_t wall = std::time(nullptr);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() +
+         static_cast<double>(wall % 2);
+}
+
+}  // namespace calciom::net

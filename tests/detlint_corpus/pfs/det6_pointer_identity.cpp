@@ -1,0 +1,17 @@
+// Golden violations for DET6: pointer identity reaching computed state.
+// Addresses differ run to run (ASLR, allocation order), so keys, hashes and
+// printed output derived from them are irreproducible.
+#include <cstdint>
+#include <cstdio>
+
+namespace calciom::pfs {
+
+std::uint64_t clientKey(const void* client) {
+  return reinterpret_cast<std::uintptr_t>(client);
+}
+
+void dumpClient(const void* client) {
+  std::printf("client=%p\n", client);
+}
+
+}  // namespace calciom::pfs

@@ -1,0 +1,18 @@
+// Golden violation for DET4: unordered container in a deterministic zone.
+// Iterating one feeds hash-seed- and address-dependent order into whatever
+// consumes the loop.
+#include <unordered_map>
+
+namespace calciom::platform {
+
+std::unordered_map<int, double> shardLoads;
+
+double total() {
+  double sum = 0.0;
+  for (const auto& [shard, load] : shardLoads) {
+    sum += load;
+  }
+  return sum;
+}
+
+}  // namespace calciom::platform

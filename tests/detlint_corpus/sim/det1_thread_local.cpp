@@ -1,0 +1,10 @@
+// Golden violation for DET1: thread_local state in a deterministic zone.
+// Per-thread values differ with worker count and scheduling, so any
+// simulated state routed through one breaks worker-count invariance.
+namespace calciom::sim {
+
+thread_local int roundScratch = 0;
+
+int bump() { return ++roundScratch; }
+
+}  // namespace calciom::sim

@@ -1,0 +1,11 @@
+// Suppression-hygiene fixture: an allow() with no trailing reason is
+// inactive, so the DET4 match below must still be reported. Stating *why*
+// a match is safe is part of the suppression contract.
+#include <unordered_set>
+
+namespace calciom::storage {
+
+// detlint: allow(DET4)
+std::unordered_set<int> probedServers;
+
+}  // namespace calciom::storage

@@ -1,0 +1,17 @@
+// Golden violations for DET2: ambient entropy. Randomness must come from
+// the per-shard seeded stream (Engine::rng()) or a pure hash, never from
+// the environment or the C library's hidden global state.
+#include <cstdlib>
+#include <random>
+
+namespace calciom::workload {
+
+int jitterCores() {
+  std::random_device rd;
+  if (std::getenv("CALCIOM_JITTER") != nullptr) {
+    return rand() % 8;
+  }
+  return static_cast<int>(rd() % 8u);
+}
+
+}  // namespace calciom::workload

@@ -1,0 +1,121 @@
+// Tests for tools/detlint: the golden-violation corpus under
+// tests/detlint_corpus/ must be flagged exactly (right rule ids, right
+// counts, suppressions honored), and — the acceptance criterion that makes
+// the linter binding — the real src/ tree must scan clean.
+
+#include "tools/detlint/lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+const std::string kRoot = CALCIOM_SOURCE_DIR;
+
+std::string corpus(const std::string& rel) {
+  return kRoot + "/tests/detlint_corpus/" + rel;
+}
+
+std::map<std::string, int> ruleCounts(const detlint::RunResult& r) {
+  std::map<std::string, int> counts;
+  for (const detlint::Violation& v : r.violations) {
+    ++counts[v.rule];
+  }
+  return counts;
+}
+
+std::string describe(const detlint::RunResult& r) {
+  std::string out;
+  for (const detlint::Violation& v : r.violations) {
+    out += v.file + ":" + std::to_string(v.line) + ": [" + v.rule + "] " +
+           v.message + "\n";
+  }
+  return out;
+}
+
+TEST(DetlintZones, PathComponentsDecideMembership) {
+  EXPECT_TRUE(detlint::inDeterministicZone("src/sim/engine.cpp"));
+  EXPECT_TRUE(detlint::inDeterministicZone("src/fault/chaos.cpp"));
+  EXPECT_TRUE(detlint::inDeterministicZone("/abs/path/src/mpi/port.hpp"));
+  // Corpus fixtures live under zone-named directories on purpose: the same
+  // classifier that guards src/ guards the fixtures.
+  EXPECT_TRUE(
+      detlint::inDeterministicZone("tests/detlint_corpus/net/x.cpp"));
+  EXPECT_FALSE(detlint::inDeterministicZone("src/analysis/stats.cpp"));
+  EXPECT_FALSE(detlint::inDeterministicZone("bench/perf_cluster.cpp"));
+}
+
+TEST(DetlintZones, WallTimerShimIsTheOnlyClockException) {
+  EXPECT_TRUE(detlint::isWallClockShim("src/sim/wall_timer.hpp"));
+  EXPECT_TRUE(detlint::isWallClockShim("/root/repo/src/sim/wall_timer.hpp"));
+  EXPECT_FALSE(detlint::isWallClockShim("src/sim/engine.cpp"));
+  EXPECT_FALSE(detlint::isWallClockShim("src/net/wall_timer.hpp"));
+}
+
+struct CorpusCase {
+  const char* file;
+  std::map<std::string, int> expected;  // rule id -> violation count
+  int suppressed;
+};
+
+TEST(DetlintCorpus, EveryRuleIsCaughtWithExactCounts) {
+  const std::vector<CorpusCase> cases = {
+      {"sim/det1_thread_local.cpp", {{"DET1", 1}}, 0},
+      {"workload/det2_entropy.cpp", {{"DET2", 3}}, 0},
+      {"net/det3_wall_clock.cpp", {{"DET3", 3}}, 0},
+      {"platform/det4_unordered.cpp", {{"DET4", 1}}, 0},
+      {"fault/det5_engine_rng.cpp", {{"DET5", 1}}, 0},
+      {"pfs/det6_pointer_identity.cpp", {{"DET6", 2}}, 0},
+      {"calciom/det7_uncited_vote.cpp", {{"DET7", 1}}, 0},
+      {"storage/suppressed_ok.cpp", {}, 2},
+      {"storage/suppressed_missing_reason.cpp", {{"DET4", 1}}, 0},
+      {"analysis/clean_nonzone.cpp", {}, 0},
+      {"io/clean_near_miss.cpp", {}, 0},
+  };
+  for (const CorpusCase& c : cases) {
+    const detlint::RunResult r = detlint::lintTree(corpus(c.file));
+    EXPECT_EQ(r.filesScanned, 1) << c.file;
+    EXPECT_EQ(ruleCounts(r), c.expected) << c.file << "\n" << describe(r);
+    EXPECT_EQ(r.suppressed, c.suppressed) << c.file;
+  }
+}
+
+TEST(DetlintCorpus, WholeCorpusScansWithoutCrashing) {
+  const detlint::RunResult r = detlint::lintTree(corpus(""));
+  EXPECT_GE(r.filesScanned, 11);
+  // Aggregate: every golden fixture contributes, nothing extra appears.
+  const std::map<std::string, int> expected = {
+      {"DET1", 1}, {"DET2", 3}, {"DET3", 3}, {"DET4", 2},
+      {"DET5", 1}, {"DET6", 2}, {"DET7", 1}};
+  EXPECT_EQ(ruleCounts(r), expected) << describe(r);
+  EXPECT_EQ(r.suppressed, 2);
+}
+
+TEST(DetlintSrc, TreeIsCleanWithDocumentedSuppressions) {
+  const detlint::RunResult r = detlint::lintTree(kRoot + "/src");
+  EXPECT_GT(r.filesScanned, 50);
+  EXPECT_TRUE(r.violations.empty()) << describe(r);
+  // The two known, justified suppressions: Engine::current()'s
+  // thread_local plumbing (DET1) and the engine's membership-only task
+  // liveness set (DET4). Growing this number deserves a review.
+  EXPECT_EQ(r.suppressed, 2);
+}
+
+TEST(DetlintCli, MissingPathIsAnErrorNotVacuousSuccess) {
+  const detlint::RunResult r = detlint::lintTree(kRoot + "/no/such/dir");
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "IO");
+}
+
+TEST(DetlintRules, DescriptionsExist) {
+  for (const char* rule :
+       {"DET1", "DET2", "DET3", "DET4", "DET5", "DET6", "DET7"}) {
+    EXPECT_NE(detlint::describeRule(rule), "unknown rule") << rule;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,424 @@
+#include "tools/detlint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+namespace detlint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::set<std::string>& zoneComponents() {
+  static const std::set<std::string> kZones = {
+      "sim", "net",     "calciom",  "platform", "pfs",
+      "storage", "workload", "fault", "mpi", "io"};
+  return kZones;
+}
+
+std::vector<std::string> pathComponents(const std::string& path) {
+  std::vector<std::string> out;
+  std::string part;
+  for (const char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!part.empty()) {
+        out.push_back(part);
+      }
+      part.clear();
+    } else {
+      part += c;
+    }
+  }
+  if (!part.empty()) {
+    out.push_back(part);
+  }
+  return out;
+}
+
+/// One scanned line, split into channels so each check looks only at the
+/// text class it cares about.
+struct LineView {
+  std::string code;         // comments removed, string/char literals blanked
+  std::string codeStrings;  // comments removed, literals kept (for "%p")
+  std::string comment;      // concatenated comment text on this line
+};
+
+/// Comment- and string-aware splitter. Tracks block comments across lines;
+/// raw strings are not understood (documented limitation).
+std::vector<LineView> splitLines(const std::string& contents) {
+  enum class Mode { Code, Str, Chr, LineComment, BlockComment };
+  std::vector<LineView> lines;
+  LineView cur;
+  Mode mode = Mode::Code;
+  const std::size_t n = contents.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = contents[i];
+    if (c == '\n') {
+      if (mode == Mode::LineComment) {
+        mode = Mode::Code;
+      }
+      // Unterminated string literals cannot span lines (no raw-string
+      // support); recover rather than swallowing the rest of the file.
+      if (mode == Mode::Str || mode == Mode::Chr) {
+        mode = Mode::Code;
+      }
+      lines.push_back(std::move(cur));
+      cur = LineView{};
+      continue;
+    }
+    switch (mode) {
+      case Mode::Code:
+        if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+          mode = Mode::LineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+          mode = Mode::BlockComment;
+          ++i;
+        } else if (c == '"') {
+          mode = Mode::Str;
+          cur.code += ' ';
+          cur.codeStrings += c;
+        } else if (c == '\'') {
+          mode = Mode::Chr;
+          cur.code += ' ';
+          cur.codeStrings += c;
+        } else {
+          cur.code += c;
+          cur.codeStrings += c;
+        }
+        break;
+      case Mode::Str:
+      case Mode::Chr:
+        cur.code += ' ';
+        cur.codeStrings += c;
+        if (c == '\\' && i + 1 < n && contents[i + 1] != '\n') {
+          cur.codeStrings += contents[i + 1];
+          cur.code += ' ';
+          ++i;
+        } else if ((mode == Mode::Str && c == '"') ||
+                   (mode == Mode::Chr && c == '\'')) {
+          mode = Mode::Code;
+        }
+        break;
+      case Mode::LineComment:
+        cur.comment += c;
+        break;
+      case Mode::BlockComment:
+        if (c == '*' && i + 1 < n && contents[i + 1] == '/') {
+          mode = Mode::Code;
+          ++i;
+        } else {
+          cur.comment += c;
+        }
+        break;
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+bool isBlank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isspace(c) != 0; });
+}
+
+/// Extracts the rule ids of *active* suppressions in a comment: each
+/// `detlint: allow(ID[, ID...])` followed by a non-empty reason.
+std::vector<std::string> activeAllows(const std::string& comment) {
+  static const std::regex kAllow(
+      R"(detlint:\s*allow\(\s*([A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*)\s*\))");
+  std::vector<std::string> out;
+  auto begin = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    // The reason is whatever follows the closing paren, up to the next
+    // allow() if any. Empty reason -> inactive: the suppression must say
+    // *why* the match is safe.
+    const std::string tail = comment.substr(
+        static_cast<std::size_t>(it->position() + it->length()));
+    const std::size_t next = tail.find("detlint:");
+    const std::string reason = tail.substr(0, next);
+    if (isBlank(reason)) {
+      continue;
+    }
+    std::string ids = (*it)[1].str();
+    std::string id;
+    for (const char c : ids + ",") {
+      if (c == ',' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+        if (!id.empty()) {
+          out.push_back(id);
+        }
+        id.clear();
+      } else {
+        id += c;
+      }
+    }
+  }
+  return out;
+}
+
+struct Check {
+  const char* rule;
+  std::regex pattern;
+  const char* message;
+  bool stringsChannel;  // match against codeStrings instead of code
+};
+
+const std::vector<Check>& zoneChecks() {
+  static const std::vector<Check> kChecks = [] {
+    std::vector<Check> v;
+    v.push_back({"DET1", std::regex(R"(\bthread_local\b)"),
+                 "thread_local state in a deterministic zone: per-thread "
+                 "values vary with worker scheduling (rule 1)",
+                 false});
+    v.push_back({"DET2",
+                 std::regex(R"(std::random_device|\b(rand|srand|getenv)\s*\()"),
+                 "ambient entropy: all randomness must come from the "
+                 "per-shard seeded stream (rule 2)",
+                 false});
+    v.push_back(
+        {"DET3",
+         std::regex(
+             R"(std::chrono::(steady_clock|system_clock|high_resolution_clock))"
+             R"(|\b(gettimeofday|clock_gettime)\s*\()"
+             R"(|std::(time|clock)\s*\()"
+             R"(|(^|[^\w.:>])(time|clock)\s*\()"),
+         "wall-clock access: deterministic code sees only simulated time; "
+         "wall timing goes through sim/wall_timer.hpp (rule 3)",
+         false});
+    v.push_back({"DET4",
+                 std::regex(R"(std::unordered_(map|set|multimap|multiset)\b)"),
+                 "unordered container in a deterministic zone: iteration "
+                 "order is hash-seed and address dependent (rule 4); use an "
+                 "ordered/indexed container, or allow() with proof it is "
+                 "never iterated",
+                 false});
+    v.push_back({"DET6",
+                 std::regex(R"(reinterpret_cast\s*<\s*(std::)?u?intptr_t\b)"
+                            R"(|std::hash<[^>]*\*\s*>)"),
+                 "pointer identity in computed state: addresses differ run "
+                 "to run, so nothing hashed, serialized or ordered may "
+                 "depend on them (rule 6)",
+                 false});
+    v.push_back({"DET6", std::regex(R"(%p\b)"),
+                 "\"%p\" formats a raw address: run-to-run varying output "
+                 "breaks fingerprint comparison (rule 6)",
+                 true});
+    return v;
+  }();
+  return kChecks;
+}
+
+const Check& faultRngCheck() {
+  static const Check kCheck{
+      "DET5", std::regex(R"(\brng\s*\(\s*\))"),
+      "Engine::rng() draw in the fault layer: chaos decisions must be pure "
+      "hashes of (seed, round, id), never stream draws whose position "
+      "depends on event interleaving (rule 5)",
+      false};
+  return kCheck;
+}
+
+bool mentionsRule7(const std::string& comment) {
+  static const std::regex kRule7(R"([Rr]ule\s*7)");
+  return std::regex_search(comment, kRule7);
+}
+
+void runChecksOnLine(const std::string& path, int lineNo, const LineView& lv,
+                     bool zone, bool faultZone, bool clockShim,
+                     const std::string& docBlock,
+                     const std::vector<std::string>& allows, RunResult& out) {
+  const auto allowed = [&allows](const char* rule) {
+    return std::find(allows.begin(), allows.end(), rule) != allows.end();
+  };
+  const auto report = [&](const Check& check) {
+    if (allowed(check.rule)) {
+      ++out.suppressed;
+    } else {
+      out.violations.push_back(
+          Violation{path, lineNo, check.rule, check.message});
+    }
+  };
+
+  if (zone) {
+    for (const Check& check : zoneChecks()) {
+      if (std::string_view(check.rule) == "DET3" && clockShim) {
+        continue;
+      }
+      const std::string& text = check.stringsChannel ? lv.codeStrings : lv.code;
+      if (std::regex_search(text, check.pattern)) {
+        report(check);
+      }
+    }
+    if (faultZone && std::regex_search(lv.code, faultRngCheck().pattern)) {
+      report(faultRngCheck());
+    }
+  }
+
+  // DET7 applies everywhere scanned: an override of the horizon-vote hook
+  // is a determinism liability wherever it lives.
+  static const std::regex kVoteOverride(
+      R"(\bnextBarrierNeededBy\s*\([^)]*\)[^;{]*\boverride\b)");
+  if (std::regex_search(lv.code, kVoteOverride)) {
+    if (!mentionsRule7(docBlock) && !mentionsRule7(lv.comment)) {
+      if (allowed("DET7")) {
+        ++out.suppressed;
+      } else {
+        out.violations.push_back(Violation{
+            path, lineNo, "DET7",
+            "nextBarrierNeededBy override without a 'rule 7' citation: the "
+            "doc comment must acknowledge that the vote is a pure function "
+            "of barrier-time simulated state (rule 7)"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool inDeterministicZone(const std::string& path) {
+  for (const std::string& comp : pathComponents(path)) {
+    if (zoneComponents().contains(comp)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool isWallClockShim(const std::string& path) {
+  const std::vector<std::string> comps = pathComponents(path);
+  const std::size_t n = comps.size();
+  return n >= 2 && comps[n - 2] == "sim" && comps[n - 1] == "wall_timer.hpp";
+}
+
+bool isSourceFile(const std::string& path) {
+  static const std::array<const char*, 7> kExts = {
+      ".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".ipp"};
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) {
+    return false;
+  }
+  const std::string ext = path.substr(dot);
+  return std::find(kExts.begin(), kExts.end(), ext) != kExts.end();
+}
+
+RunResult lintFile(const std::string& path, const std::string& contents) {
+  RunResult out;
+  out.filesScanned = 1;
+  const bool zone = inDeterministicZone(path);
+  const bool clockShim = isWallClockShim(path);
+  bool faultZone = false;
+  for (const std::string& comp : pathComponents(path)) {
+    if (comp == "fault") {
+      faultZone = true;
+    }
+  }
+
+  const std::vector<LineView> lines = splitLines(contents);
+  // Suppressions and rule-7 citations in the comment block immediately
+  // above a line apply to that line; a blank line breaks the association.
+  std::vector<std::string> pendingAllows;
+  std::string docBlock;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const LineView& lv = lines[i];
+    const bool hasCode = !isBlank(lv.code);
+    const bool hasComment = !lv.comment.empty();
+    if (!hasCode) {
+      if (hasComment) {
+        docBlock += lv.comment;
+        docBlock += '\n';
+        for (std::string& id : activeAllows(lv.comment)) {
+          pendingAllows.push_back(std::move(id));
+        }
+      } else {
+        pendingAllows.clear();
+        docBlock.clear();
+      }
+      continue;
+    }
+    std::vector<std::string> allows = pendingAllows;
+    for (std::string& id : activeAllows(lv.comment)) {
+      allows.push_back(std::move(id));
+    }
+    runChecksOnLine(path, static_cast<int>(i + 1), lv, zone, faultZone,
+                    clockShim, docBlock, allows, out);
+    pendingAllows.clear();
+    docBlock.clear();
+  }
+  return out;
+}
+
+RunResult lintTree(const std::string& root) {
+  RunResult out;
+  std::error_code ec;
+  const fs::file_status st = fs::status(root, ec);
+  if (ec || st.type() == fs::file_type::not_found) {
+    out.violations.push_back(
+        Violation{root, 0, "IO", "path does not exist or is unreadable"});
+    return out;
+  }
+  std::vector<std::string> files;
+  if (fs::is_directory(st)) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file() && isSourceFile(entry.path().string())) {
+        files.push_back(entry.path().string());
+      }
+    }
+  } else {
+    files.push_back(root);
+  }
+  // Deterministic report order regardless of directory enumeration order —
+  // the linter holds itself to rule 4.
+  std::sort(files.begin(), files.end());
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      out.violations.push_back(Violation{file, 0, "IO", "failed to read"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    merge(out, lintFile(file, buf.str()));
+  }
+  return out;
+}
+
+void merge(RunResult& total, RunResult part) {
+  total.suppressed += part.suppressed;
+  total.filesScanned += part.filesScanned;
+  std::move(part.violations.begin(), part.violations.end(),
+            std::back_inserter(total.violations));
+}
+
+std::string describeRule(const std::string& rule) {
+  if (rule == "DET1") {
+    return "no thread_local state in deterministic zones (rule 1)";
+  }
+  if (rule == "DET2") {
+    return "no ambient entropy: random_device/rand/srand/getenv (rule 2)";
+  }
+  if (rule == "DET3") {
+    return "no wall clocks outside sim/wall_timer.hpp (rule 3)";
+  }
+  if (rule == "DET4") {
+    return "no unordered containers in deterministic zones (rule 4)";
+  }
+  if (rule == "DET5") {
+    return "no Engine::rng() draws in the fault layer (rule 5)";
+  }
+  if (rule == "DET6") {
+    return "no pointer identity in hashed/serialized state (rule 6)";
+  }
+  if (rule == "DET7") {
+    return "horizon-vote overrides must cite rule 7";
+  }
+  return "unknown rule";
+}
+
+}  // namespace detlint

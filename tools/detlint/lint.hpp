@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file lint.hpp
+/// detlint: a token/regex-level determinism linter for the CALCioM tree.
+///
+/// The simulator's reproducibility contract is written down as seven rules
+/// in src/sim/README.md. Most of them are enforced at runtime (fingerprints,
+/// shard-affinity checks), but the cheapest place to catch a violation is
+/// before it runs: a wall-clock read or an iterated unordered_map in a
+/// deterministic zone is wrong *syntactically*, no execution needed. detlint
+/// scans source text — comment- and string-aware, but deliberately not a
+/// compiler — and flags the constructs that cannot appear in deterministic
+/// code:
+///
+///   DET1  `thread_local` state            (rule 1, shard locality)
+///   DET2  ambient entropy: random_device, rand/srand, getenv  (rule 2)
+///   DET3  wall clocks: std::chrono clocks, time(), gettimeofday, ...
+///         (rule 3; the single whitelisted access point is
+///         src/sim/wall_timer.hpp)
+///   DET4  std::unordered_{map,set,multimap,multiset}          (rule 4)
+///   DET5  Engine::rng() draws inside the fault layer          (rule 5;
+///         chaos decisions must be pure hashes, not stream draws)
+///   DET6  pointer identity in hashed/serialized state:
+///         reinterpret_cast<uintptr_t>, std::hash<T*>, "%p"    (rule 6)
+///   DET7  every `nextBarrierNeededBy ... override` declaration must cite
+///         "rule 7" in its doc comment, acknowledging the purity contract
+///
+/// DET1–DET6 fire only inside *deterministic zones* — directories whose
+/// code runs under the simulated clock. DET7 applies everywhere scanned.
+///
+/// False positives are silenced in place:
+///
+///     // detlint: allow(DET4) membership-only set; never iterated.
+///
+/// on the offending line or in the comment block immediately above it. The
+/// reason is mandatory: an allow() with no trailing justification is
+/// ignored and the violation still fires.
+///
+/// The scanner understands line/block comments, string and character
+/// literals (raw strings are not supported — don't hide clocks in them).
+
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;     // "DET1".."DET7"
+  std::string message;  // what matched and which rule it breaks
+};
+
+struct RunResult {
+  std::vector<Violation> violations;
+  int suppressed = 0;    // matches silenced by an active allow()
+  int filesScanned = 0;
+};
+
+/// True when `path` contains a component naming a deterministic zone
+/// (sim, net, calciom, platform, pfs, storage, workload, fault, mpi, io).
+/// `analysis/` is deliberately not a zone: it is the reporting layer and
+/// may time, hash and print whatever it likes.
+[[nodiscard]] bool inDeterministicZone(const std::string& path);
+
+/// True for the one file allowed to touch wall clocks (sim/wall_timer.hpp).
+[[nodiscard]] bool isWallClockShim(const std::string& path);
+
+/// True when `path` names a file detlint scans (C++ source/header).
+[[nodiscard]] bool isSourceFile(const std::string& path);
+
+/// Lints one file's contents (the path decides zone membership).
+[[nodiscard]] RunResult lintFile(const std::string& path,
+                                 const std::string& contents);
+
+/// Recursively lints every C++ source under `root`; `root` may also be a
+/// single file. Missing paths produce a synthetic violation (rule "IO") so
+/// a typo'd CI invocation cannot pass vacuously.
+[[nodiscard]] RunResult lintTree(const std::string& root);
+
+/// Merges `part` into `total`.
+void merge(RunResult& total, RunResult part);
+
+/// One-line human description of a rule id ("DET3" -> its contract).
+[[nodiscard]] std::string describeRule(const std::string& rule);
+
+}  // namespace detlint

@@ -1,0 +1,54 @@
+/// detlint CLI: `detlint <path>...` scans each path (file or directory,
+/// recursively) and prints violations as `file:line: [RULE] message`.
+/// Exit status: 0 clean, 1 violations found, 2 usage error.
+
+#include <cstdio>
+#include <string>
+
+#include "tools/detlint/lint.hpp"
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  detlint::RunResult total;
+  int paths = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: detlint [--quiet] <path>...\n"
+          "Scans C++ sources for determinism-rule violations "
+          "(src/sim/README.md).\nChecks:\n");
+      for (const char* rule :
+           {"DET1", "DET2", "DET3", "DET4", "DET5", "DET6", "DET7"}) {
+        std::printf("  %s  %s\n", rule, detlint::describeRule(rule).c_str());
+      }
+      std::printf(
+          "Suppress a finding in place with\n"
+          "  // detlint: allow(RULE-ID) <mandatory reason>\n"
+          "on the flagged line or in the comment block above it.\n");
+      return 0;
+    }
+    ++paths;
+    detlint::merge(total, detlint::lintTree(arg));
+  }
+  if (paths == 0) {
+    std::fprintf(stderr, "detlint: no paths given (try --help)\n");
+    return 2;
+  }
+  for (const detlint::Violation& v : total.violations) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "detlint: %d file(s) scanned, %zu violation(s), "
+                 "%d suppressed\n",
+                 total.filesScanned, total.violations.size(),
+                 total.suppressed);
+  }
+  return total.violations.empty() ? 0 : 1;
+}
