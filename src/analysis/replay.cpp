@@ -297,6 +297,12 @@ DivergenceReport computeDivergence(
         static_cast<std::ptrdiff_t>(r.comparedDecisions);
   }
 
+  // Grant alignment, pinned semantics (see DivergenceReport::
+  // unmatchedGrants): per app, pair the first min(oracle, online) grants
+  // by occurrence index; the surplus on either side — including every
+  // grant of an app the other stream never granted — counts as unmatched
+  // and is excluded from the drift/kind metrics, which would otherwise
+  // misattribute cross-app or cross-index gaps as timing drift.
   r.onlineGrants = onlineGrants.size();
   r.oracleGrants = oracle.grants.size();
   std::map<std::uint32_t, std::vector<const core::GrantRecord*>> onlineByApp;
@@ -432,6 +438,7 @@ ReplayResult replayCluster(const ReplayConfig& cfg) {
   ccfg.dynamicOptions = cfg.dynamicOptions;
   ccfg.granularity = cfg.granularity;
   ccfg.workers = cfg.workers;
+  ccfg.tuner = cfg.tuner;
   ccfg.barrierHooks = {&feeder};
   ccfg.prepare = [&feeder](platform::Cluster& cluster, GlobalArbiter*) {
     feeder.attach(cluster);
@@ -448,7 +455,12 @@ ReplayResult replayCluster(const ReplayConfig& cfg) {
   out.jobs = feeder.injected();
   out.peakStreamBuffered = feeder.peakBuffered();
   out.syncRounds = run.syncRounds;
+  out.horizonSteps = run.horizonSteps;
   out.engineCpuSeconds = run.engineCpuSeconds;
+  out.tunerHorizonSeconds = run.tunerHorizonSeconds;
+  out.tunerShrinks = run.tunerShrinks;
+  out.tunerGrows = run.tunerGrows;
+  out.mergeDeferrals = run.mergeDeferrals;
   for (std::uint64_t e : run.shardEvents) {
     out.engineEvents += e;
   }

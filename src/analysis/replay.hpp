@@ -45,11 +45,13 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "calciom/arbiter_core.hpp"
 #include "calciom/capture.hpp"
+#include "calciom/horizon_tuner.hpp"
 #include "calciom/policy.hpp"
 #include "calciom/session.hpp"
 #include "sim/time.hpp"
@@ -90,6 +92,10 @@ struct ReplayConfig {
   std::size_t computeShards = 4;
   sim::Time syncHorizonSeconds = 30.0;
   unsigned workers = 1;
+  /// Cluster path: online sync-horizon auto-tuner (calciom::HorizonTuner).
+  /// nullopt keeps the fixed sampling cadence at syncHorizonSeconds —
+  /// the pre-tuner behavior, bit-identical to earlier releases.
+  std::optional<HorizonTunerConfig> tuner;
 };
 
 /// What the bare-core oracle produced from a captured stream.
@@ -124,7 +130,16 @@ struct DivergenceReport {
   std::size_t onlineGrants = 0;
   std::size_t oracleGrants = 0;
   std::size_t matchedGrants = 0;
-  /// Grants only one schedule issued (per-app surplus on either side).
+  /// Grants only one schedule issued. Pinned semantics (unit-tested by
+  /// DivergenceMetricsTest in tests/analysis_replay_test.cpp): grants are
+  /// aligned per application by occurrence index, so for each app the
+  /// first min(oracleCount, onlineCount) grants pair up as `matchedGrants`
+  /// and the per-app surplus |oracleCount − onlineCount| lands here —
+  /// including the whole count of an app that appears in only one stream
+  /// (possible once the tuner shifts grant timing across a degradation
+  /// window). Unmatched grants contribute *nothing* to the drift or
+  /// kind-mismatch metrics below, which are computed over matched pairs
+  /// only; they do make exactlyZero() false.
   std::size_t unmatchedGrants = 0;
   /// Matched slots where one side granted and the other resumed.
   std::size_t grantKindMismatches = 0;
@@ -164,6 +179,8 @@ struct ReplayResult {
   double traceSpanSeconds = 0.0;
   std::uint64_t engineEvents = 0;
   std::uint64_t syncRounds = 0;  // cluster path only
+  /// Cluster rounds run (ClusterRunResult::horizonSteps); cluster path only.
+  std::uint64_t horizonSteps = 0;
   /// Real CPU seconds inside event loops (session path: the one engine's
   /// wallSeconds; cluster path: ClusterStats::cpuSeconds summed over
   /// shards). Reported next to — never added to — an external wall timer.
@@ -172,6 +189,11 @@ struct ReplayResult {
   double sessionWaitSeconds = 0.0;
   double sessionPausedSeconds = 0.0;
   std::uint64_t pausesHonored = 0;
+  /// Cluster path, tuner telemetry (zero when ReplayConfig::tuner unset).
+  double tunerHorizonSeconds = 0.0;
+  std::uint64_t tunerShrinks = 0;
+  std::uint64_t tunerGrows = 0;
+  std::uint64_t mergeDeferrals = 0;
 };
 
 /// Feeds `events` (already merged/ordered) into a bare ArbiterCore built

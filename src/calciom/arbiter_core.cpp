@@ -255,7 +255,7 @@ void ArbiterCore::onComplete(sim::Time now, std::uint32_t app, Commands& out) {
   const bool wasPauseRequested = rec.state == AppState::PauseRequested;
   rec.state = AppState::Idle;
   rec.progress = 1.0;
-  removeFrom(accessors_, app);
+  detachAccessor(now, app);
   removeFrom(waitQueue_, app);
   removeFrom(pausedStack_, app);
 
@@ -306,7 +306,7 @@ void ArbiterCore::applyPauseAck(sim::Time now, std::uint32_t app,
   CALCIOM_EXPECTS(rec.state == AppState::PauseRequested);
   rec.state = AppState::Paused;
   rec.pausedAt = now;
-  removeFrom(accessors_, app);
+  detachAccessor(now, app);
   pausedStack_.push_back(app);
   if (pendingInterrupter_) {
     CALCIOM_ENSURES(pendingAcks_ > 0);
@@ -390,8 +390,7 @@ void ArbiterCore::onHeartbeat(sim::Time now, std::uint32_t app,
         removeFrom(waitQueue_, app);
         rec.state = AppState::Accessing;
         rec.grantTime = now;
-        accessors_.push_back(app);
-        maxAccessors_ = std::max(maxAccessors_, accessors_.size());
+        attachAccessor(now, app);
         ++grants_;
         grantLog_.push_back(GrantRecord{now, app, /*resume=*/false});
         ++reinstated_;
@@ -504,8 +503,7 @@ void ArbiterCore::grant(sim::Time now, std::uint32_t app, Commands& out) {
   AppRecord& rec = apps_.at(app);
   rec.state = AppState::Accessing;
   rec.grantTime = now;
-  accessors_.push_back(app);
-  maxAccessors_ = std::max(maxAccessors_, accessors_.size());
+  attachAccessor(now, app);
   ++grants_;
   grantLog_.push_back(GrantRecord{now, app, /*resume=*/false});
   cpuSecondsWaited_ +=
@@ -554,8 +552,7 @@ void ArbiterCore::admitNext(sim::Time now, Commands& out) {
     AppRecord& rec = apps_.at(app);
     rec.state = AppState::Accessing;
     rec.grantTime = now;
-    accessors_.push_back(app);
-    maxAccessors_ = std::max(maxAccessors_, accessors_.size());
+    attachAccessor(now, app);
     grantLog_.push_back(GrantRecord{now, app, /*resume=*/true});
     cpuSecondsWaited_ +=
         (now - rec.pausedAt) * static_cast<double>(rec.desc.cores);
@@ -572,6 +569,21 @@ void ArbiterCore::admitNext(sim::Time now, Commands& out) {
 void ArbiterCore::removeFrom(std::vector<std::uint32_t>& v,
                              std::uint32_t app) {
   v.erase(std::remove(v.begin(), v.end(), app), v.end());
+}
+
+void ArbiterCore::attachAccessor(sim::Time now, std::uint32_t app) {
+  accessors_.push_back(app);
+  maxAccessors_ = std::max(maxAccessors_, accessors_.size());
+  policy_->onAccessBegin(now, app, apps_.at(app).desc);
+}
+
+void ArbiterCore::detachAccessor(sim::Time now, std::uint32_t app) {
+  const bool present =
+      std::find(accessors_.begin(), accessors_.end(), app) != accessors_.end();
+  removeFrom(accessors_, app);
+  if (present) {
+    policy_->onAccessEnd(now, app);
+  }
 }
 
 void ArbiterCore::applyRecoveryReport(sim::Time now, std::uint32_t app,
@@ -613,7 +625,7 @@ void ArbiterCore::applyRecoveryReport(sim::Time now, std::uint32_t app,
     rec.pausedAt = now;
   }
   // Detach from every container, then re-attach per the claim.
-  removeFrom(accessors_, app);
+  detachAccessor(now, app);
   removeFrom(waitQueue_, app);
   removeFrom(pausedStack_, app);
   if (claim == "accessing") {
@@ -630,8 +642,7 @@ void ArbiterCore::applyRecoveryReport(sim::Time now, std::uint32_t app,
       ++reinstated_;
     }
     rec.state = AppState::Accessing;
-    accessors_.push_back(app);
-    maxAccessors_ = std::max(maxAccessors_, accessors_.size());
+    attachAccessor(now, app);
   } else if (claim == "paused") {
     if (prior != AppState::Paused) {
       rec.pausedAt = now;  // the real pause settled inside the lost tail
@@ -645,8 +656,7 @@ void ArbiterCore::applyRecoveryReport(sim::Time now, std::uint32_t app,
       // the crash: reconcile toward the arbiter's grant, as the heartbeat
       // repair path does.
       rec.state = AppState::Accessing;
-      accessors_.push_back(app);
-      maxAccessors_ = std::max(maxAccessors_, accessors_.size());
+      attachAccessor(now, app);
       emit(now, app, CommandType::Grant, out);
     } else {
       rec.state = AppState::Waiting;

@@ -168,6 +168,17 @@ class GlobalArbiter final : public sim::BarrierHook {
   /// drain barriers that would merge nothing, keeping the exchange counter
   /// and every decision timestamp byte-identical to the fire-always
   /// cadence.
+  ///
+  /// With the adaptive sampling gate armed (setSamplingHorizon > 0 and a
+  /// keepalive standing at the current merge deadline), pending stub
+  /// traffic votes that deadline `lastMergeAt + samplingHorizon` instead
+  /// of `now`: the deferred merge is itself the earliest observable work,
+  /// and voting its exact deadline means a quiescent stretch can *never*
+  /// skip past a pending horizon-gated merge (the deadline barrier
+  /// satisfies vote <= barrierTime and fires; see
+  /// tests/cluster_horizon_test.cpp). Still a pure read of barrier-time
+  /// state — samplingHorizon_/lastMergeAt_/keepaliveAt_ only change inside
+  /// onBarrier — so the rule 7 purity probe holds.
   sim::Time nextBarrierNeededBy(sim::Time now) override;
 
   /// Job-scheduler integration: the termination is applied at the next
@@ -266,6 +277,33 @@ class GlobalArbiter final : public sim::BarrierHook {
     return deadEvicted_;
   }
 
+  // ---- Adaptive sampling (calciom::HorizonTuner) --------------------------
+
+  /// Sets the arbiter's *sampling* horizon: the minimum simulated time
+  /// between consecutive stub merges. 0 (the default) disables the gate
+  /// entirely — every code path is then bit-identical to the pre-tuner
+  /// arbiter. With h > 0, a barrier that arrives less than h after the
+  /// last merge defers the merge: the stubs keep absorbing traffic and a
+  /// keepalive no-op is scheduled into shard 0 at the merge deadline
+  /// `lastMergeAt + h`, so the cluster's drain loop always reaches a
+  /// barrier at which the merge happens (liveness). The gate is bypassed —
+  /// merge every barrier, exactly the legacy cadence — whenever any
+  /// feature with per-round side effects is active (crash/recovery,
+  /// scheduler events, dead-id bookkeeping, fault injection, leases,
+  /// checkpointing; see gateTransparent()). Callable only at barriers or
+  /// before the first run (the tuner adjusts it from its own onBarrier,
+  /// which is legal under rule 4).
+  void setSamplingHorizon(double seconds);
+  [[nodiscard]] double samplingHorizon() const noexcept {
+    return samplingHorizon_;
+  }
+  /// Barriers at which the gate deferred a pending merge.
+  [[nodiscard]] std::uint64_t mergeDeferrals() const noexcept {
+    return mergeDeferrals_;
+  }
+  /// Simulated time of the last non-deferred barrier (gate anchor).
+  [[nodiscard]] sim::Time lastMergeAt() const noexcept { return lastMergeAt_; }
+
  private:
   GlobalArbiter(platform::Cluster& cluster,
                 std::unique_ptr<core::Policy> policy, Config config);
@@ -299,6 +337,17 @@ class GlobalArbiter final : public sim::BarrierHook {
   bool deliverCommands(sim::Time barrierTime);
   /// Checkpoints core + routes + dead set when the interval elapsed.
   void maybeCheckpoint(sim::Time barrierTime);
+  /// True when the sampling gate must stand aside and merge every barrier:
+  /// exactly the conditions under which nextBarrierNeededBy votes `now`
+  /// for per-round side effects. Keeps every crash/chaos/lease/checkpoint
+  /// configuration bit-identical to the ungated arbiter.
+  [[nodiscard]] bool gateTransparent() const noexcept;
+  /// Gate decision for a barrier at `barrierTime`: true = defer the merge
+  /// (stubs hold their traffic; a keepalive is armed at the deadline).
+  [[nodiscard]] bool deferMerge(sim::Time barrierTime) const;
+  /// Schedules the keepalive no-op for the current merge deadline (once
+  /// per deadline). Returns whether an event was scheduled.
+  bool armKeepalive();
 
   /// Ids terminated and not since relaunched, with the round each was
   /// marked dead; their traffic is discarded while remembered. Bounded by
@@ -322,6 +371,11 @@ class GlobalArbiter final : public sim::BarrierHook {
   std::uint64_t exchanges_ = 0;
   std::uint64_t merged_ = 0;
   std::uint64_t rounds_ = 0;
+  // -- adaptive sampling gate (setSamplingHorizon / HorizonTuner) --
+  double samplingHorizon_ = 0.0;      ///< 0 = gate disabled (legacy cadence)
+  sim::Time lastMergeAt_ = 0.0;       ///< last non-deferred barrier
+  sim::Time keepaliveAt_ = sim::kNever;  ///< deadline the keepalive is armed at
+  std::uint64_t mergeDeferrals_ = 0;
   std::uint64_t blackoutDiscarded_ = 0;
   // -- crash-recovery state --
   Config config_;

@@ -1,0 +1,92 @@
+#include "calciom/horizon_tuner.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "calciom/global_arbiter.hpp"
+#include "platform/cluster.hpp"
+#include "sim/contracts.hpp"
+
+namespace calciom {
+
+void HorizonTunerConfig::validate() const {
+  CALCIOM_EXPECTS(minHorizonSeconds >= 0.0);
+  CALCIOM_EXPECTS(maxHorizonSeconds > 0.0);
+  CALCIOM_EXPECTS(minHorizonSeconds <= maxHorizonSeconds);
+  CALCIOM_EXPECTS(shrinkFactor > 0.0 && shrinkFactor < 1.0);
+  CALCIOM_EXPECTS(growFactor > 1.0);
+  CALCIOM_EXPECTS(churnDecisions > 0);
+  CALCIOM_EXPECTS(quietWindowsToGrow > 0);
+}
+
+HorizonTuner::HorizonTuner(GlobalArbiter& arbiter, HorizonTunerConfig config)
+    : arbiter_(arbiter), config_(config) {
+  horizon_ = config_.minHorizonSeconds;
+  arbiter_.setSamplingHorizon(horizon_);
+}
+
+HorizonTuner& HorizonTuner::install(platform::Cluster& cluster,
+                                    GlobalArbiter& arbiter,
+                                    HorizonTunerConfig config) {
+  if (config.minHorizonSeconds <= 0.0) {
+    config.minHorizonSeconds = cluster.spec().syncHorizonSeconds;
+  }
+  config.maxHorizonSeconds =
+      std::max(config.maxHorizonSeconds, config.minHorizonSeconds);
+  config.validate();
+  auto owned =
+      std::unique_ptr<HorizonTuner>(new HorizonTuner(arbiter, config));
+  return static_cast<HorizonTuner&>(
+      cluster.adoptBarrierHook(std::move(owned)));
+}
+
+bool HorizonTuner::onBarrier(sim::Time /*barrierTime*/) {
+  // One controller step per *merge window*: the arbiter's round counter
+  // advances only at non-deferred barriers, so deferred (gated) barriers
+  // are observation-free — the tuner samples the same signal at every
+  // worker count and never reacts to a half-window.
+  if (arbiter_.rounds() == lastRounds_) {
+    return false;
+  }
+  lastRounds_ = arbiter_.rounds();
+  ++windows_;
+  const std::size_t decisions = arbiter_.decisions().size();
+  const std::size_t delta = decisions - lastDecisions_;
+  lastDecisions_ = decisions;
+  if (delta >= config_.churnDecisions) {
+    // Contention decisions churned inside one sampling window: tighten the
+    // loop so the next requests are sampled (and arbitrated) sooner.
+    quietStreak_ = 0;
+    const double next =
+        std::max(config_.minHorizonSeconds, horizon_ * config_.shrinkFactor);
+    if (next < horizon_) {
+      horizon_ = next;
+      arbiter_.setSamplingHorizon(horizon_);
+      ++shrinks_;
+    }
+  } else if (delta == 0) {
+    // Quiescent window. Require several in a row before relaxing: one
+    // quiet window right after a burst is noise, not a trend.
+    if (++quietStreak_ >= config_.quietWindowsToGrow) {
+      quietStreak_ = 0;
+      const double next =
+          std::min(config_.maxHorizonSeconds, horizon_ * config_.growFactor);
+      if (next > horizon_) {
+        horizon_ = next;
+        arbiter_.setSamplingHorizon(horizon_);
+        ++grows_;
+      }
+    }
+  } else {
+    quietStreak_ = 0;  // some activity, below the churn bar: hold
+  }
+  return false;
+}
+
+sim::Time HorizonTuner::nextBarrierNeededBy(sim::Time /*now*/) {
+  // Pure constant vote (determinism rule 7, src/sim/README.md): the tuner
+  // is an observer and never needs a barrier of its own.
+  return sim::kNever;
+}
+
+}  // namespace calciom

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file horizon_tuner.hpp
+/// Online sync-horizon auto-tuner: the feedback controller that closes the
+/// stability-vs-responsiveness loop over the GlobalArbiter's sampling
+/// period (see src/calciom/README.md, "Control loop").
+///
+/// The horizon-sweep campaign (bench/perf_control.cpp) shows the open-loop
+/// trade-off: per-app grant drift grows roughly linearly with the sampling
+/// horizon while the simulation cost of barrier processing does not. The
+/// tuner picks the operating point online — it watches the arbiter's
+/// decision churn at every merge and
+///
+///   * shrinks the sampling horizon (responsiveness) when contention
+///     decisions churn: a tight loop samples requests soon after they are
+///     made, keeping grant timing close to the zero-latency oracle;
+///   * stretches it (stability / low overhead) after consecutive quiet
+///     windows: an idle or uncontended system does not need to pay a merge
+///     per barrier.
+///
+/// Every input is barrier-time simulated state (decision and grant
+/// counters of the arbiter core), every adjustment happens inside
+/// onBarrier, and the vote is the constant kNever — so the tuner obeys
+/// determinism rule 7 (src/sim/README.md) and runs bit-identically at any
+/// worker count.
+
+#include <cstdint>
+
+#include "sim/barrier_hook.hpp"
+#include "sim/time.hpp"
+
+namespace calciom::platform {
+class Cluster;
+}  // namespace calciom::platform
+
+namespace calciom {
+
+class GlobalArbiter;
+
+struct HorizonTunerConfig {
+  /// Tightest sampling horizon the tuner may request. 0 inherits the
+  /// cluster grid horizon (ClusterSpec::syncHorizonSeconds) at install —
+  /// the gate then never defers while fully shrunk, which is exactly the
+  /// legacy cadence.
+  double minHorizonSeconds = 0.0;
+  /// Widest sampling horizon (the stability end of the dial).
+  double maxHorizonSeconds = 8.0;
+  /// Multiplicative decrease on a churny window (0 < shrinkFactor < 1).
+  double shrinkFactor = 0.5;
+  /// Multiplicative increase after enough quiet windows (> 1).
+  double growFactor = 2.0;
+  /// New contention decisions per merge window that count as churn.
+  std::size_t churnDecisions = 1;
+  /// Consecutive quiet windows (no new decisions) before one grow step.
+  std::size_t quietWindowsToGrow = 2;
+
+  void validate() const;
+};
+
+/// Installs as a barrier hook *after* the GlobalArbiter (install() enforces
+/// the ordering by being called after GlobalArbiter::install): at each
+/// barrier it observes the merge the arbiter just performed and writes the
+/// adjusted horizon back via GlobalArbiter::setSamplingHorizon before the
+/// next round's votes are collected.
+class HorizonTuner final : public sim::BarrierHook {
+ public:
+  /// Creates the tuner over `arbiter`, hands ownership to the cluster and
+  /// arms the arbiter's sampling gate at the (clamped) minimum horizon.
+  static HorizonTuner& install(platform::Cluster& cluster,
+                               GlobalArbiter& arbiter,
+                               HorizonTunerConfig config = {});
+
+  /// sim::BarrierHook: observe the arbiter's counters; on a merge window
+  /// boundary apply one controller step. Never schedules events.
+  bool onBarrier(sim::Time barrierTime) override;
+
+  /// Pure observer vote (determinism rule 7, src/sim/README.md): the tuner
+  /// never needs a barrier of its own — it only rides the ones the
+  /// arbiter's gate and the workload already require — so it returns the
+  /// constant sim::kNever, trivially a pure function of barrier-time state.
+  sim::Time nextBarrierNeededBy(sim::Time now) override;
+
+  [[nodiscard]] double horizonSeconds() const noexcept { return horizon_; }
+  [[nodiscard]] std::uint64_t shrinks() const noexcept { return shrinks_; }
+  [[nodiscard]] std::uint64_t grows() const noexcept { return grows_; }
+  /// Merge windows observed (arbiter rounds seen by this hook).
+  [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+
+ private:
+  HorizonTuner(GlobalArbiter& arbiter, HorizonTunerConfig config);
+
+  GlobalArbiter& arbiter_;
+  HorizonTunerConfig config_;
+  double horizon_ = 0.0;
+  std::uint64_t lastRounds_ = 0;
+  std::size_t lastDecisions_ = 0;
+  std::size_t quietStreak_ = 0;
+  std::uint64_t shrinks_ = 0;
+  std::uint64_t grows_ = 0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace calciom

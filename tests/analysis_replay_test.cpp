@@ -161,6 +161,53 @@ TEST(DivergenceMetricsTest, GrantSurplusAndKindMismatchesAreCounted) {
   EXPECT_FALSE(r.exactlyZero());
 }
 
+TEST(DivergenceMetricsTest, AppPresentInOnlyOneStreamIsWhollyUnmatched) {
+  // Pins the unmatchedGrants semantics documented on DivergenceReport:
+  // grants align per application, so an app that appears in only one
+  // stream contributes its WHOLE count to unmatchedGrants — in either
+  // direction — and nothing to the drift metrics.
+  OracleSchedule oracle;
+  oracle.grants = {GrantRecord{1.0, 1, false}, GrantRecord{3.0, 2, false},
+                   GrantRecord{5.0, 1, true}};
+  const std::vector<GrantRecord> online = {GrantRecord{1.0, 1, false},
+                                           GrantRecord{5.0, 1, true}};
+  const DivergenceReport r = computeDivergence({}, online, 0.0, oracle);
+  EXPECT_EQ(r.matchedGrants, 2u);    // app 1 pairs fully
+  EXPECT_EQ(r.unmatchedGrants, 1u);  // all of app 2 (oracle-only)
+  EXPECT_DOUBLE_EQ(r.grantTimeL1DriftSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.grantTimeMaxDriftSeconds, 0.0);
+  EXPECT_FALSE(r.exactlyZero());
+
+  // Mirror image: the surplus app lives only in the online stream.
+  OracleSchedule slim;
+  slim.grants = online;
+  const DivergenceReport m =
+      computeDivergence({}, oracle.grants, 0.0, slim);
+  EXPECT_EQ(m.matchedGrants, 2u);
+  EXPECT_EQ(m.unmatchedGrants, 1u);
+  EXPECT_DOUBLE_EQ(m.grantTimeL1DriftSeconds, 0.0);
+  EXPECT_FALSE(m.exactlyZero());
+}
+
+TEST(DivergenceMetricsTest, PerAppSurplusPairsByOccurrenceIndex) {
+  // App 1 granted three times by the oracle but only twice online: the
+  // first two occurrences pair IN ORDER (drift prices |1.25-1.0| + 0) and
+  // the oracle's third grant is surplus. Its absurd timestamp must never
+  // leak into the drift metrics — unmatched grants price nothing.
+  OracleSchedule oracle;
+  oracle.grants = {GrantRecord{1.0, 1, false}, GrantRecord{4.0, 1, true},
+                   GrantRecord{999.0, 1, false}};
+  const std::vector<GrantRecord> online = {GrantRecord{1.25, 1, false},
+                                           GrantRecord{4.0, 1, true}};
+  const DivergenceReport r = computeDivergence({}, online, 0.0, oracle);
+  EXPECT_EQ(r.matchedGrants, 2u);
+  EXPECT_EQ(r.unmatchedGrants, 1u);
+  EXPECT_EQ(r.grantKindMismatches, 0u);  // matched kinds agree pairwise
+  EXPECT_DOUBLE_EQ(r.grantTimeL1DriftSeconds, 0.25);
+  EXPECT_DOUBLE_EQ(r.grantTimeMaxDriftSeconds, 0.25);
+  EXPECT_FALSE(r.exactlyZero());
+}
+
 TEST(DivergenceMetricsTest, JsonDumpCarriesTheHeadlineFields) {
   const auto evs = handStream();
   const OracleSchedule oracle = oracleReplay(evs, PolicyKind::Fcfs, 250e-6);

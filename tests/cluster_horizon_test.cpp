@@ -12,14 +12,24 @@
 #include <cstdint>
 #include <vector>
 
+#include "calciom/global_arbiter.hpp"
 #include "calciom/policy.hpp"
+#include "calciom/session.hpp"
 #include "fault/chaos.hpp"
+#include "io/hooks.hpp"
 #include "sim/barrier_hook.hpp"
 #include "sim/engine.hpp"
+#include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace {
 
+using calciom::GlobalArbiter;
+using calciom::core::HookGranularity;
+using calciom::core::makePolicy;
+using calciom::core::PolicyKind;
+using calciom::core::Session;
+using calciom::core::SessionConfig;
 using calciom::fault::ChaosConfig;
 using calciom::fault::chaosPlan;
 using calciom::fault::ChaosResult;
@@ -28,8 +38,10 @@ using calciom::fault::runChaos;
 using calciom::platform::Cluster;
 using calciom::platform::ClusterSpec;
 using calciom::sim::BarrierHook;
+using calciom::sim::Delay;
 using calciom::sim::Engine;
 using calciom::sim::kNever;
+using calciom::sim::Task;
 using calciom::sim::Time;
 
 /// Hook with a programmable vote that schedules nothing and records every
@@ -178,6 +190,69 @@ TEST(ClusterHorizonTest, SparseActivationSkipsIdleShards) {
   for (std::size_t s = 1; s < 4; ++s) {
     EXPECT_EQ(cl.engine(0).now(), cl.engine(s).now());
   }
+}
+
+/// One write phase through the real session hook protocol, recording when
+/// the grant landed and when the phase finished.
+Task oneShotPhase(Engine& eng, Session& session, Time startAt, Time* granted,
+                  Time* done) {
+  co_await Delay{startAt};
+  calciom::io::PhaseInfo info;
+  info.appId = session.config().appId;
+  info.appName = session.config().appName;
+  info.processes = 64;
+  info.files = 1;
+  info.roundsPerFile = 1;
+  info.totalBytes = 1000;
+  info.bytesPerRound = 1000;
+  info.estimatedAloneSeconds = 1.0;
+  co_await eng.spawn(session.beginPhase(info));
+  *granted = eng.now();
+  co_await Delay{1.0};
+  co_await eng.spawn(session.endPhase());
+  *done = eng.now();
+}
+
+// The sampling gate's deadline is a real barrier commitment: once the
+// arbiter defers a merge to lastMerge + samplingHorizon (exactly what a
+// pending HorizonTuner adjustment produces via setSamplingHorizon), a
+// QUIESCENT cluster — no scheduled events anywhere, the one app parked
+// waiting on its grant — must neither vote the deadline away (stranding
+// the app in the drain loop) nor merge early (breaking the sampling
+// cadence). The keepalive event plus the armed-deadline vote in
+// GlobalArbiter::nextBarrierNeededBy carry the round loop to the deadline
+// and no further.
+TEST(ClusterHorizonTest, ArmedSamplingDeadlineIsNeverVotedPast) {
+  const double kSampling = 2.0;
+  ClusterSpec s = spec(2);  // 0.25 s grid, far tighter than the gate
+  Cluster cl(s);
+  GlobalArbiter& ga = GlobalArbiter::install(cl, makePolicy(PolicyKind::Fcfs));
+  ga.setSamplingHorizon(kSampling);
+  Session session(cl.engine(0), cl.machine(0).ports(),
+                  SessionConfig{.appId = 1,
+                                .appName = "app1",
+                                .cores = 64,
+                                .granularity = HookGranularity::PerRound});
+  Time granted = -1.0;
+  Time done = -1.0;
+  cl.engine(0).spawn(
+      oneShotPhase(cl.engine(0), session, 0.1, &granted, &done));
+  cl.run();
+
+  // Liveness: the campaign finished — the deadline was honored, not
+  // skipped past by the drain loop's vote check.
+  EXPECT_TRUE(cl.empty());
+  ASSERT_GE(done, 0.0);
+  // The gate demonstrably engaged: the Inform sat deferred at least once.
+  EXPECT_GE(ga.mergeDeferrals(), 1u);
+  // The grant happened AT the armed deadline — not before (no early
+  // merge inside the sampling window) and not materially after (no
+  // horizon stretch voting past it; one grid round of slack).
+  const auto& log = ga.core().grantLog();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_GE(log[0].time, kSampling);
+  EXPECT_LE(log[0].time, kSampling + 2.0 * s.syncHorizonSeconds);
+  EXPECT_GE(granted, log[0].time);  // session saw it a delivery hop later
 }
 
 // Chaos seeds replay bit-identically across worker counts with the horizon

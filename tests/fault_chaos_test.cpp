@@ -1,6 +1,7 @@
 // Randomized chaos suite over the hardened coordination stack: ~200 seeded
-// fault schedules (fault::chaosPlan) across both transports and the three
-// arbitration policies. Every schedule must satisfy
+// fault schedules (fault::chaosPlan) across both transports and the five
+// arbitration policies (FCFS, interrupt, dynamic, PI-share, token-bucket).
+// Every schedule must satisfy
 //
 //  * liveness — the simulation terminates well before the harness backstop,
 //    every surviving application completes all phases (coordinated or
@@ -19,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <iterator>
 #include <string>
 
 #include "calciom/policy.hpp"
@@ -35,12 +37,14 @@ using calciom::fault::ChaosTransport;
 using calciom::fault::runChaos;
 
 constexpr PolicyKind kPolicies[] = {PolicyKind::Fcfs, PolicyKind::Interrupt,
-                                    PolicyKind::Dynamic};
+                                    PolicyKind::Dynamic, PolicyKind::PiShare,
+                                    PolicyKind::TokenBucket};
+constexpr std::size_t kPolicyCount = std::size(kPolicies);
 
 ChaosConfig campaign(ChaosTransport transport, std::uint64_t seed) {
   ChaosConfig cfg;
   cfg.transport = transport;
-  cfg.policy = kPolicies[seed % 3];
+  cfg.policy = kPolicies[seed % kPolicyCount];
   cfg.plan = chaosPlan(seed, cfg.apps);
   return cfg;
 }
@@ -55,7 +59,9 @@ void expectInvariants(const ChaosConfig& cfg, const ChaosResult& r,
   EXPECT_TRUE(r.degradedAllCompleted);
   EXPECT_TRUE(r.arbiterIdle);
   // Safety: exclusive policies never have two concurrent accessors. The
-  // dynamic policy may legitimately choose interference.
+  // dynamic policy may legitimately choose interference; PI-share and
+  // token-bucket only ever answer Queue or Interrupt, so they are bound by
+  // the same <= 1 gate as FCFS/interrupt.
   if (cfg.policy != PolicyKind::Dynamic) {
     EXPECT_LE(r.maxConcurrentAccessors, 1u);
   }
@@ -155,6 +161,32 @@ TEST(FaultChaos, WorkerInvarianceUnderActiveFaults) {
     EXPECT_EQ(r1.grants, r8.grants);
     EXPECT_EQ(r1.messagesDropped, r2.messagesDropped);
     EXPECT_EQ(r1.messagesDropped, r8.messagesDropped);
+  }
+}
+
+// The control policies carry extra state between decisions (the PI
+// integrator, token-bucket levels) — all of it driven by arbiter-side
+// message times, never by worker scheduling. Chaos campaigns under each
+// must stay bit-identical on 1/2/8 workers. Seeds chosen so campaign()
+// lands on PiShare (3, 13) and TokenBucket (4, 19).
+TEST(FaultChaos, ControlPolicyWorkerInvariance) {
+  for (const std::uint64_t seed : {3ull, 13ull, 4ull, 19ull}) {
+    ChaosConfig cfg = campaign(ChaosTransport::Cluster, seed);
+    ASSERT_TRUE(cfg.policy == PolicyKind::PiShare ||
+                cfg.policy == PolicyKind::TokenBucket);
+    cfg.workers = 1;
+    const ChaosResult r1 = runChaos(cfg);
+    cfg.workers = 2;
+    const ChaosResult r2 = runChaos(cfg);
+    cfg.workers = 8;
+    const ChaosResult r8 = runChaos(cfg);
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    EXPECT_EQ(r1.fingerprint, r2.fingerprint);
+    EXPECT_EQ(r1.fingerprint, r8.fingerprint);
+    EXPECT_EQ(r1.grants, r2.grants);
+    EXPECT_EQ(r1.grants, r8.grants);
+    EXPECT_EQ(r1.cpuSecondsWaited, r2.cpuSecondsWaited);
+    EXPECT_EQ(r1.cpuSecondsWaited, r8.cpuSecondsWaited);
   }
 }
 

@@ -107,6 +107,69 @@ TEST(RecoverySnapshot, RestoreRoundTripIsBitExact) {
   EXPECT_EQ(encodeSnapshot(a.snapshot(3.5)), encodeSnapshot(b.snapshot(3.5)));
 }
 
+TEST(RecoverySnapshot, CostSignalsSurviveRestoreAndContinue) {
+  // Regression pin for the policy cost signals: cpuSecondsWaited and the
+  // grant log are schedule *history*, and a crash must not zero them — the
+  // dynamic policy's efficiency metric and the replay harness's divergence
+  // pricing both read them after recovery. Crash mid-campaign, restore,
+  // and demand the signals (a) round-trip exactly and (b) keep accruing
+  // from the checkpointed value, not from zero.
+  ArbiterCore live(makePolicy(PolicyKind::Fcfs));
+  ArbiterCore::Commands out;
+  live.onInform(1.0, 1, informWire(1), out);  // granted at once: no wait
+  live.onInform(1.5, 2, informWire(2), out);  // queues behind app 1
+  live.onComplete(3.0, 1, out);               // 2 granted: waited 1.5 s x 64
+  ASSERT_DOUBLE_EQ(live.cpuSecondsWaited(), 1.5 * 64.0);
+  ASSERT_EQ(live.grantLog().size(), 2u);
+
+  // "Crash": all that survives is the snapshot.
+  const ArbiterSnapshot snap = live.snapshot(3.5);
+  ArbiterCore restored(makePolicy(PolicyKind::Fcfs));
+  restored.restore(snap);
+  EXPECT_DOUBLE_EQ(restored.cpuSecondsWaited(), live.cpuSecondsWaited());
+  EXPECT_EQ(restored.grantLog(), live.grantLog());
+
+  // The campaign continues on both cores: app 3 queues behind app 2, is
+  // granted when 2 completes, and the wait it accrues lands on TOP of the
+  // checkpointed total on the restored core.
+  ArbiterCore::Commands outLive;
+  ArbiterCore::Commands outRestored;
+  live.onInform(4.0, 3, informWire(3), outLive);
+  restored.onInform(4.0, 3, informWire(3), outRestored);
+  live.onComplete(5.0, 2, outLive);
+  restored.onComplete(5.0, 2, outRestored);
+  EXPECT_DOUBLE_EQ(live.cpuSecondsWaited(), 1.5 * 64.0 + 1.0 * 64.0);
+  EXPECT_DOUBLE_EQ(restored.cpuSecondsWaited(), live.cpuSecondsWaited());
+  ASSERT_EQ(restored.grantLog().size(), 3u);
+  EXPECT_EQ(restored.grantLog(), live.grantLog());
+}
+
+TEST(RecoverySnapshot, EncodingDiscriminatesCostSignals) {
+  // The checkpoint encoding must distinguish states that differ *only* in
+  // a cost signal — otherwise a torn write could swap them silently and
+  // the post-recovery efficiency metric would price the wrong schedule.
+  ArbiterCore a(makePolicy(PolicyKind::Fcfs));
+  ArbiterCore::Commands out;
+  a.onInform(1.0, 1, informWire(1), out);
+  a.onInform(1.5, 2, informWire(2), out);
+  a.onComplete(3.0, 1, out);
+  const ArbiterSnapshot snap = a.snapshot(3.5);
+  const std::string enc = encodeSnapshot(snap);
+
+  ArbiterSnapshot waitedBumped = snap;
+  waitedBumped.cpuSecondsWaited += 1.0;
+  EXPECT_NE(encodeSnapshot(waitedBumped), enc);
+
+  ArbiterSnapshot grantDropped = snap;
+  ASSERT_FALSE(grantDropped.grantLog.empty());
+  grantDropped.grantLog.pop_back();
+  EXPECT_NE(encodeSnapshot(grantDropped), enc);
+
+  ArbiterSnapshot grantRetimed = snap;
+  grantRetimed.grantLog.back().time += 0.25;
+  EXPECT_NE(encodeSnapshot(grantRetimed), enc);
+}
+
 TEST(RecoverySnapshot, EncodingDistinguishesDifferentStates) {
   ArbiterCore a(makePolicy(PolicyKind::Fcfs));
   ArbiterCore::Commands out;
